@@ -1,0 +1,194 @@
+(* Benchmark harness.
+
+   Two layers:
+
+   1. Bechamel micro-benchmarks — one [Test.make] per table/figure,
+      timing the host-native cost of the operation that drives that
+      result (the paper's own Table 1 numbers are 68040 timings of the
+      same operations, so these are this repository's "measured on our
+      hardware" column).
+
+   2. The experiment drivers — regenerate every table and figure of the
+      evaluation section (the same drivers the CLI exposes), printed in
+      full after the micro-benchmarks.
+
+   Run with: dune exec bench/main.exe
+   Pass --quick to skip the breakdown sweep's full workload count. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Subjects *)
+
+let n_tasks = 32
+
+(* Table 1: queue-structure operations. *)
+let edf_queue_subject () =
+  let open Emeralds in
+  let q = Readyq.Edf_queue.create () in
+  for i = 0 to n_tasks - 1 do
+    Readyq.Edf_queue.add q (Mock.tcb ~tid:i ())
+  done;
+  fun () -> ignore (Readyq.Edf_queue.select q)
+
+let rm_queue_subject () =
+  let open Emeralds in
+  let q = Readyq.Rm_queue.create () in
+  let tcbs = Array.init n_tasks (fun i -> Mock.tcb ~tid:i ()) in
+  Array.iter (fun t -> Readyq.Rm_queue.add q t) tcbs;
+  let victim = tcbs.(0) in
+  fun () ->
+    victim.Emeralds.Types.state <- Emeralds.Types.Blocked "bench";
+    ignore (Readyq.Rm_queue.note_blocked q victim);
+    victim.Emeralds.Types.state <- Emeralds.Types.Ready;
+    Readyq.Rm_queue.note_unblocked q victim
+
+let heap_queue_subject () =
+  let open Emeralds in
+  let q = Readyq.Heap_queue.create () in
+  let tcbs = Array.init n_tasks (fun i -> Mock.tcb ~tid:i ()) in
+  Array.iter (fun t -> Readyq.Heap_queue.note_unblocked q t) tcbs;
+  let victim = tcbs.(0) in
+  fun () ->
+    Readyq.Heap_queue.note_blocked q victim;
+    Readyq.Heap_queue.note_unblocked q victim
+
+(* Figure 2: one hyperperiod of the Table 2 workload under RM. *)
+let figure2_subject () =
+ fun () ->
+  let k =
+    Emeralds.Kernel.create ~keep_trace:false ~cost:Sim.Cost.zero
+      ~spec:Emeralds.Sched.Rm ~taskset:Workload.Presets.table2 ()
+  in
+  Emeralds.Kernel.run k ~until:(Model.Time.ms 100)
+
+(* Figures 3-5: one breakdown-utilization search (CSD-3, 20 tasks). *)
+let breakdown_subject () =
+  let taskset =
+    Workload.Generator.random_taskset
+      ~rng:(Util.Rng.create ~seed:11)
+      ~n:20 ()
+  in
+  fun () ->
+    ignore (Analysis.Breakdown.of_csd ~cost:Sim.Cost.m68040 ~queues:3 taskset)
+
+(* Table 3: a CSD-3 schedulability test. *)
+let csd_test_subject () =
+  let taskset =
+    Workload.Generator.random_taskset
+      ~rng:(Util.Rng.create ~seed:12)
+      ~n:20 ~target_u:0.8 ()
+  in
+  fun () ->
+    ignore
+      (Analysis.Feasibility.feasible ~cost:Sim.Cost.m68040
+         ~spec:(Emeralds.Sched.Csd [ 4; 6 ])
+         taskset)
+
+(* Figures 11/12: one full semaphore scenario simulation. *)
+let sem_scenario_subject ~fp () =
+ fun () -> ignore (Experiments.Exp_sem.dp_fp_probe ~fp ~queue_len:15)
+
+(* Section 7: state-message write+read vs a mailbox transfer. *)
+let state_msg_subject () =
+  let sm = Emeralds.State_msg.create ~depth:4 ~words:16 in
+  let payload = Array.make 16 42 in
+  fun () ->
+    Emeralds.State_msg.write sm payload;
+    ignore (Emeralds.State_msg.read sm)
+
+let tests =
+  Test.make_grouped ~name:"emeralds"
+    [
+      Test.make ~name:"table1/edf-select-n32" (Staged.stage (edf_queue_subject ()));
+      Test.make ~name:"table1/rm-block-unblock-n32"
+        (Staged.stage (rm_queue_subject ()));
+      Test.make ~name:"table1/heap-block-unblock-n32"
+        (Staged.stage (heap_queue_subject ()));
+      Test.make ~name:"figure2/rm-sim-100ms" (Staged.stage (figure2_subject ()));
+      Test.make ~name:"figures3to5/breakdown-csd3-n20"
+        (Staged.stage (breakdown_subject ()));
+      Test.make ~name:"table3/csd3-feasibility-n20"
+        (Staged.stage (csd_test_subject ()));
+      Test.make ~name:"figure11/sem-scenario-dp"
+        (Staged.stage (sem_scenario_subject ~fp:false ()));
+      Test.make ~name:"figure12/sem-scenario-fp"
+        (Staged.stage (sem_scenario_subject ~fp:true ()));
+      Test.make ~name:"ipc/state-msg-write-read-16w"
+        (Staged.stage (state_msg_subject ()));
+      Test.make ~name:"cyclic/table-generation"
+        (Staged.stage (fun () ->
+             ignore
+               (Analysis.Cyclic.generate
+                  (Model.Taskset.of_list
+                     [
+                       Model.Task.make ~id:1 ~period:(Model.Time.ms 5)
+                         ~wcet:(Model.Time.ms 1) ();
+                       Model.Task.make ~id:2 ~period:(Model.Time.ms 7)
+                         ~wcet:(Model.Time.ms 1) ();
+                       Model.Task.make ~id:3 ~period:(Model.Time.ms 11)
+                         ~wcet:(Model.Time.ms 1) ();
+                     ]))));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Runner *)
+
+let run_benchmarks () =
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~stabilize:true ~quota:(Time.second 0.25) ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  let t = Util.Tablefmt.create ~headers:[ "benchmark"; "ns/run"; "r2" ] in
+  List.iter
+    (fun (name, ols) ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> Printf.sprintf "%.0f" e
+        | Some [] | None -> "-"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "-"
+      in
+      Util.Tablefmt.add_row t [ name; ns; r2 ])
+    rows;
+  print_endline "host micro-benchmarks (one per table/figure):";
+  print_string (Util.Tablefmt.render t);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Experiment tables *)
+
+let run_experiments ~workloads =
+  let sections =
+    [
+      Experiments.Exp_table1.run ();
+      Experiments.Exp_figure2.run ();
+      Experiments.Exp_figures3_5.run ~workloads ();
+      Experiments.Exp_table3.run ();
+      Experiments.Exp_sem.run ();
+      Experiments.Exp_ipc.run ();
+      Experiments.Exp_cyclic.run ();
+      Experiments.Exp_ablation.run ();
+      Experiments.Exp_interrupt.run ();
+    ]
+  in
+  List.iter
+    (fun s ->
+      print_endline s;
+      print_newline ())
+    sections
+
+let () =
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  run_benchmarks ();
+  run_experiments ~workloads:(if quick then 8 else 30)

@@ -1,0 +1,282 @@
+(* Command-line front end: regenerate the paper's tables and figures,
+   analyze workloads off-line, and run kernel simulations. *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments *)
+
+let sched_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "edf" -> Ok Emeralds.Sched.Edf
+    | "rm" -> Ok Emeralds.Sched.Rm
+    | "rm-heap" | "rmheap" -> Ok Emeralds.Sched.Rm_heap
+    | other ->
+      (* csd2 / csd3 / csd4, or an explicit partition "csd:3,4" *)
+      if String.length other > 4 && String.sub other 0 4 = "csd:" then
+        try
+          let sizes =
+            String.split_on_char ','
+              (String.sub other 4 (String.length other - 4))
+            |> List.map int_of_string
+          in
+          Ok (Emeralds.Sched.Csd sizes)
+        with _ -> Error (`Msg "bad CSD partition, expected csd:S1,S2,...")
+      else if other = "csd2" then Ok (Emeralds.Sched.Csd [ 3 ])
+      else if other = "csd3" then Ok (Emeralds.Sched.Csd [ 2; 3 ])
+      else if other = "csd4" then Ok (Emeralds.Sched.Csd [ 2; 2; 3 ])
+      else Error (`Msg (Printf.sprintf "unknown scheduler %S" s))
+  in
+  let print ppf spec = Format.pp_print_string ppf (Emeralds.Sched.spec_name spec) in
+  Arg.conv (parse, print)
+
+let preset_conv =
+  let parse = function
+    | "table2" -> Ok Workload.Presets.table2
+    | "engine" -> Ok Workload.Presets.engine_control
+    | "avionics" -> Ok Workload.Presets.avionics
+    | "voice" -> Ok Workload.Presets.voice
+    | s -> Error (`Msg (Printf.sprintf "unknown preset %S" s))
+  in
+  Arg.conv (parse, fun ppf _ -> Format.pp_print_string ppf "<taskset>")
+
+let preset =
+  Arg.(
+    value
+    & opt (some preset_conv) None
+    & info [ "preset" ] ~docv:"NAME"
+        ~doc:"Named workload: table2, engine, avionics or voice.")
+
+let random_n =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "random" ] ~docv:"N" ~doc:"Generate a random N-task workload.")
+
+let seed =
+  Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Random seed.")
+
+let file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "file" ] ~docv:"PATH"
+        ~doc:"Load the task set from a spec file (see lib/workload/spec_file.mli).")
+
+let taskset_of ~preset ~random_n ~file ~seed =
+  match (preset, random_n, file) with
+  | Some ts, None, None -> ts
+  | None, Some n, None ->
+    Workload.Generator.random_taskset ~rng:(Util.Rng.create ~seed) ~n ()
+  | None, None, Some path -> (
+    match Workload.Spec_file.load path with
+    | Ok ts -> ts
+    | Error msg ->
+      prerr_endline ("cannot load task set: " ^ msg);
+      exit 1)
+  | None, None, None -> Workload.Presets.table2
+  | _ -> invalid_arg "give exactly one of --preset, --random, --file"
+
+(* ------------------------------------------------------------------ *)
+(* experiment *)
+
+let experiments =
+  [
+    ("table1", fun ~seed:_ ~workloads:_ -> Experiments.Exp_table1.run ());
+    ("figure2", fun ~seed:_ ~workloads:_ -> Experiments.Exp_figure2.run ());
+    ( "figures3to5",
+      fun ~seed ~workloads -> Experiments.Exp_figures3_5.run ~seed ~workloads () );
+    ("table3", fun ~seed:_ ~workloads:_ -> Experiments.Exp_table3.run ());
+    ("semaphores", fun ~seed:_ ~workloads:_ -> Experiments.Exp_sem.run ());
+    ("ipc", fun ~seed:_ ~workloads:_ -> Experiments.Exp_ipc.run ());
+    ("cyclic", fun ~seed:_ ~workloads:_ -> Experiments.Exp_cyclic.run ());
+    ("ablation", fun ~seed:_ ~workloads:_ -> Experiments.Exp_ablation.run ());
+    ("interrupt", fun ~seed:_ ~workloads:_ -> Experiments.Exp_interrupt.run ());
+  ]
+
+let experiment_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:
+            "Experiment: table1, figure2, figures3to5, table3, semaphores, \
+             ipc, cyclic, ablation, interrupt, or all.")
+  in
+  let workloads =
+    Arg.(
+      value & opt int 40
+      & info [ "workloads" ]
+          ~doc:"Random workloads per data point (paper: 500).")
+  in
+  let run name seed workloads =
+    let run_one (key, f) =
+      print_endline ("==== " ^ key ^ " ====");
+      print_endline (f ~seed ~workloads)
+    in
+    match name with
+    | "all" -> List.iter run_one experiments
+    | key -> (
+      match List.assoc_opt key experiments with
+      | Some f -> print_endline (f ~seed ~workloads)
+      | None ->
+        prerr_endline ("unknown experiment: " ^ key);
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper")
+    Term.(const run $ name_arg $ seed $ workloads)
+
+(* ------------------------------------------------------------------ *)
+(* analyze *)
+
+let analyze_cmd =
+  let run preset random_n file seed =
+    let taskset = taskset_of ~preset ~random_n ~file ~seed in
+    let cost = Sim.Cost.m68040 in
+    Printf.printf "tasks: %d, utilization: %.3f, hyperperiod: %.1fms\n"
+      (Model.Taskset.size taskset)
+      (Model.Taskset.utilization taskset)
+      (Model.Time.to_ms_f (Model.Taskset.hyperperiod taskset));
+    let t =
+      Util.Tablefmt.create
+        ~headers:[ "scheduler"; "feasible (with overheads)"; "breakdown U" ]
+    in
+    let row name feasible breakdown =
+      Util.Tablefmt.add_row t
+        [ name; string_of_bool feasible; Printf.sprintf "%.3f" breakdown ]
+    in
+    List.iter
+      (fun spec ->
+        row
+          (Emeralds.Sched.spec_name spec)
+          (Analysis.Feasibility.feasible ~cost ~spec taskset)
+          (Analysis.Breakdown.of_spec ~cost ~spec taskset))
+      [ Emeralds.Sched.Rm; Emeralds.Sched.Rm_heap; Emeralds.Sched.Edf ];
+    List.iter
+      (fun queues ->
+        let feasible =
+          Analysis.Partition.exhaustive_best ~cost ~queues taskset <> None
+        in
+        row
+          (Printf.sprintf "CSD-%d (best partition)" queues)
+          feasible
+          (Analysis.Breakdown.of_csd ~cost ~queues taskset))
+      [ 2; 3; 4 ];
+    print_string (Util.Tablefmt.render t);
+    match Analysis.Partition.exhaustive_best ~cost ~queues:3 taskset with
+    | Some sizes ->
+      Printf.printf "CSD-3 off-line allocation: %s (rest FP)\n"
+        (String.concat "," (List.map string_of_int sizes))
+    | None -> Printf.printf "CSD-3: no feasible allocation\n"
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Off-line schedulability and breakdown analysis")
+    Term.(const run $ preset $ random_n $ file $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* simulate *)
+
+let simulate_cmd =
+  let sched =
+    Arg.(
+      value
+      & opt sched_conv (Emeralds.Sched.Csd [ 2; 3 ])
+      & info [ "sched" ] ~docv:"SCHED"
+          ~doc:"Scheduler: edf, rm, rm-heap, csd2, csd3, csd4 or csd:S1,S2.")
+  in
+  let horizon =
+    Arg.(
+      value & opt int 1000
+      & info [ "horizon-ms" ] ~doc:"Virtual time to simulate (ms).")
+  in
+  let timeline =
+    Arg.(value & flag & info [ "timeline" ] ~doc:"Print the execution trace.")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"PATH" ~doc:"Write the execution trace as CSV.")
+  in
+  let run preset random_n file seed spec horizon timeline csv =
+    let taskset = taskset_of ~preset ~random_n ~file ~seed in
+    let k =
+      Emeralds.Kernel.create ~cost:Sim.Cost.m68040 ~spec ~taskset ()
+    in
+    Emeralds.Kernel.run k ~until:(Model.Time.ms horizon);
+    let tr = Emeralds.Kernel.trace k in
+    if timeline then Format.printf "%a@." Sim.Trace.pp_timeline tr;
+    (match csv with
+    | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Sim.Trace.to_csv tr));
+      Printf.printf "trace written to %s\n" path
+    | None -> ());
+    Printf.printf "%s over %dms: %d misses, %d switches, overhead %.3fms\n"
+      (Emeralds.Sched.spec_name spec)
+      horizon
+      (Sim.Trace.deadline_misses tr)
+      (Sim.Trace.context_switches tr)
+      (Model.Time.to_ms_f (Sim.Trace.overhead_total tr));
+    List.iter
+      (fun (s : Emeralds.Kernel.task_stats) ->
+        Printf.printf
+          "  tau%-2d jobs %5d  misses %3d  max response %8.2fms  mean %8.2fms\n"
+          s.tid s.jobs_completed s.misses
+          (Model.Time.to_ms_f s.max_response)
+          (Model.Time.to_ms_f s.mean_response))
+      (Emeralds.Kernel.stats k)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run the kernel simulation on a workload")
+    Term.(
+      const run $ preset $ random_n $ file $ seed $ sched $ horizon $ timeline
+      $ csv)
+
+(* ------------------------------------------------------------------ *)
+(* sensitivity *)
+
+let sensitivity_cmd =
+  let sched =
+    Arg.(
+      value
+      & opt sched_conv (Emeralds.Sched.Csd [ 2; 3 ])
+      & info [ "sched" ] ~docv:"SCHED" ~doc:"Scheduler to analyse under.")
+  in
+  let run preset random_n file seed spec =
+    let taskset = taskset_of ~preset ~random_n ~file ~seed in
+    let cost = Sim.Cost.m68040 in
+    print_string
+      (Analysis.Sensitivity.render
+         (Analysis.Sensitivity.per_task ~cost ~spec taskset));
+    match Analysis.Sensitivity.bottleneck ~cost ~spec taskset with
+    | Some b ->
+      Printf.printf "bottleneck: tau%d (headroom %.2fx)\n" b.task_id b.scale
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"Per-task WCET headroom under a scheduler (with overheads)")
+    Term.(const run $ preset $ random_n $ file $ seed $ sched)
+
+(* ------------------------------------------------------------------ *)
+(* footprint *)
+
+let footprint_cmd =
+  let run () = print_string (Emeralds.Footprint.report Emeralds.Footprint.default_config) in
+  Cmd.v
+    (Cmd.info "footprint" ~doc:"Kernel code-size budget and RAM model")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "emeralds_cli" ~version:"1.0.0"
+      ~doc:"EMERALDS small-memory real-time microkernel reproduction"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ experiment_cmd; analyze_cmd; simulate_cmd; sensitivity_cmd; footprint_cmd ]))

@@ -1,0 +1,1 @@
+examples/avionics_distributed.ml: Array Driver Emeralds Fieldbus Kernel Model Printf Program Sched Sim State_msg Types

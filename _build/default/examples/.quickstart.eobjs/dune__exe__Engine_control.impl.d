@@ -1,0 +1,1 @@
+examples/engine_control.ml: Analysis Array Emeralds Kernel List Model Objects Printf Program Sched Sim State_msg Types Workload

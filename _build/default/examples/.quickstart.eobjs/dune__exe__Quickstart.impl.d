@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Emeralds List Model Printf Sim

@@ -1,0 +1,1 @@
+examples/sensor_fusion.ml: Array Emeralds Kernel Model Printf Program Sched Sim State_msg

@@ -1,0 +1,1 @@
+examples/uart_driver.ml: Array Driver Emeralds Kernel List Model Printf Program Sched Sim State_msg Types

@@ -1,0 +1,1 @@
+examples/uart_driver.mli:

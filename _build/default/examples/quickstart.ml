@@ -1,0 +1,63 @@
+(* Quickstart: define a periodic workload, check it off-line, run it on
+   the EMERALDS kernel under CSD-3, and inspect the outcome.
+
+     dune exec examples/quickstart.exe *)
+
+let ms = Model.Time.ms
+
+(* 1. A workload: six periodic tasks, rate-monotonic deadlines. *)
+let taskset =
+  Model.Taskset.of_list
+    [
+      Model.Task.make ~id:1 ~period:(ms 5) ~wcet:(ms 1) ();
+      Model.Task.make ~id:2 ~period:(ms 8) ~wcet:(ms 2) ();
+      Model.Task.make ~id:3 ~period:(ms 20) ~wcet:(ms 3) ();
+      Model.Task.make ~id:4 ~period:(ms 40) ~wcet:(ms 4) ();
+      Model.Task.make ~id:5 ~period:(ms 100) ~wcet:(ms 8) ();
+      Model.Task.make ~id:6 ~period:(ms 200) ~wcet:(ms 12) ();
+    ]
+
+let cost = Sim.Cost.m68040
+let spec = Emeralds.Sched.Csd [ 2; 2 ] (* CSD-3: two EDF queues + FP *)
+
+let () =
+  Printf.printf "workload utilization: %.3f\n" (Model.Taskset.utilization taskset);
+
+  (* 2. Off-line analysis: is it schedulable once kernel overheads are
+     charged, and how far can it be loaded before it breaks? *)
+  let feasible = Analysis.Feasibility.feasible ~cost ~spec taskset in
+  Printf.printf "CSD-3 feasibility (with overheads): %b\n" feasible;
+  List.iter
+    (fun (name, breakdown) ->
+      Printf.printf "breakdown utilization under %-5s: %.3f\n" name breakdown)
+    [
+      ("RM", Analysis.Breakdown.of_spec ~cost ~spec:Emeralds.Sched.Rm taskset);
+      ("EDF", Analysis.Breakdown.of_spec ~cost ~spec:Emeralds.Sched.Edf taskset);
+      ("CSD-3", Analysis.Breakdown.of_csd ~cost ~queues:3 taskset);
+    ];
+
+  (* 3. Run the kernel for one second of virtual time. *)
+  let k = Emeralds.Kernel.create ~cost ~spec ~taskset () in
+  Emeralds.Kernel.run k ~until:(Model.Time.sec 1);
+
+  (* 4. Outcome: per-task response times, kernel overhead breakdown. *)
+  let tr = Emeralds.Kernel.trace k in
+  Printf.printf "\nper-task results after 1s:\n";
+  List.iter
+    (fun (s : Emeralds.Kernel.task_stats) ->
+      Printf.printf
+        "  tau%d: %3d jobs, %d misses, max response %6.2fms, mean %6.2fms\n"
+        s.tid s.jobs_completed s.misses
+        (Model.Time.to_ms_f s.max_response)
+        (Model.Time.to_ms_f s.mean_response))
+    (Emeralds.Kernel.stats k);
+  Printf.printf "\ncontext switches: %d (%d preemptions)\n"
+    (Sim.Trace.context_switches tr)
+    (Sim.Trace.preemptions tr);
+  Printf.printf "kernel overhead: %.3fms (%.2f%% of the CPU)\n"
+    (Model.Time.to_ms_f (Sim.Trace.overhead_total tr))
+    (100. *. Model.Time.to_ms_f (Sim.Trace.overhead_total tr) /. 1000.);
+  List.iter
+    (fun (category, t) ->
+      Printf.printf "  %-14s %8.1fus\n" category (Model.Time.to_us_f t))
+    (Sim.Trace.overhead_by_category tr)

@@ -1,0 +1,1 @@
+lib/analysis/blocking.ml: Array List Util

@@ -1,0 +1,1 @@
+lib/analysis/breakdown.ml: Emeralds Feasibility List Model Partition

@@ -1,0 +1,1 @@
+lib/analysis/breakdown.mli: Emeralds Model Partition Sim

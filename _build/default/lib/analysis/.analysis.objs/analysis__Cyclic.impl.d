@@ -1,0 +1,1 @@
+lib/analysis/cyclic.ml: Array Emeralds List Model Sim Util

@@ -1,0 +1,1 @@
+lib/analysis/cyclic.mli: Model

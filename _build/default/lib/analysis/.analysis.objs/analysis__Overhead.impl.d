@@ -1,0 +1,1 @@
+lib/analysis/overhead.ml: Array Cost Emeralds List Model Sim

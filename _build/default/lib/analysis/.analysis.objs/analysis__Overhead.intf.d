@@ -1,0 +1,1 @@
+lib/analysis/overhead.mli: Emeralds Model Sim

@@ -1,0 +1,1 @@
+lib/analysis/partition.ml: Emeralds Feasibility List Model

@@ -1,0 +1,1 @@
+lib/analysis/rta.ml: Array Util

@@ -1,0 +1,1 @@
+lib/analysis/sensitivity.ml: Array Feasibility List Model Printf Util

@@ -1,0 +1,32 @@
+(** Blocking-aware fixed-priority analysis.
+
+    §6's semaphores use priority inheritance precisely so that blocking
+    is bounded: a job can be delayed by lower-priority tasks for at
+    most one critical section [26].  This module computes that bound
+    from a declarative description of who locks what for how long, and
+    folds it into response-time analysis — connecting the semaphore
+    subsystem back to the schedulability story. *)
+
+type critical_section = {
+  task_rank : int;  (** priority rank of the task executing it (0 = highest) *)
+  sem : int;        (** semaphore identifier *)
+  duration : int;   (** worst-case time the lock is held, ns *)
+}
+
+val blocking_terms : n:int -> critical_section list -> int array
+(** [blocking_terms ~n css] gives each priority rank its worst-case
+    priority-inheritance blocking: the longest critical section of any
+    *lower*-priority task on a semaphore also used at this level or
+    above.  Under PI each job blocks at most once. *)
+
+val response_time :
+  ?limit:int ->
+  tasks:(int * int * int) array ->
+  blocking:int array ->
+  int ->
+  int option
+(** Response time of task [i] including its blocking term:
+    R = C + B + interference.  Same conventions as {!Rta}. *)
+
+val feasible :
+  ?limit:int -> (int * int * int) array -> blocking:int array -> bool

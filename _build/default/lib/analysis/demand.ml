@@ -1,0 +1,75 @@
+let dbf ~period ~deadline ~wcet t =
+  if t < deadline then 0 else (((t - deadline) / period) + 1) * wcet
+
+let rbf ~period ~wcet t = Util.Intmath.ceil_div t period * wcet
+
+let utilization own interference =
+  let u = ref 0.0 in
+  Array.iter
+    (fun (p, _, c) -> u := !u +. (float_of_int c /. float_of_int p))
+    own;
+  Array.iter
+    (fun (p, c) -> u := !u +. (float_of_int c /. float_of_int p))
+    interference;
+  !u
+
+(* Synchronous busy period of the whole (own + interference) load:
+   least fixpoint of W = sum ceil(W/P) * C. *)
+let busy_period ~own ~interference ~limit =
+  let total w =
+    let acc = ref 0 in
+    Array.iter (fun (p, _, c) -> acc := !acc + rbf ~period:p ~wcet:c w) own;
+    Array.iter (fun (p, c) -> acc := !acc + rbf ~period:p ~wcet:c w) interference;
+    !acc
+  in
+  let w0 =
+    Array.fold_left (fun a (_, _, c) -> a + c) 0 own
+    + Array.fold_left (fun a (_, c) -> a + c) 0 interference
+  in
+  let rec iterate w steps =
+    if steps > limit then None
+    else
+      let w' = total w in
+      if w' = w then Some w else iterate w' (steps + 1)
+  in
+  if w0 = 0 then Some 0 else iterate w0 0
+
+let feasible ?(max_points = 200_000) ~own ~interference () =
+  let u = utilization own interference in
+  if u > 1.0 +. 1e-12 then false
+  else
+    match busy_period ~own ~interference ~limit:5_000 with
+    | None -> false (* did not converge: treat as infeasible *)
+    | Some horizon ->
+      let demand_ok t =
+        let d = ref 0 in
+        Array.iter
+          (fun (p, dl, c) -> d := !d + dbf ~period:p ~deadline:dl ~wcet:c t)
+          own;
+        Array.iter
+          (fun (p, c) -> d := !d + rbf ~period:p ~wcet:c t)
+          interference;
+        !d <= t
+      in
+      (* Walk the own-task deadlines in ascending order with a k-way
+         merge; each entry is (next deadline, task index). *)
+      let heap = Util.Pqueue.create ~cmp:(fun (a, _) (b, _) -> compare a b) () in
+      Array.iteri
+        (fun i (_, dl, _) ->
+          if dl <= horizon then ignore (Util.Pqueue.add heap (dl, i)))
+        own;
+      let rec walk points =
+        if points > max_points then false (* resource cap: be conservative *)
+        else
+          match Util.Pqueue.pop heap with
+          | None -> true
+          | Some (t, i) ->
+            demand_ok t
+            &&
+            let p, dl, _ = own.(i) in
+            let next = t + p in
+            if next <= horizon && next - dl <= horizon then
+              ignore (Util.Pqueue.add heap (next, i));
+            walk (points + 1)
+      in
+      walk 0

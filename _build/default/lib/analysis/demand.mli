@@ -1,0 +1,23 @@
+(** Processor-demand feasibility for EDF task subsets, optionally under
+    interference from statically higher-priority periodic tasks — the
+    building block of the CSD schedulability test: each DP queue is EDF
+    inside, while every shorter-period queue preempts it at fixed
+    priority (§5.5.3's structure, following [36]). *)
+
+val dbf : period:int -> deadline:int -> wcet:int -> int -> int
+(** Demand-bound function of one periodic task at horizon [t]
+    (synchronous release). *)
+
+val feasible :
+  ?max_points:int ->
+  own:(int * int * int) array ->
+  interference:(int * int) array ->
+  unit ->
+  bool
+(** [feasible ~own ~interference ()] — can the [own] tasks
+    [(period, deadline, wcet)] meet all deadlines under EDF while the
+    [interference] tasks [(period, wcet)] preempt them arbitrarily
+    (ceiling request-bound)?  Checks every [own] deadline within the
+    synchronous busy period.  Conservative on resource exhaustion: more
+    than [max_points] check points (default 200_000) reports
+    infeasible. *)

@@ -1,0 +1,32 @@
+(** Per-task scheduler run-time overhead, folded into WCETs.
+
+    §5.1: each task blocks and unblocks at least once per period, and on
+    average half the tasks make one extra blocking call, giving a
+    per-period scheduler overhead of [t = 1.5 (t_b + t_u + 2 t_s)].
+    The [t_b]/[t_u]/[t_s] terms come from the cost model's Table 1
+    entries; for CSD they follow the per-queue-class breakdown of
+    Table 3, plus the [x * 0.55 us] queue-list parse per scheduler
+    invocation. *)
+
+val layout : int list -> int -> int list * int
+(** [layout sizes n] clips a CSD partition to an [n]-task workload:
+    the populated DP-queue lengths and the FP-queue length. *)
+
+val per_task :
+  cost:Sim.Cost.t ->
+  spec:Emeralds.Sched.spec ->
+  n:int ->
+  rank:int ->
+  Model.Time.t
+(** Per-period overhead charged to the task of RM rank [rank]
+    (0-based, shortest period first) in an [n]-task workload.
+    For [Csd sizes] the rank determines the task's queue and hence its
+    Table 3 row. *)
+
+val inflate :
+  cost:Sim.Cost.t ->
+  spec:Emeralds.Sched.spec ->
+  Model.Taskset.t ->
+  (int * int * int) array
+(** [(period, deadline, wcet + overhead)] rows in RM order — the input
+    the schedulability tests consume. *)

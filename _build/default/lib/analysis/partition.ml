@@ -1,0 +1,72 @@
+type mode = Grid | Exhaustive
+
+(* [count] roughly evenly spaced values in [1, n], always including the
+   endpoints, ascending and distinct. *)
+let spread ~count n =
+  if n <= count then List.init n (fun i -> i + 1)
+  else
+    let pick i = 1 + (i * (n - 1) / (count - 1)) in
+    List.sort_uniq compare (List.init count pick)
+
+let rec distinct_ascending = function
+  | [] | [ _ ] -> true
+  | a :: (b :: _ as rest) -> a < b && distinct_ascending rest
+
+(* Boundaries b1 < b2 < ... < bk (prefix ends) to queue sizes. *)
+let sizes_of_boundaries bs =
+  let rec diff prev = function
+    | [] -> []
+    | b :: rest -> (b - prev) :: diff b rest
+  in
+  diff 0 bs
+
+let boundary_grid ~mode ~levels n =
+  let values =
+    match mode with
+    | Exhaustive -> List.init n (fun i -> i + 1)
+    | Grid -> spread ~count:(match levels with 1 -> 14 | 2 -> 8 | _ -> 5) n
+  in
+  let rec combos k =
+    if k = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun tail -> List.map (fun v -> v :: tail) values)
+        (combos (k - 1))
+  in
+  combos levels |> List.filter distinct_ascending
+
+let candidates ~mode ~queues ~n =
+  if queues < 2 then invalid_arg "Partition.candidates: queues must be >= 2";
+  let levels = queues - 1 in
+  let raw = boundary_grid ~mode ~levels n in
+  let raw =
+    (* Always include the all-DP split: boundaries ending at n with the
+       earlier boundaries from the grid's midpoints. *)
+    let all_dp =
+      match levels with
+      | 1 -> [ [ n ] ]
+      | 2 -> if n >= 2 then [ [ max 1 (n / 2); n ] ] else []
+      | _ ->
+        if n >= 3 then [ [ max 1 (n / 3); max 2 (2 * n / 3); n ] ] else []
+    in
+    raw @ all_dp
+  in
+  raw
+  |> List.filter distinct_ascending
+  |> List.sort_uniq compare
+  |> List.map sizes_of_boundaries
+  (* Lowest run-time overhead first: fewer tasks under dynamic
+     priority. *)
+  |> List.sort (fun a b ->
+         compare (List.fold_left ( + ) 0 a) (List.fold_left ( + ) 0 b))
+
+let exhaustive_best ~cost ~queues taskset =
+  let n = Model.Taskset.size taskset in
+  let rec try_all = function
+    | [] -> None
+    | sizes :: rest ->
+      if Feasibility.feasible ~cost ~spec:(Emeralds.Sched.Csd sizes) taskset
+      then Some sizes
+      else try_all rest
+  in
+  try_all (candidates ~mode:Exhaustive ~queues ~n)

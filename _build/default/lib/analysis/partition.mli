@@ -1,0 +1,27 @@
+(** CSD partition search.
+
+    The paper finds the best DP1/DP2/FP allocation by exhaustive search
+    (O(n^2) for three queues, §5.5.3).  The breakdown-utilization sweep
+    cannot afford full exhaustion inside a bisection loop, so we also
+    provide a coarse candidate grid (the best partition boundary moves
+    smoothly with workload shape, so a grid plus the full-DP and
+    troublesome-task seeds recovers the paper's curves); the exhaustive
+    search remains available and is what [Exhaustive] mode uses. *)
+
+type mode = Grid | Exhaustive
+
+val candidates : mode:mode -> queues:int -> n:int -> int list list
+(** Partition candidates (lists of DP-queue sizes, see
+    [Emeralds.Sched.Csd]) for a CSD-[queues] scheduler over [n] tasks.
+    [queues >= 2]; CSD-x has [x - 1] DP queues.  Candidates always
+    include the all-DP split (CSD degenerates to EDF plus queue-parse
+    overhead, its §5.3 worst case). *)
+
+val exhaustive_best :
+  cost:Sim.Cost.t ->
+  queues:int ->
+  Model.Taskset.t ->
+  int list option
+(** The paper's off-line search: the first (hence lowest-overhead-
+    ordered) partition whose CSD test passes for the given workload,
+    or [None] if no candidate passes. *)

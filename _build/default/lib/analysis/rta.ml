@@ -1,0 +1,29 @@
+let response_time ?(limit = 10_000) ~tasks i =
+  let _, deadline, wcet = tasks.(i) in
+  let rec iterate r steps =
+    if steps > limit then None
+    else begin
+      let interference = ref 0 in
+      for j = 0 to i - 1 do
+        let period_j, _, wcet_j = tasks.(j) in
+        interference := !interference + (Util.Intmath.ceil_div r period_j * wcet_j)
+      done;
+      let r' = wcet + !interference in
+      if r' > deadline then None
+      else if r' = r then Some r
+      else iterate r' (steps + 1)
+    end
+  in
+  iterate wcet 0
+
+let feasible_prefix ?limit tasks ~upto =
+  let rec loop i =
+    i >= upto
+    ||
+    match response_time ?limit ~tasks i with
+    | Some _ -> loop (i + 1)
+    | None -> false
+  in
+  loop 0
+
+let feasible ?limit tasks = feasible_prefix ?limit tasks ~upto:(Array.length tasks)

@@ -1,0 +1,21 @@
+(** Exact response-time analysis for fixed-priority preemptive
+    scheduling (Joseph & Pandya / Audsley).  Tasks are given
+    highest-priority-first; feasibility requires every response time to
+    fit within its deadline. *)
+
+val response_time :
+  ?limit:int -> tasks:(int * int * int) array -> int -> int option
+(** [response_time ~tasks i] is the worst-case response time of the
+    task at index [i] of [(period, deadline, wcet)] rows sorted by
+    decreasing priority, or [None] if the fixpoint exceeds the task's
+    deadline (or [limit] iterations, default 10_000) — both mean
+    "unschedulable at this priority". *)
+
+val feasible : ?limit:int -> (int * int * int) array -> bool
+(** Whole-set feasibility: every task's response time is within its
+    deadline. *)
+
+val feasible_prefix : ?limit:int -> (int * int * int) array -> upto:int -> bool
+(** Feasibility of tasks [0..upto-1] only (interference still comes
+    solely from higher-priority tasks, so this equals [feasible] on the
+    truncated array). *)

@@ -1,0 +1,1 @@
+lib/core/condvar.ml: Objects Program Types

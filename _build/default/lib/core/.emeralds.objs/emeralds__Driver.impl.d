@@ -1,0 +1,1 @@
+lib/core/driver.ml: Kernel Objects Program Types

@@ -1,0 +1,1 @@
+lib/core/kernel.ml: Array Hashtbl List Model Option Printf Program Queue Sched Sim State_msg Types Util

@@ -1,0 +1,1 @@
+lib/core/kernel.mli: Model Program Sched Sim Types

@@ -1,0 +1,1 @@
+lib/core/mock.mli: Model Types

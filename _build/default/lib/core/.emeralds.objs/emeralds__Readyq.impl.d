@@ -1,0 +1,1 @@
+lib/core/readyq.ml: Types Util

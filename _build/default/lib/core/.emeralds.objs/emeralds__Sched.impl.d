@@ -1,0 +1,1 @@
+lib/core/sched.ml: Array List Model Printf Readyq Sim Types

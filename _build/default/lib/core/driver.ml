@@ -1,0 +1,19 @@
+type t = {
+  kernel : Kernel.t;
+  irq : int;
+  wq : Types.waitq;
+  mutable serviced : int;
+}
+
+let attach kernel ~irq ?(capture = fun () -> ()) () =
+  let wq = Objects.waitq () in
+  let t = { kernel; irq; wq; serviced = 0 } in
+  Kernel.register_irq kernel ~irq ~handler:(fun () ->
+      capture ();
+      t.serviced <- t.serviced + 1;
+      Kernel.signal_waitq kernel wq);
+  t
+
+let wait_for_interrupt t = Program.wait t.wq
+let interrupts_serviced t = t.serviced
+let raise_at t ~at = Kernel.raise_irq_at t.kernel ~at ~irq:t.irq

@@ -1,0 +1,34 @@
+(** User-level device drivers (§3: "support for user-level device
+    drivers" — sensors, actuators, network controllers are served by
+    ordinary threads, with the kernel providing only interrupt
+    delivery).
+
+    The pattern: a device raises an interrupt; the kernel-side stub
+    (installed here) optionally captures device data into a state
+    message and signals the driver thread's wait queue; the driver
+    thread — a normal scheduled task — performs the real work at its
+    own priority.  This keeps driver code out of the 13 KB kernel and
+    under the scheduler's control, exactly the paper's argument. *)
+
+type t
+
+val attach :
+  Kernel.t ->
+  irq:int ->
+  ?capture:(unit -> unit) ->
+  unit ->
+  t
+(** Install the kernel-side stub for [irq].  [capture] runs in
+    interrupt context (keep it tiny — e.g. one [State_msg.write]);
+    then the driver's wait queue is signalled.
+    @raise Invalid_argument if the irq already has a handler. *)
+
+val wait_for_interrupt : t -> Types.instr
+(** The driver thread's blocking point: one instruction to put in its
+    program where it waits for the next interrupt. *)
+
+val interrupts_serviced : t -> int
+(** Interrupts delivered to this driver so far. *)
+
+val raise_at : t -> at:Model.Time.t -> unit
+(** Test/environment helper: schedule the device's interrupt. *)

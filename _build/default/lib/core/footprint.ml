@@ -1,0 +1,88 @@
+(* Sizes are for a 32-bit embedded target.  Code budget apportioned per
+   subsystem to the paper's 13 KB total; RAM sizes follow the structure
+   of our kernel objects (a TCB holds scheduling keys, queue links,
+   PI bookkeeping and per-job accounting — about 32 words). *)
+
+let kernel_code_bytes =
+  [
+    ("scheduler (CSD framework)", 2600);
+    ("semaphores + condition variables", 1400);
+    ("message passing (mailboxes)", 1800);
+    ("state messages + shared memory", 900);
+    ("timers and clock services", 1100);
+    ("interrupt handling / kernel device support", 1600);
+    ("system-call mechanism + thread management", 2200);
+    ("memory protection setup", 1700);
+  ]
+
+let total_code_bytes =
+  List.fold_left (fun acc (_, b) -> acc + b) 0 kernel_code_bytes
+
+type config = {
+  threads : int;
+  stack_bytes_per_thread : int;
+  semaphores : int;
+  condvars : int;
+  mailboxes : (int * int) list;
+  state_messages : (int * int) list;
+  timers : int;
+}
+
+let default_config =
+  {
+    threads = 10;
+    stack_bytes_per_thread = 512;
+    semaphores = 8;
+    condvars = 4;
+    mailboxes = [ (4, 4); (4, 4) ];
+    state_messages = [ (3, 4); (3, 4); (3, 8) ];
+    timers = 4;
+  }
+
+let tcb_bytes = 128
+let sem_bytes = 32
+let condvar_bytes = 24
+let mailbox_header_bytes = 48
+let message_slot_overhead = 12
+let state_header_bytes = 16
+let timer_bytes = 20
+
+let ram_bytes config =
+  let mailbox_bytes =
+    List.fold_left
+      (fun acc (capacity, words) ->
+        acc + mailbox_header_bytes
+        + (capacity * ((words * 4) + message_slot_overhead)))
+      0 config.mailboxes
+  in
+  let state_bytes =
+    List.fold_left
+      (fun acc (depth, words) -> acc + state_header_bytes + (depth * words * 4))
+      0 config.state_messages
+  in
+  [
+    ("TCBs", config.threads * tcb_bytes);
+    ("thread stacks", config.threads * config.stack_bytes_per_thread);
+    ("semaphores", config.semaphores * sem_bytes);
+    ("condition variables", config.condvars * condvar_bytes);
+    ("mailboxes", mailbox_bytes);
+    ("state messages", state_bytes);
+    ("timers", config.timers * timer_bytes);
+  ]
+
+let total_ram_bytes config =
+  List.fold_left (fun acc (_, b) -> acc + b) 0 (ram_bytes config)
+
+let report config =
+  let t = Util.Tablefmt.create ~headers:[ "item"; "bytes" ] in
+  List.iter
+    (fun (name, b) -> Util.Tablefmt.add_row t [ name; string_of_int b ])
+    kernel_code_bytes;
+  Util.Tablefmt.add_row t [ "TOTAL kernel code"; string_of_int total_code_bytes ];
+  Util.Tablefmt.add_rule t;
+  List.iter
+    (fun (name, b) -> Util.Tablefmt.add_row t [ name; string_of_int b ])
+    (ram_bytes config);
+  Util.Tablefmt.add_row t
+    [ "TOTAL kernel-object RAM"; string_of_int (total_ram_bytes config) ];
+  Util.Tablefmt.render ~align:Util.Tablefmt.Left t

@@ -1,0 +1,36 @@
+(** Memory-footprint model (the small-memory theme of §1–§3).
+
+    The paper's headline packaging claim is "a rich set of OS services
+    in just 13 kbytes of code (on Motorola 68040)".  We cannot measure
+    68040 code bytes from OCaml, so this module carries the per-
+    subsystem code-size budget as data (matching the paper's total) and
+    computes the RAM an application configuration consumes in kernel
+    objects — the quantity a small-memory designer actually budgets
+    (32–128 KB total on-chip, §2). *)
+
+val kernel_code_bytes : (string * int) list
+(** Per-subsystem code-size budget; sums to the paper's ~13 KB. *)
+
+val total_code_bytes : int
+
+type config = {
+  threads : int;
+  stack_bytes_per_thread : int;
+  semaphores : int;
+  condvars : int;
+  mailboxes : (int * int) list;  (** (capacity, words) per mailbox *)
+  state_messages : (int * int) list;  (** (depth, words) per message *)
+  timers : int;
+}
+
+val default_config : config
+(** A representative 10-thread control application. *)
+
+val ram_bytes : config -> (string * int) list
+(** Per-category RAM consumption (TCBs, stacks, IPC objects, ...). *)
+
+val total_ram_bytes : config -> int
+
+val report : config -> string
+(** Rendered footprint table: code budget plus RAM for the given
+    configuration. *)

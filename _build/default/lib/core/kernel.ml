@@ -1,0 +1,868 @@
+open Types
+
+(* ------------------------------------------------------------------ *)
+(* Kernel state *)
+
+type burst = {
+  owner : tcb;
+  started : Model.Time.t; (* may be in the (near) future: after pending
+                             kernel overhead has drained *)
+  completion : Sim.Engine.handle;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  cost : Sim.Cost.t;
+  tr : Sim.Trace.t;
+  sched : sched;
+  tcbs : tcb array; (* in RM-rank order *)
+  by_tid : (int, tcb) Hashtbl.t;
+  mutable running : tcb option; (* thread owning the CPU context *)
+  mutable burst : burst option;
+  mutable dispatch_ev : Sim.Engine.handle option;
+  mutable busy_until : Model.Time.t; (* kernel-overhead cursor *)
+  mutable pending_choice : tcb option;
+  mutable need_dispatch : bool;
+  stop_on_miss : bool;
+  mutable stopped : bool;
+  tick : Model.Time.t option; (* None = event-precise timers (EMERALDS) *)
+  irq_handlers : (int, unit -> unit) Hashtbl.t;
+}
+
+let now k = Sim.Engine.now k.engine
+let engine k = k.engine
+
+(* A periodic-tick kernel only notices timer expirations at tick
+   boundaries; EMERALDS programs its timer for exact instants. *)
+let quantize k t =
+  match k.tick with
+  | None -> t
+  | Some q -> Util.Intmath.ceil_div t q * q
+let trace k = k.tr
+let stopped k = k.stopped
+
+let tcb k ~tid =
+  match Hashtbl.find_opt k.by_tid tid with
+  | Some tcb -> tcb
+  | None -> invalid_arg "Kernel.tcb: unknown tid"
+
+let queue_class k tcb = k.sched.s_queue_class tcb
+
+let check_invariants k =
+  k.sched.s_check ();
+  Array.iter
+    (fun (tcb : tcb) ->
+      (* pc stays within the program (it may sit at the length when the
+         last instruction just completed) *)
+      assert (tcb.pc >= 0 && tcb.pc <= Array.length tcb.program);
+      assert (tcb.remaining >= 0);
+      (match tcb.state with
+      | Running -> (
+        match k.running with
+        | Some r -> assert (r == tcb)
+        | None -> assert false)
+      | Ready | Blocked _ | Dormant -> ());
+      (* a mutex we hold must point back at us *)
+      List.iter
+        (fun s ->
+          if s.sem_initial = 1 then
+            match s.holder with
+            | Some h -> assert (h == tcb)
+            | None -> assert false)
+        tcb.held_sems)
+    k.tcbs
+
+(* ------------------------------------------------------------------ *)
+(* Time accounting *)
+
+let charge k category cost =
+  if cost > 0 then begin
+    k.busy_until <- Model.Time.max (now k) k.busy_until + cost;
+    Sim.Trace.emit k.tr ~at:(now k) (Overhead { category; cost })
+  end
+
+(* Stop the running thread's compute burst, accounting the work it
+   actually performed.  Idempotent per event: [burst] is cleared.
+   If the burst has in fact just finished (another event fired at the
+   exact completion instant, before the completion event), the pending
+   completion event is left in place so the program still advances. *)
+let interrupt_burst k =
+  match k.burst with
+  | None -> ()
+  | Some b ->
+    let executed =
+      Util.Intmath.clamp ~lo:0 ~hi:b.owner.remaining (now k - b.started)
+    in
+    b.owner.remaining <- b.owner.remaining - executed;
+    Sim.Trace.add_busy k.tr executed;
+    if b.owner.remaining > 0 then ignore (Sim.Engine.cancel k.engine b.completion);
+    k.burst <- None
+
+(* Invoke the scheduler: the paper's per-operation t_s.  The selection
+   is remembered; the dispatch event acts on the latest one. *)
+let select_now k =
+  let choice, cost = k.sched.s_select () in
+  charge k "sched.select" cost;
+  k.pending_choice <- choice;
+  k.need_dispatch <- true
+
+(* ------------------------------------------------------------------ *)
+(* Thread state transitions *)
+
+let block_thread k tcb ~reason ~dormant =
+  assert (is_ready tcb);
+  tcb.state <- (if dormant then Dormant else Blocked reason);
+  charge k "sched.block" (k.sched.s_block tcb);
+  Sim.Trace.emit k.tr ~at:(now k) (Thread_block { tid = tcb.tid; reason });
+  select_now k
+
+let unblock_thread k tcb =
+  (match tcb.state with
+  | Blocked _ | Dormant -> ()
+  | Ready | Running -> assert false);
+  tcb.state <- Ready;
+  charge k "sched.unblock" (k.sched.s_unblock tcb);
+  Sim.Trace.emit k.tr ~at:(now k) (Thread_unblock { tid = tcb.tid });
+  select_now k
+
+(* ------------------------------------------------------------------ *)
+(* Wait-list helpers *)
+
+let insert_by_prio list tcb =
+  assert (tcb.wait_node = None);
+  let node =
+    match Util.Dlist.find_node (fun x -> prio_compare x tcb > 0) list with
+    | Some anchor -> Util.Dlist.insert_before list anchor tcb
+    | None -> Util.Dlist.push_back list tcb
+  in
+  tcb.wait_node <- Some node
+
+let take_first_waiter list =
+  match Util.Dlist.first list with
+  | None -> None
+  | Some node ->
+    let w = Util.Dlist.value node in
+    Util.Dlist.remove list node;
+    w.wait_node <- None;
+    Some w
+
+(* ------------------------------------------------------------------ *)
+(* Priority inheritance *)
+
+let rec do_inherit k ~holder ~waiter =
+  if
+    waiter.eff_prio < holder.eff_prio
+    || waiter.eff_deadline < holder.eff_deadline
+  then begin
+    charge k "pi" (k.sched.s_inherit ~holder ~waiter);
+    Sim.Trace.emit k.tr ~at:(now k)
+      (Priority_inherit { holder = holder.tid; from_tid = waiter.tid });
+    (* Transitive chains: the holder may itself be queued on another
+       semaphore — its position there follows its new priority, and the
+       inner holder inherits in turn. *)
+    match holder.waiting_on with
+    | Some inner ->
+      (match holder.wait_node with
+      | Some node ->
+        Util.Dlist.remove inner.waiters node;
+        holder.wait_node <- None;
+        insert_by_prio inner.waiters holder
+      | None -> ());
+      (match inner.holder with
+      | Some inner_holder -> do_inherit k ~holder:inner_holder ~waiter:holder
+      | None -> ())
+    | None -> ()
+  end
+
+let restore_prio k holder =
+  if holder.inherited then begin
+    charge k "pi" (k.sched.s_restore ~holder);
+    Sim.Trace.emit k.tr ~at:(now k) (Priority_restore { holder = holder.tid });
+    (* Re-establish inheritance still owed to waiters of other
+       semaphores this thread holds. *)
+    let redo s =
+      Util.Dlist.iter (fun w -> do_inherit k ~holder ~waiter:w) s.waiters
+    in
+    List.iter redo holder.held_sems
+  end
+
+let leave_approachers tcb =
+  match (tcb.approaching, tcb.approach_node) with
+  | Some s, Some node ->
+    Util.Dlist.remove s.approachers node;
+    tcb.approaching <- None;
+    tcb.approach_node <- None
+  | None, None -> ()
+  | Some _, None | None, Some _ -> assert false
+
+let join_approachers tcb s =
+  leave_approachers tcb;
+  tcb.approaching <- Some s;
+  tcb.approach_node <- Some (Util.Dlist.push_back s.approachers tcb)
+
+(* ------------------------------------------------------------------ *)
+(* Semaphores (§6) *)
+
+(* §6.3.1: while S has no free unit, no thread that has completed its
+   pre-acquire blocking call may run toward its own acquire. *)
+let park_approachers k s ~except =
+  if s.sem_kind = Emeralds && s.sem_value = 0 then
+    Util.Dlist.iter
+      (fun a ->
+        if a != except && is_ready a then
+          block_thread k a ~reason:"approach" ~dormant:false)
+      s.approachers
+
+let sem_acquire k tcb s =
+  charge k "sem" k.cost.sem_admin;
+  leave_approachers tcb;
+  if s.sem_value > 0 then begin
+    s.sem_value <- s.sem_value - 1;
+    if s.sem_initial = 1 then begin
+      s.holder <- Some tcb;
+      tcb.held_sems <- s :: tcb.held_sems
+    end;
+    Sim.Trace.emit k.tr ~at:(now k)
+      (Sem_acquired { tid = tcb.tid; sem = s.sem_id });
+    park_approachers k s ~except:tcb;
+    `Granted
+  end
+  else begin
+    Sim.Trace.emit k.tr ~at:(now k)
+      (Sem_blocked { tid = tcb.tid; sem = s.sem_id });
+    (match s.holder with
+    | Some holder ->
+      assert (holder != tcb);
+      do_inherit k ~holder ~waiter:tcb
+    | None -> () (* counting semaphore: no single thread to inherit into *));
+    insert_by_prio s.waiters tcb;
+    tcb.waiting_on <- Some s;
+    block_thread k tcb ~reason:"sem" ~dormant:false;
+    `Blocked
+  end
+
+let sem_release k tcb s =
+  if s.sem_initial = 1 then (
+    match s.holder with
+    | Some h when h == tcb -> ()
+    | Some _ | None -> invalid_arg "Kernel: release of a semaphore not held");
+  charge k "sem" k.cost.sem_admin;
+  Sim.Trace.emit k.tr ~at:(now k)
+    (Sem_released { tid = tcb.tid; sem = s.sem_id });
+  tcb.held_sems <- List.filter (fun x -> x != s) tcb.held_sems;
+  s.holder <- None;
+  let was_inherited = tcb.inherited in
+  restore_prio k tcb;
+  match take_first_waiter s.waiters with
+  | Some w ->
+    (* Hand the unit straight to the highest-priority waiter; its
+       acquire call completes as part of this release (Figure 7's
+       "unblock T2"). *)
+    if s.sem_initial = 1 then begin
+      s.holder <- Some w;
+      w.held_sems <- s :: w.held_sems
+    end;
+    w.waiting_on <- None;
+    w.pc <- w.pc + 1;
+    Sim.Trace.emit k.tr ~at:(now k)
+      (Sem_acquired { tid = w.tid; sem = s.sem_id });
+    unblock_thread k w
+  | None ->
+    (* A unit is free again: release the approach queue (§6.3.1). *)
+    s.sem_value <- s.sem_value + 1;
+    let woke = ref false in
+    if s.sem_kind = Emeralds then
+      Util.Dlist.iter
+        (fun a ->
+          match a.state with
+          | Blocked "approach" ->
+            woke := true;
+            unblock_thread k a
+          | Blocked _ | Ready | Running | Dormant -> ())
+        s.approachers;
+    (* If nothing was woken but the holder dropped an inherited
+       priority, the scheduler must still re-evaluate. *)
+    if (not !woke) && was_inherited then select_now k
+
+(* Called when a thread's blocking call (Wait/Delay) completes and its
+   pc has been advanced past it.  [hint] is the code-parser annotation:
+   the semaphore the upcoming acquire will target (§6.2). *)
+let complete_blocking_call k tcb hint =
+  match hint with
+  | Some s when s.sem_kind = Emeralds -> (
+    join_approachers tcb s;
+    match if s.sem_value = 0 then Some s else None with
+    | Some s -> (
+      (* The semaphore is taken: inherit now and keep the thread
+         blocked — this is the eliminated context switch C2. *)
+      (match s.holder with
+      | Some holder -> do_inherit k ~holder ~waiter:tcb
+      | None -> ());
+      match tcb.state with
+      | Blocked _ ->
+        tcb.state <- Blocked "approach";
+        Sim.Trace.emit k.tr ~at:(now k)
+          (Note
+             (Printf.sprintf "tau%d held back awaiting sem%d" tcb.tid
+                s.sem_id));
+        (* The holder's priority may have risen above the running
+           thread's. *)
+        select_now k
+      | Ready | Running ->
+        (* Completed the call without blocking (the signal was already
+           pending) while S is locked: park it (§6.3.1, case B fix). *)
+        block_thread k tcb ~reason:"approach" ~dormant:false
+      | Dormant -> assert false)
+    | None -> (
+      match tcb.state with
+      | Blocked _ -> unblock_thread k tcb
+      | Ready | Running -> ()
+      | Dormant -> assert false))
+  | Some _ | None -> (
+    match tcb.state with
+    | Blocked _ -> unblock_thread k tcb
+    | Ready | Running -> ()
+    | Dormant -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Wait queues and signals *)
+
+let do_signal k wq =
+  match take_first_waiter wq.wq_waiters with
+  | Some w ->
+    let hint = w.hints.(w.pc) in
+    w.pc <- w.pc + 1;
+    complete_blocking_call k w hint
+  | None -> wq.pending_signals <- wq.pending_signals + 1
+
+let do_broadcast k wq =
+  let rec drain () =
+    match take_first_waiter wq.wq_waiters with
+    | Some w ->
+      let hint = w.hints.(w.pc) in
+      w.pc <- w.pc + 1;
+      complete_blocking_call k w hint;
+      drain ()
+    | None -> ()
+  in
+  drain ()
+
+(* ------------------------------------------------------------------ *)
+(* Mailboxes *)
+
+let deliver k receiver msg mb =
+  receiver.inbox <- Some msg;
+  receiver.pc <- receiver.pc + 1;
+  Sim.Trace.emit k.tr ~at:(now k)
+    (Msg_received
+       {
+         tid = receiver.tid;
+         mailbox = mb.mb_id;
+         words = Array.length msg.msg_data;
+         queued_for = now k - msg.msg_stamp;
+       })
+
+let mb_send k tcb mb data =
+  charge k "ipc" (Sim.Cost.mailbox_copy k.cost ~words:(Array.length data));
+  let msg = { msg_data = Array.copy data; msg_src = tcb.tid; msg_stamp = now k } in
+  match take_first_waiter mb.mb_receivers with
+  | Some receiver ->
+    Sim.Trace.emit k.tr ~at:(now k)
+      (Msg_sent { tid = tcb.tid; mailbox = mb.mb_id; words = Array.length data });
+    deliver k receiver msg mb;
+    unblock_thread k receiver;
+    `Sent
+  | None ->
+    if Queue.length mb.mb_queue < mb.mb_capacity then begin
+      Queue.push msg mb.mb_queue;
+      Sim.Trace.emit k.tr ~at:(now k)
+        (Msg_sent { tid = tcb.tid; mailbox = mb.mb_id; words = Array.length data });
+      `Sent
+    end
+    else begin
+      insert_by_prio mb.mb_senders tcb;
+      block_thread k tcb ~reason:"mbox-full" ~dormant:false;
+      `Blocked
+    end
+
+let mb_recv k tcb mb =
+  charge k "ipc" k.cost.mailbox_base;
+  if Queue.is_empty mb.mb_queue then begin
+    insert_by_prio mb.mb_receivers tcb;
+    block_thread k tcb ~reason:"mbox-empty" ~dormant:false;
+    `Blocked
+  end
+  else begin
+    let msg = Queue.pop mb.mb_queue in
+    charge k "ipc"
+      (Sim.Cost.mailbox_copy k.cost ~words:(Array.length msg.msg_data)
+      - k.cost.mailbox_base);
+    tcb.inbox <- Some msg;
+    Sim.Trace.emit k.tr ~at:(now k)
+      (Msg_received
+         {
+           tid = tcb.tid;
+           mailbox = mb.mb_id;
+           words = Array.length msg.msg_data;
+           queued_for = now k - msg.msg_stamp;
+         });
+    (* Space opened up: complete the first blocked sender's call. *)
+    (match take_first_waiter mb.mb_senders with
+    | Some sender -> (
+      match sender.program.(sender.pc) with
+      | Send (mb', data) when mb' == mb ->
+        let msg' =
+          { msg_data = Array.copy data; msg_src = sender.tid; msg_stamp = now k }
+        in
+        Queue.push msg' mb.mb_queue;
+        sender.pc <- sender.pc + 1;
+        Sim.Trace.emit k.tr ~at:(now k)
+          (Msg_sent
+             { tid = sender.tid; mailbox = mb.mb_id; words = Array.length data });
+        unblock_thread k sender
+      | _ -> assert false)
+    | None -> ());
+    `Got
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Job lifecycle *)
+
+let schedule_deadline_check k tcb ~job ~deadline =
+  let check () =
+    if (not k.stopped) && tcb.completed_job < job then begin
+      tcb.misses <- tcb.misses + 1;
+      Sim.Trace.emit k.tr ~at:(now k) (Deadline_miss { tid = tcb.tid; job; lateness = 0 });
+      if k.stop_on_miss then k.stopped <- true
+    end
+  in
+  (* Probe 1 ns after the deadline so a job completing exactly at its
+     deadline (same-instant events) counts as meeting it. *)
+  let check_at = deadline + 1 in
+  if check_at < now k then check ()
+  else ignore (Sim.Engine.schedule k.engine ~at:check_at check)
+
+let begin_job k tcb ~job ~release =
+  tcb.job_no <- job;
+  tcb.release_time <- release;
+  tcb.pc <- 0;
+  tcb.remaining <- 0;
+  tcb.abs_deadline <- release + tcb.task.deadline;
+  if not tcb.inherited then tcb.eff_deadline <- tcb.abs_deadline;
+  Sim.Trace.emit k.tr ~at:(now k)
+    (Job_release { tid = tcb.tid; job; deadline = tcb.abs_deadline });
+  schedule_deadline_check k tcb ~job ~deadline:tcb.abs_deadline
+
+(* ------------------------------------------------------------------ *)
+(* The interpreter *)
+
+let rec run_instrs k tcb =
+  if k.stopped then ()
+  else if tcb.pc >= Array.length tcb.program then job_complete k tcb
+  else
+    let step () =
+      tcb.pc <- tcb.pc + 1;
+      run_instrs k tcb
+    in
+    match tcb.program.(tcb.pc) with
+    | Compute w ->
+      if w <= 0 then step ()
+      else begin
+        if tcb.remaining <= 0 then tcb.remaining <- w;
+        start_compute k tcb
+      end
+    | Acquire s -> (
+      charge k "syscall" k.cost.syscall_entry;
+      match sem_acquire k tcb s with `Granted -> step () | `Blocked -> ())
+    | Release s ->
+      charge k "syscall" k.cost.syscall_entry;
+      sem_release k tcb s;
+      step ()
+    | Wait wq ->
+      charge k "syscall" k.cost.syscall_entry;
+      if wq.pending_signals > 0 then begin
+        wq.pending_signals <- wq.pending_signals - 1;
+        let hint = tcb.hints.(tcb.pc) in
+        tcb.pc <- tcb.pc + 1;
+        complete_blocking_call k tcb hint;
+        if is_ready tcb then run_instrs k tcb
+      end
+      else begin
+        insert_by_prio wq.wq_waiters tcb;
+        block_thread k tcb ~reason:"wait" ~dormant:false
+      end
+    | Timed_wait (wq, d) ->
+      charge k "syscall" k.cost.syscall_entry;
+      if wq.pending_signals > 0 then begin
+        wq.pending_signals <- wq.pending_signals - 1;
+        let hint = tcb.hints.(tcb.pc) in
+        tcb.pc <- tcb.pc + 1;
+        complete_blocking_call k tcb hint;
+        if is_ready tcb then run_instrs k tcb
+      end
+      else begin
+        let armed_job = tcb.job_no and armed_pc = tcb.pc in
+        let hint = tcb.hints.(tcb.pc) in
+        insert_by_prio wq.wq_waiters tcb;
+        block_thread k tcb ~reason:"wait" ~dormant:false;
+        charge k "timer" k.cost.timer_service;
+        let timeout () =
+          (* fire only if the very same wait is still pending *)
+          let still_waiting =
+            tcb.job_no = armed_job && tcb.pc = armed_pc
+            &&
+            match tcb.wait_node with
+            | Some node -> Util.Dlist.mem wq.wq_waiters node
+            | None -> false
+          in
+          if still_waiting then begin
+            (match tcb.wait_node with
+            | Some node ->
+              Util.Dlist.remove wq.wq_waiters node;
+              tcb.wait_node <- None
+            | None -> ());
+            tcb.pc <- tcb.pc + 1;
+            complete_blocking_call k tcb hint
+          end
+        in
+        ignore
+          (Sim.Engine.schedule k.engine
+             ~at:(quantize k (now k + d))
+             (kernel_event k timeout))
+      end
+    | Signal wq ->
+      charge k "syscall" k.cost.syscall_entry;
+      do_signal k wq;
+      step ()
+    | Broadcast wq ->
+      charge k "syscall" k.cost.syscall_entry;
+      do_broadcast k wq;
+      step ()
+    | Send (mb, data) -> (
+      charge k "syscall" k.cost.syscall_entry;
+      match mb_send k tcb mb data with `Sent -> step () | `Blocked -> ())
+    | Recv mb -> (
+      charge k "syscall" k.cost.syscall_entry;
+      match mb_recv k tcb mb with `Got -> step () | `Blocked -> ())
+    | State_write (sm, data) ->
+      charge k "syscall" k.cost.syscall_entry;
+      charge k "ipc" (Sim.Cost.state_write k.cost ~words:(State_msg.words sm));
+      State_msg.write sm data;
+      Sim.Trace.emit k.tr ~at:(now k)
+        (State_written { tid = tcb.tid; state = 0; seq = State_msg.seq sm });
+      step ()
+    | State_read sm ->
+      charge k "syscall" k.cost.syscall_entry;
+      charge k "ipc" (Sim.Cost.state_read k.cost ~words:(State_msg.words sm));
+      ignore (State_msg.read sm);
+      Sim.Trace.emit k.tr ~at:(now k)
+        (State_read { tid = tcb.tid; state = 0; seq = State_msg.seq sm });
+      step ()
+    | Delay d ->
+      charge k "timer" k.cost.timer_service;
+      let hint = tcb.hints.(tcb.pc) in
+      block_thread k tcb ~reason:"delay" ~dormant:false;
+      let wake () =
+        tcb.pc <- tcb.pc + 1;
+        complete_blocking_call k tcb hint
+      in
+      ignore
+        (Sim.Engine.schedule k.engine
+           ~at:(quantize k (now k + d))
+           (kernel_event k wake))
+
+and job_complete k tcb =
+  let response = now k - tcb.release_time in
+  tcb.completed_job <- tcb.job_no;
+  tcb.jobs_completed <- tcb.jobs_completed + 1;
+  tcb.total_response <- tcb.total_response + response;
+  tcb.max_response <- Model.Time.max tcb.max_response response;
+  Sim.Trace.emit k.tr ~at:(now k)
+    (Job_complete { tid = tcb.tid; job = tcb.job_no; response });
+  if Queue.is_empty tcb.pending_releases then
+    block_thread k tcb ~reason:"dormant" ~dormant:true
+  else begin
+    (* A release arrived while this job overran: start it right away. *)
+    let job, release = Queue.pop tcb.pending_releases in
+    begin_job k tcb ~job ~release;
+    run_instrs k tcb
+  end
+
+and start_compute k tcb =
+  assert (k.burst = None);
+  let started = Model.Time.max (now k) k.busy_until in
+  let completion =
+    Sim.Engine.schedule k.engine
+      ~at:(started + tcb.remaining)
+      (kernel_event k (fun () -> on_compute_done k tcb))
+  in
+  k.burst <- Some { owner = tcb; started; completion }
+
+and on_compute_done k tcb =
+  (* [kernel_event]'s burst accounting already banked the work. *)
+  assert (tcb.remaining = 0);
+  tcb.pc <- tcb.pc + 1;
+  (* The dispatcher may have switched away between the instant the work
+     finished and this event (same-instant race); if so, the program
+     resumes from the new pc when the thread is next dispatched. *)
+  match k.running with
+  | Some r when r == tcb && tcb.state = Running -> run_instrs k tcb
+  | Some _ | None -> ()
+
+(* Wrap every kernel-entering event: stop the current burst, run the
+   body, then make sure the CPU is re-dispatched. *)
+and kernel_event k body () =
+  if not k.stopped then begin
+    interrupt_burst k;
+    body ();
+    finish k
+  end
+
+and finish k =
+  if not k.stopped then begin
+    (* A pure-overhead entry (e.g. an interrupt) stopped the burst
+       without any scheduling op: re-run selection so the thread
+       resumes. *)
+    (if (not k.need_dispatch) && k.burst = None then
+       match k.running with
+       | Some r when r.state = Running -> select_now k
+       | Some _ | None -> ());
+    if k.need_dispatch then begin
+      (match k.dispatch_ev with
+      | Some h -> ignore (Sim.Engine.cancel k.engine h)
+      | None -> ());
+      let at = Model.Time.max (now k) k.busy_until in
+      k.need_dispatch <- false;
+      k.dispatch_ev <- Some (Sim.Engine.schedule k.engine ~at (fun () -> dispatch k))
+    end
+  end
+
+and dispatch k =
+  k.dispatch_ev <- None;
+  if not k.stopped then begin
+    let target = k.pending_choice in
+    (match (k.running, target) with
+    | None, None -> ()
+    | Some r, Some tgt when r == tgt ->
+      if k.burst = None then start_thread k tgt
+    | prev, _ ->
+      interrupt_burst k;
+      (match prev with
+      | Some r ->
+        Sim.Trace.set_outgoing_ready k.tr (r.state = Running);
+        if r.state = Running then r.state <- Ready
+      | None -> Sim.Trace.set_outgoing_ready k.tr false);
+      charge k "switch" k.cost.context_switch;
+      (* crossing a protection domain costs an address-space switch *)
+      (match (prev, target) with
+      | Some a, Some b when a.task.process <> b.task.process ->
+        charge k "switch.as" k.cost.address_space_switch
+      | _ -> ());
+      Sim.Trace.emit k.tr ~at:(now k)
+        (Context_switch
+           {
+             from_tid = Option.map (fun r -> r.tid) prev;
+             to_tid = Option.map (fun tcb -> tcb.tid) target;
+           });
+      k.running <- target;
+      (match target with
+      | Some tgt ->
+        (match tgt.state with
+        | Ready -> ()
+        | state ->
+          Printf.eprintf "dispatch: tau%d in state %s\n%!" tgt.tid
+            (match state with
+            | Running -> "Running"
+            | Blocked r -> "Blocked:" ^ r
+            | Dormant -> "Dormant"
+            | Ready -> "Ready");
+          assert false);
+        tgt.state <- Running;
+        start_thread k tgt
+      | None -> ()));
+    finish k
+  end
+
+and start_thread k tcb =
+  if tcb.pc < Array.length tcb.program && tcb.remaining > 0 then
+    match tcb.program.(tcb.pc) with
+    | Compute _ -> start_compute k tcb
+    | _ -> run_instrs k tcb
+  else run_instrs k tcb
+
+(* ------------------------------------------------------------------ *)
+(* Releases *)
+
+let rec release_event k tcb ~job () =
+  (if tcb.state = Dormant then begin
+     begin_job k tcb ~job ~release:(now k);
+     unblock_thread k tcb
+   end
+   else begin
+     Queue.push (job, now k) tcb.pending_releases;
+     Sim.Trace.emit k.tr ~at:(now k)
+       (Note (Printf.sprintf "tau%d release %d while job %d active" tcb.tid job tcb.job_no))
+   end);
+  schedule_release k tcb ~job:(job + 1)
+
+(* Release j of a task fires at phase + (j-1) * period, overruns
+   notwithstanding (periodic tasks keep their nominal spacing). *)
+and schedule_release k tcb ~job =
+  let at = quantize k (tcb.task.phase + ((job - 1) * tcb.task.period)) in
+  ignore
+    (Sim.Engine.schedule k.engine ~at (kernel_event k (release_event k tcb ~job)))
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let default_program (task : Model.Task.t) = [ Compute task.wcet ]
+
+let make_tcb rank (task : Model.Task.t) program =
+  let program = Array.of_list program in
+  {
+    tid = task.id;
+    task;
+    state = Dormant;
+    base_prio = rank;
+    eff_prio = rank;
+    abs_deadline = task.phase + task.deadline;
+    eff_deadline = task.phase + task.deadline;
+    release_time = 0;
+    job_no = 0;
+    program;
+    hints = Program.derive_hints program;
+    pc = 0;
+    remaining = 0;
+    node = None;
+    heap_handle = None;
+    queue_idx = 0;
+    home_queue_idx = 0;
+    placeholder = None;
+    inherited = false;
+    approaching = None;
+    approach_node = None;
+    wait_node = None;
+    held_sems = [];
+    waiting_on = None;
+    inbox = None;
+    completed_job = 0;
+    pending_releases = Queue.create ();
+    jobs_completed = 0;
+    misses = 0;
+    max_response = 0;
+    total_response = 0;
+  }
+
+let create ?(keep_trace = true) ?(stop_on_miss = false) ?(optimized_pi = true)
+    ?(priority_order = `Rm) ?tick ?programs ?engine ~cost ~spec ~taskset () =
+  (match tick with
+  | Some t when t <= 0 -> invalid_arg "Kernel.create: tick must be positive"
+  | Some _ | None -> ());
+  Sched.validate_partition spec ~n_tasks:(Model.Taskset.size taskset);
+  let programs =
+    match programs with Some f -> f | None -> default_program
+  in
+  let sched = Sched.instantiate spec ~cost ~optimized_pi in
+  let tasks = Array.copy (Model.Taskset.tasks taskset) in
+  (match priority_order with
+  | `Rm -> () (* the task set is already in RM order *)
+  | `Dm -> Array.sort Model.Task.dm_compare tasks);
+  let tcbs = Array.mapi (fun rank task -> make_tcb rank task (programs task)) tasks in
+  let by_tid = Hashtbl.create (Array.length tcbs) in
+  Array.iter (fun tcb -> Hashtbl.replace by_tid tcb.tid tcb) tcbs;
+  if Hashtbl.length by_tid <> Array.length tcbs then
+    invalid_arg "Kernel.create: duplicate task ids";
+  let engine =
+    match engine with Some e -> e | None -> Sim.Engine.create ()
+  in
+  let k =
+    {
+      engine;
+      cost;
+      tr = Sim.Trace.create ~keep_entries:keep_trace ();
+      sched;
+      tcbs;
+      by_tid;
+      running = None;
+      burst = None;
+      dispatch_ev = None;
+      busy_until = 0;
+      pending_choice = None;
+      need_dispatch = false;
+      stop_on_miss;
+      stopped = false;
+      tick;
+      irq_handlers = Hashtbl.create 8;
+    }
+  in
+  sched.s_attach tcbs;
+  Array.iter (fun tcb -> schedule_release k tcb ~job:1) tcbs;
+  k
+
+let run k ~until = Sim.Engine.run_until k.engine until
+
+(* ------------------------------------------------------------------ *)
+(* Statistics *)
+
+type task_stats = {
+  tid : int;
+  jobs_completed : int;
+  misses : int;
+  max_response : Model.Time.t;
+  mean_response : Model.Time.t;
+}
+
+let stats k =
+  Array.to_list
+    (Array.map
+       (fun (tcb : tcb) ->
+         {
+           tid = tcb.tid;
+           jobs_completed = tcb.jobs_completed;
+           misses = tcb.misses;
+           max_response = tcb.max_response;
+           mean_response =
+             (if tcb.jobs_completed = 0 then 0
+              else tcb.total_response / tcb.jobs_completed);
+         })
+       k.tcbs)
+
+let total_misses k =
+  Array.fold_left (fun acc (tcb : tcb) -> acc + tcb.misses) 0 k.tcbs
+
+(* ------------------------------------------------------------------ *)
+(* Environment hooks *)
+
+let register_irq k ~irq ~handler =
+  if Hashtbl.mem k.irq_handlers irq then
+    invalid_arg "Kernel.register_irq: duplicate irq";
+  Hashtbl.replace k.irq_handlers irq handler
+
+let raise_irq_at k ~at ~irq =
+  let body () =
+    charge k "irq" k.cost.interrupt_entry;
+    Sim.Trace.emit k.tr ~at:(now k) (Interrupt { irq });
+    (Hashtbl.find k.irq_handlers irq) ()
+  in
+  ignore (Sim.Engine.schedule k.engine ~at (kernel_event k body))
+
+let signal_waitq k wq = do_signal k wq
+
+let at k ~at:time body =
+  ignore (Sim.Engine.schedule k.engine ~at:time (kernel_event k body))
+
+let trigger_job_at k ~at:time ~tid =
+  let tcb = tcb k ~tid in
+  let body () =
+    let job = tcb.job_no + Queue.length tcb.pending_releases + 1 in
+    if tcb.state = Dormant then begin
+      begin_job k tcb ~job ~release:(now k);
+      unblock_thread k tcb
+    end
+    else begin
+      Queue.push (job, now k) tcb.pending_releases;
+      Sim.Trace.emit k.tr ~at:(now k)
+        (Note (Printf.sprintf "tau%d sporadic arrival while busy" tcb.tid))
+    end
+  in
+  ignore (Sim.Engine.schedule k.engine ~at:time (kernel_event k body))

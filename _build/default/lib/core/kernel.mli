@@ -1,0 +1,116 @@
+(** The EMERALDS kernel model.
+
+    A uniprocessor microkernel running on the discrete-event engine:
+    kernel-managed threads (one per periodic task), a pluggable
+    scheduler ([Sched.spec]), semaphores with priority inheritance in
+    both the standard and the EMERALDS (§6) implementations, condition
+    variables, mailbox message-passing and state-message IPC, timers,
+    and interrupt handling.  Every kernel operation charges virtual
+    time from the [Sim.Cost] model, so traces expose exactly the
+    overheads the paper's evaluation measures. *)
+
+type t
+
+val create :
+  ?keep_trace:bool ->
+  ?stop_on_miss:bool ->
+  ?optimized_pi:bool ->
+  ?priority_order:[ `Rm | `Dm ] ->
+  ?tick:Model.Time.t ->
+  ?programs:(Model.Task.t -> Program.t) ->
+  ?engine:Sim.Engine.t ->
+  cost:Sim.Cost.t ->
+  spec:Sched.spec ->
+  taskset:Model.Taskset.t ->
+  unit ->
+  t
+(** Build a kernel for a task set.
+
+    - [engine]: share an existing discrete-event engine (distributed
+      configurations put several nodes and a fieldbus on one engine);
+      by default the kernel owns a fresh one.
+
+    - [keep_trace] (default true): retain individual trace entries;
+      disable for bulk feasibility sweeps.
+    - [stop_on_miss] (default false): freeze the simulation at the
+      first deadline miss (the breakdown-utilization probe needs only
+      the miss bit).
+    - [optimized_pi] (default true): §6.2 place-holder priority
+      inheritance; false selects the standard re-sorting path.
+    - [priority_order] (default [`Rm]): how static priorities (and CSD
+      queue membership) are assigned — rate-monotonic or
+      deadline-monotonic ("or any fixed-priority scheduler such as
+      deadline-monotonic", §5.3).  Only matters when deadlines differ
+      from periods.
+    - [tick]: timer granularity.  EMERALDS drives its clock services
+      from the on-chip timer and wakes threads at exact instants (the
+      default, [tick] absent); passing a tick models a conventional
+      periodic-tick kernel — job releases and delay expirations are
+      deferred to the next tick boundary, adding up to one tick of
+      release jitter.
+    - [programs] gives each task its job body (default: a single
+      [compute wcet]).  Hints for EMERALDS semaphores are derived
+      automatically (the code parser). *)
+
+val run : t -> until:Model.Time.t -> unit
+(** Simulate up to the horizon (inclusive of events at it). *)
+
+val engine : t -> Sim.Engine.t
+val now : t -> Model.Time.t
+val trace : t -> Sim.Trace.t
+val stopped : t -> bool
+
+(** Per-task outcome. *)
+type task_stats = {
+  tid : int;
+  jobs_completed : int;
+  misses : int;
+  max_response : Model.Time.t;
+  mean_response : Model.Time.t;
+}
+
+val stats : t -> task_stats list
+val total_misses : t -> int
+
+val tcb : t -> tid:int -> Types.tcb
+(** The thread of task [tid] (tids are task ids); for tests and
+    experiments. *)
+
+val queue_class : t -> Types.tcb -> Types.queue_class
+
+val check_invariants : t -> unit
+(** Assert the scheduler's structural invariants (queue link
+    consistency, ready counts, highestp correctness) and basic TCB
+    sanity; raises on violation.  For tests and fuzzing. *)
+
+(** {1 Environment hooks}
+
+    External events (sensor interrupts, fieldbus frames) are injected
+    by scheduling environment actions; handlers run in kernel context
+    and may signal wait queues. *)
+
+val register_irq : t -> irq:int -> handler:(unit -> unit) -> unit
+(** Install a handler; it runs with the interrupt-entry cost already
+    charged.  @raise Invalid_argument on a duplicate irq. *)
+
+val raise_irq_at : t -> at:Model.Time.t -> irq:int -> unit
+(** Schedule delivery of interrupt [irq].
+    @raise Not_found if no handler is registered when it fires. *)
+
+val signal_waitq : t -> Types.waitq -> unit
+(** Signal a wait queue from kernel context (typically inside an
+    interrupt handler): wakes the highest-priority waiter or leaves a
+    pending signal. *)
+
+val at : t -> at:Model.Time.t -> (unit -> unit) -> unit
+(** Run an arbitrary environment action in kernel context at a given
+    time. *)
+
+val trigger_job_at : t -> at:Model.Time.t -> tid:int -> unit
+(** Release one job of task [tid] at time [at] — an aperiodic or
+    sporadic arrival (§5 motivates priority schedulers with exactly
+    these: cyclic executives give them poor response).  The job gets
+    the task's relative deadline from the trigger instant.  Intended
+    for tasks whose [phase] lies beyond the simulation horizon, so the
+    periodic release chain stays quiet; [period] then acts as the
+    sporadic minimum interarrival for analysis purposes. *)

@@ -1,0 +1,8 @@
+(** Bare TCBs for data-structure experiments and tests that exercise
+    the ready-queue structures without a running kernel. *)
+
+val tcb :
+  ?prio:int -> ?deadline:Model.Time.t -> ?state:Types.thread_state ->
+  tid:int -> unit -> Types.tcb
+(** A minimal thread: [prio] defaults to [tid], [deadline] to
+    [Time.ms tid + 1], state to [Ready]. *)

@@ -1,0 +1,33 @@
+open Types
+
+let sem_counter = ref 0
+let wq_counter = ref 0
+let mb_counter = ref 0
+
+let sem ?(kind = Emeralds) ?(initial = 1) () =
+  if initial < 1 then invalid_arg "Objects.sem: initial must be >= 1";
+  incr sem_counter;
+  {
+    sem_id = !sem_counter;
+    sem_kind = kind;
+    sem_initial = initial;
+    sem_value = initial;
+    holder = None;
+    waiters = Util.Dlist.create ();
+    approachers = Util.Dlist.create ();
+  }
+
+let waitq () =
+  incr wq_counter;
+  { wq_id = !wq_counter; wq_waiters = Util.Dlist.create (); pending_signals = 0 }
+
+let mailbox ~capacity () =
+  if capacity < 1 then invalid_arg "Objects.mailbox: capacity must be >= 1";
+  incr mb_counter;
+  {
+    mb_id = !mb_counter;
+    mb_capacity = capacity;
+    mb_queue = Queue.create ();
+    mb_senders = Util.Dlist.create ();
+    mb_receivers = Util.Dlist.create ();
+  }

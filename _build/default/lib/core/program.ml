@@ -1,0 +1,52 @@
+open Types
+
+type t = instr list
+
+let compute c = Compute c
+let acquire s = Acquire s
+let release s = Release s
+let wait wq = Wait wq
+let timed_wait wq d = Timed_wait (wq, d)
+let signal wq = Signal wq
+let broadcast wq = Broadcast wq
+let send mb data = Send (mb, data)
+let recv mb = Recv mb
+let state_write sm data = State_write (sm, data)
+let state_read sm = State_read sm
+let delay d = Delay d
+
+let critical s c = [ Acquire s; Compute c; Release s ]
+
+let condition_wait cond mutex = [ Release mutex; Wait cond; Acquire mutex ]
+
+let is_blocking = function
+  | Acquire _ | Wait _ | Timed_wait _ | Recv _ | Send _ | Delay _ -> true
+  | Compute _ | Release _ | Signal _ | Broadcast _ | State_write _
+  | State_read _ ->
+    false
+
+(* The code parser: the next blocking call after position [i], if it is
+   an acquire, names the semaphore to pass as the hint. *)
+let next_acquire program i =
+  let n = Array.length program in
+  let rec scan j =
+    if j >= n then None
+    else
+      match program.(j) with
+      | Acquire s -> Some s
+      | instr when is_blocking instr -> None
+      | _ -> scan (j + 1)
+  in
+  scan i
+
+let derive_hints program =
+  Array.mapi
+    (fun i instr ->
+      if is_blocking instr then
+        match instr with
+        | Acquire _ -> None (* the acquire itself needs no hint *)
+        | _ -> next_acquire program (i + 1)
+      else None)
+    program
+
+let words n = Array.make n 0

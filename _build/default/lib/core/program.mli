@@ -1,0 +1,49 @@
+(** Thread-body construction.
+
+    A task's job executes a straight-line program of instructions; the
+    kernel interprets one program run per job.  Smart constructors keep
+    user code readable, and [derive_hints] plays the role of EMERALDS'
+    code parser (§6.2.1): it annotates every blocking call with the
+    semaphore of the immediately following [acquire], or [-1]/[None]
+    when the next blocking call is not an acquire. *)
+
+type t = Types.instr list
+
+val compute : Model.Time.t -> Types.instr
+val acquire : Types.sem -> Types.instr
+val release : Types.sem -> Types.instr
+val wait : Types.waitq -> Types.instr
+
+(** [timed_wait wq d] blocks for a signal, but proceeds after [d]
+    elapses even without one (whichever comes first). *)
+val timed_wait : Types.waitq -> Model.Time.t -> Types.instr
+
+val signal : Types.waitq -> Types.instr
+val broadcast : Types.waitq -> Types.instr
+val send : Types.mailbox -> int array -> Types.instr
+val recv : Types.mailbox -> Types.instr
+val state_write : State_msg.t -> int array -> Types.instr
+val state_read : State_msg.t -> Types.instr
+val delay : Model.Time.t -> Types.instr
+
+val critical : Types.sem -> Model.Time.t -> t
+(** [critical s c] = acquire; compute c; release — a method invocation
+    on a semaphore-protected object (§6's motivating pattern). *)
+
+val condition_wait : Types.waitq -> Types.sem -> t
+(** The condition-variable wait pattern: release the monitor lock,
+    block on the condition, re-acquire.  The derived hint on the [wait]
+    is exactly the paper's instrumented parameter, so EMERALDS
+    semaphores save the re-acquisition context switch. *)
+
+val is_blocking : Types.instr -> bool
+(** Whether the instruction can block the caller. *)
+
+val derive_hints : Types.instr array -> Types.sem option array
+(** For each instruction position, the semaphore the *next* blocking
+    call will acquire — [Some s] only when a [Wait]/[Delay]/[Recv] is
+    followed (through non-blocking instructions) by [Acquire s].
+    Positions holding non-blocking instructions get [None]. *)
+
+val words : int -> int array
+(** A zeroed payload of [n] words, for [send]/[state_write]. *)

@@ -1,0 +1,137 @@
+(* Core kernel types.
+
+   Everything the EMERALDS kernel model manipulates — TCBs, thread
+   programs, semaphores, wait queues, mailboxes, scheduler instances —
+   refers to everything else, so the whole family lives in this one
+   module; behaviour lives in [Readyq], [Sched], [Sem], [Ipc],
+   [Kernel].  No .mli: these are the kernel's internal structures, and
+   their full shape *is* the interface between those modules.  User
+   code goes through [Kernel] and [Program]. *)
+
+type thread_state =
+  | Ready
+  | Running
+  | Blocked of string  (* reason, for traces and tests *)
+  | Dormant            (* job finished, awaiting next release *)
+
+type sem_kind = Standard | Emeralds
+(* Standard: classic acquire/release with priority inheritance.
+   Emeralds: §6.2/§6.3 — context-switch elimination via the next-sem
+   hint on the preceding blocking call, the approach queue, and O(1)
+   place-holder priority inheritance in sorted queues. *)
+
+type tcb = {
+  tid : int;
+  task : Model.Task.t;
+  mutable state : thread_state;
+  base_prio : int;                  (* RM rank: lower value = higher priority *)
+  mutable eff_prio : int;           (* after priority inheritance *)
+  mutable abs_deadline : Model.Time.t; (* current job's absolute deadline *)
+  mutable eff_deadline : Model.Time.t; (* EDF key, inherited under PI *)
+  mutable release_time : Model.Time.t;
+  mutable job_no : int;
+  mutable program : instr array;
+  mutable hints : sem option array; (* per-pc: next-acquire hint (the code parser's output) *)
+  mutable pc : int;
+  mutable remaining : Model.Time.t; (* remaining work of the current Compute *)
+  (* scheduler-owned *)
+  mutable node : tcb Util.Dlist.node option;
+  mutable heap_handle : tcb Util.Pqueue.handle option;
+  mutable queue_idx : int;          (* CSD queue index; 0 for single-queue scheds *)
+  mutable home_queue_idx : int;     (* queue_idx before any PI migration *)
+  (* priority inheritance *)
+  mutable placeholder : tcb option; (* thread parked in my original queue slot *)
+  mutable inherited : bool;
+  (* semaphore protocol *)
+  mutable approaching : sem option; (* the approach queue I currently sit in *)
+  mutable approach_node : tcb Util.Dlist.node option;
+  mutable wait_node : tcb Util.Dlist.node option;
+      (* my node in whichever wait list (sem waiters, waitq, mailbox)
+         currently blocks me *)
+  mutable held_sems : sem list;
+  mutable waiting_on : sem option; (* the semaphore whose waiter queue holds me *)
+  mutable inbox : message option;   (* delivery slot for a granted Recv *)
+  (* job accounting *)
+  mutable completed_job : int;
+  pending_releases : (int * Model.Time.t) Queue.t;
+      (* releases that arrived while a previous job was still active *)
+  (* statistics *)
+  mutable jobs_completed : int;
+  mutable misses : int;
+  mutable max_response : Model.Time.t;
+  mutable total_response : Model.Time.t;
+}
+
+and instr =
+  | Compute of Model.Time.t
+  | Acquire of sem
+  | Release of sem
+  | Wait of waitq          (* block for an internal event *)
+  | Timed_wait of waitq * Model.Time.t
+      (* block for an event with a timeout: proceeds on whichever
+         comes first (a clock service of SS3) *)
+  | Signal of waitq        (* wake one waiter (or leave a pending signal) *)
+  | Broadcast of waitq     (* wake all waiters *)
+  | Send of mailbox * int array
+  | Recv of mailbox
+  | State_write of State_msg.t * int array
+  | State_read of State_msg.t
+  | Delay of Model.Time.t  (* blocking sleep via the timer service *)
+
+and sem = {
+  sem_id : int;
+  sem_kind : sem_kind;
+  sem_initial : int;              (* 1 = mutex; > 1 = counting semaphore *)
+  mutable sem_value : int;        (* free units *)
+  mutable holder : tcb option;    (* tracked (for PI) only when initial = 1 *)
+  waiters : tcb Util.Dlist.t;     (* blocked in acquire, kept in priority order *)
+  approachers : tcb Util.Dlist.t; (* §6.3.1's special queue *)
+}
+
+and waitq = {
+  wq_id : int;
+  wq_waiters : tcb Util.Dlist.t;
+  mutable pending_signals : int;
+}
+
+and message = { msg_data : int array; msg_src : int; msg_stamp : Model.Time.t }
+
+and mailbox = {
+  mb_id : int;
+  mb_capacity : int;
+  mb_queue : message Queue.t;
+  mb_senders : tcb Util.Dlist.t;   (* blocked: mailbox full *)
+  mb_receivers : tcb Util.Dlist.t; (* blocked: mailbox empty *)
+}
+
+(* A scheduler instance.  Cost-returning operations report the virtual
+   time the kernel must charge for them (per the paper's Table 1). *)
+and sched = {
+  sched_name : string;
+  queue_count : int;
+  s_attach : tcb array -> unit;
+  s_block : tcb -> Model.Time.t;
+  s_unblock : tcb -> Model.Time.t;
+  s_select : unit -> tcb option * Model.Time.t;
+  s_inherit : holder:tcb -> waiter:tcb -> Model.Time.t;
+  s_restore : holder:tcb -> Model.Time.t;
+  s_queue_class : tcb -> queue_class;
+  s_check : unit -> unit; (* assert internal invariants; for tests *)
+}
+
+and queue_class = Dp of int | Fp
+
+let is_ready tcb = match tcb.state with Ready | Running -> true
+                                      | Blocked _ | Dormant -> false
+
+(* Effective-priority comparison used by sorted (FP) queues; ties broken
+   by task id to keep the order total. *)
+let prio_compare a b =
+  match compare a.eff_prio b.eff_prio with
+  | 0 -> compare a.tid b.tid
+  | c -> c
+
+let deadline_compare a b =
+  match compare a.eff_deadline b.eff_deadline with
+  | 0 -> compare a.tid b.tid
+  | c -> c

@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Analysis Buffer Emeralds Kernel List Model Objects Printf Program Sched Sim Types Util Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_cyclic.ml: Analysis Array Buffer Emeralds Kernel List Model Option Printf Sched Sim Util

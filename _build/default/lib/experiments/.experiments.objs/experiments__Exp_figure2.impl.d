@@ -1,0 +1,1 @@
+lib/experiments/exp_figure2.ml: Buffer Emeralds List Model Printf Sim Util Workload

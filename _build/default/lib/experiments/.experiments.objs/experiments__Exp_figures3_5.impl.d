@@ -1,0 +1,1 @@
+lib/experiments/exp_figures3_5.ml: Analysis Buffer Emeralds List Model Printf Sim Util Workload

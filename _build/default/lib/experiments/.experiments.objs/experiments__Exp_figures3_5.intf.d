@@ -1,0 +1,1 @@
+lib/experiments/exp_figures3_5.mli:

@@ -1,0 +1,1 @@
+lib/experiments/exp_interrupt.ml: Driver Emeralds Kernel List Model Program Sched Sim Types Util

@@ -1,0 +1,1 @@
+lib/experiments/exp_ipc.ml: Emeralds Hashtbl Kernel List Model Objects Program Sched Sim State_msg Types Util

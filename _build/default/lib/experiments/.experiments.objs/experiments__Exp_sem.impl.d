@@ -1,0 +1,1 @@
+lib/experiments/exp_sem.ml: Buffer Emeralds Format Kernel List Model Objects Printf Program Sched Sim String Types Util

@@ -1,0 +1,1 @@
+lib/experiments/exp_table1.ml: Array Emeralds List Mock Model Printf Readyq Sim Types Util

@@ -1,0 +1,1 @@
+lib/experiments/exp_table3.ml: Array Emeralds List Mock Model Printf Sched Sim Types Util

@@ -1,0 +1,39 @@
+(** Ablations over the design decisions DESIGN.md calls out.
+
+    1. {b Cost-model scale invariance}: the charged Table 1 model is a
+       calibration, not ground truth; globally scaling every cost by
+       0.5x / 2x must leave the paper's orderings (CSD >= EDF, RM;
+       RM overtaking EDF at short periods) intact even though the
+       absolute breakdown values move.
+
+    2. {b Place-holder PI vs re-sorting}: running the same
+       semaphore-heavy workload with the EMERALDS scheme against
+       standard semaphores on the same scheduler isolates the §6
+       optimizations' end-to-end effect (kernel overhead and context
+       switches).
+
+    3. {b CSD-x taper} (§5.6): adding queues keeps helping only until
+       the schedulability loss of stacking fixed-priority EDF queues
+       cancels the shrinking run-time win — breakdown utilization as a
+       function of x peaks and flattens. *)
+
+type scale_row = {
+  factor : float;
+  edf : float;
+  rm : float;
+  csd3 : float;  (** average breakdown utilizations, n = 40, periods / 3 *)
+}
+
+type pi_row = {
+  scheme : string;
+  overhead_us : float;
+  switches : int;
+  misses : int;
+}
+
+type taper_row = { queues : int; breakdown : float }
+
+val cost_scaling : ?workloads:int -> unit -> scale_row list
+val pi_scheme : unit -> pi_row list
+val csd_taper : ?workloads:int -> unit -> taper_row list
+val run : unit -> string

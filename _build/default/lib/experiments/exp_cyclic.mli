@@ -1,0 +1,36 @@
+(** §5's opening argument: why cyclic time-slice executives lose to
+    priority-driven scheduling on small-memory systems.
+
+    Two quantified bullets from the paper:
+
+    - "Workloads containing short and long period tasks ... or
+      relatively prime periods, result in very large time-slice
+      schedules, wasting scarce memory resources."  The table-size
+      comparison pits a harmonic workload against an equal-utilization
+      co-prime one and against the control-system short/long mix.
+
+    - "High-priority aperiodic tasks receive poor response-time because
+      their arrival times cannot be anticipated off-line."  The
+      response comparison serves the same aperiodic job from a cyclic
+      table's slack versus triggering it under EDF/CSD preemptive
+      scheduling. *)
+
+type size_row = {
+  workload : string;
+  tasks : int;
+  major_ms : float;
+  slots : int;
+  table_bytes : int;
+  kernel_queue_bytes : int;
+      (** what the CSD scheduler needs instead: one queue node per task *)
+}
+
+type response_row = {
+  aperiodic_wcet_us : float;
+  cyclic_worst_ms : float option;  (** [None] = no slack at all *)
+  csd_worst_ms : float;
+}
+
+val table_sizes : unit -> size_row list
+val aperiodic_response : unit -> response_row list
+val run : unit -> string

@@ -1,0 +1,22 @@
+(** Table 2 / Figure 2: the workload that separates RM from EDF.
+
+    The paper's ten-task workload has U = 0.88; tau1..tau4 monopolise
+    the processor ahead of tau5 under RM, so tau5 misses its 8 ms
+    deadline (Figure 2), while EDF — and CSD with tau1..tau5 in the DP
+    queue — schedules everything.  This driver runs the actual kernel
+    on that workload under RM, EDF, CSD-2 and CSD-3 and renders the
+    RM schedule's first 10 ms as an execution timeline. *)
+
+type outcome = {
+  scheduler : string;
+  misses : int;
+  missed_task : int option;  (** tid of the first task to miss *)
+  first_miss_ms : float option;
+  context_switches : int;
+}
+
+val outcomes : unit -> outcome list
+val rm_timeline : unit -> string
+(** The Figure 2 schedule (RM, first 10 ms). *)
+
+val run : unit -> string

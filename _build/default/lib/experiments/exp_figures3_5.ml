@@ -1,0 +1,87 @@
+type point = { n : int; by_sched : (string * float) list }
+type figure = { divisor : int; points : point list }
+
+let schedulers = [ "CSD-4"; "CSD-3"; "CSD-2"; "EDF"; "RM" ]
+
+let cost = Sim.Cost.m68040
+
+let breakdown_for name taskset =
+  match name with
+  | "EDF" -> Analysis.Breakdown.of_spec ~cost ~spec:Emeralds.Sched.Edf taskset
+  | "RM" -> Analysis.Breakdown.of_spec ~cost ~spec:Emeralds.Sched.Rm taskset
+  | "RM-heap" ->
+    Analysis.Breakdown.of_spec ~cost ~spec:Emeralds.Sched.Rm_heap taskset
+  | "CSD-2" -> Analysis.Breakdown.of_csd ~cost ~queues:2 taskset
+  | "CSD-3" -> Analysis.Breakdown.of_csd ~cost ~queues:3 taskset
+  | "CSD-4" -> Analysis.Breakdown.of_csd ~cost ~queues:4 taskset
+  | _ -> invalid_arg "Exp_figures3_5: unknown scheduler"
+
+let compute ?(seed = 7) ?(workloads = 40)
+    ?(ns = [ 5; 10; 15; 20; 25; 30; 35; 40; 45; 50 ])
+    ?(divisors = [ 1; 2; 3 ]) () =
+  let figure divisor =
+    let point n =
+      let sets = Workload.Generator.batch ~seed:(seed + n) ~n ~count:workloads () in
+      let sets =
+        List.filter_map
+          (fun ts ->
+            if divisor = 1 then Some ts
+            else Model.Taskset.scale_periods_down ts divisor)
+          sets
+      in
+      let avg name =
+        match sets with
+        | [] -> 0.0
+        | _ ->
+          List.fold_left (fun acc ts -> acc +. breakdown_for name ts) 0.0 sets
+          /. float_of_int (List.length sets)
+      in
+      { n; by_sched = List.map (fun s -> (s, avg s)) schedulers }
+    in
+    { divisor; points = List.map point ns }
+  in
+  List.map figure divisors
+
+let render figures =
+  let buf = Buffer.create 1024 in
+  let fig_no divisor =
+    match divisor with 1 -> 3 | 2 -> 4 | 3 -> 5 | d -> 2 + d
+  in
+  let emit fig =
+    Buffer.add_string buf
+      (Printf.sprintf
+         "Figure %d -- average breakdown utilization (%%), periods / %d\n"
+         (fig_no fig.divisor) fig.divisor);
+    let t = Util.Tablefmt.create ~headers:("n" :: schedulers) in
+    List.iter
+      (fun p ->
+        Util.Tablefmt.add_row t
+          (string_of_int p.n
+          :: List.map
+               (fun s -> Util.Tablefmt.cell_f ~decimals:1 (100. *. List.assoc s p.by_sched))
+               schedulers))
+      fig.points;
+    Buffer.add_string buf (Util.Tablefmt.render t);
+    Buffer.add_char buf '\n'
+  in
+  List.iter emit figures;
+  Buffer.contents buf
+
+let to_csv figures =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "divisor,n,scheduler,breakdown_utilization\n";
+  List.iter
+    (fun fig ->
+      List.iter
+        (fun p ->
+          List.iter
+            (fun (sched, v) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%d,%d,%s,%.4f\n" fig.divisor p.n sched v))
+            p.by_sched)
+        fig.points)
+    figures;
+  Buffer.contents buf
+
+let run ?seed ?workloads () =
+  render (compute ?seed ?workloads ())

@@ -1,0 +1,39 @@
+(** Figures 3–5: average breakdown utilization vs task count.
+
+    For each task count n, generate random workloads per §5.7, and for
+    each scheduler find the utilization at which the overhead-aware
+    feasibility test breaks down; plot (print) the averages.  Figure 3
+    uses the base periods (5 ms–1 s), Figures 4 and 5 divide every
+    period by 2 and 3.
+
+    Expected shapes (checked by the test suite and EXPERIMENTS.md):
+    CSD-x dominates both EDF and RM everywhere; EDF beats RM at long
+    periods but falls below RM as periods shrink and n grows; CSD-3
+    clearly improves on CSD-2 at large n while CSD-4 adds little. *)
+
+type point = { n : int; by_sched : (string * float) list }
+(** Average breakdown utilization per scheduler at one task count. *)
+
+type figure = { divisor : int; points : point list }
+
+val schedulers : string list
+(** Column order: CSD-4, CSD-3, CSD-2, EDF, RM (the paper's legend). *)
+
+val compute :
+  ?seed:int ->
+  ?workloads:int ->
+  ?ns:int list ->
+  ?divisors:int list ->
+  unit ->
+  figure list
+(** Defaults: seed 7, 40 workloads per point (the paper used 500 — pass
+    [~workloads:500] for the full run), n in 5..50 step 5, divisors
+    [1; 2; 3]. *)
+
+val render : figure list -> string
+
+val to_csv : figure list -> string
+(** Machine-readable form: one line per (divisor, n, scheduler) with
+    the average breakdown utilization — for external plotting. *)
+
+val run : ?seed:int -> ?workloads:int -> unit -> string

@@ -1,0 +1,28 @@
+(** Interrupt handling and the user-level driver path (§3).
+
+    EMERALDS keeps device drivers at user level: the kernel's share of
+    an interrupt is only vectoring, a tiny capture, and a scheduler
+    pass to wake the driver thread.  The relevant metric is the
+    {b interrupt-to-driver latency}: from the device raising the IRQ to
+    the driver thread's first instruction.  Under priority scheduling
+    that latency is the kernel's constant entry cost plus interference
+    from strictly higher-priority tasks only — it must not grow with
+    the amount of *lower*-priority background load.
+
+    The driver thread is placed at the top of a CSD DP queue; the
+    experiment sweeps the number of lower-priority background tasks and
+    reports mean/max latency over many interrupt arrivals. *)
+
+type row = {
+  background_tasks : int;
+  background_utilization : float;
+  mean_latency_us : float;
+  max_latency_us : float;
+  interrupts : int;
+}
+
+val measure :
+  ?spec:Emeralds.Sched.spec -> ?irqs:int -> ?background:int list -> unit ->
+  row list
+val render : row list -> string
+val run : unit -> string

@@ -1,0 +1,35 @@
+(** Table 1: run-time overheads of the three scheduler queue
+    structures.
+
+    The paper measured its 68040 kernel with a 5 MHz timer and reports
+    linear models (µs):
+
+    {v
+               EDF-queue     RM-queue        RM-sorted-heap
+      t_b      1.6           1.0 + 0.36 n    0.4 + 2.8 ceil(log2(n+1))
+      t_u      1.2           1.4             1.9 + 0.7 ceil(log2(n+1))
+      t_s      1.2 + 0.25 n  0.6             0.6
+    v}
+
+    We cannot time 68040 cycles, but the *structure* of each model is a
+    property of the data structures, which we did implement.  This
+    experiment drives the real [Readyq] structures through worst-case
+    block/unblock/select operations at several queue lengths, counts
+    elementary node visits, and fits a + b·n (or a + b·ceil(log2(n+1)))
+    to the counts: the fitted shapes must match the paper's columns
+    (constant terms fit to ~0 slope, linear terms to positive slope
+    with r² ≈ 1).  It also converts the worst-case operations into
+    model-charged µs for a side-by-side with the paper's numbers. *)
+
+type row = {
+  op : string;            (** "t_b" | "t_u" | "t_s" *)
+  structure : string;     (** "EDF-queue" | "RM-queue" | "RM-heap" *)
+  fit : Util.Stats.linear_fit;  (** visits vs n (or vs ceil(log2(n+1))) *)
+  log_domain : bool;      (** fitted against the log term *)
+  model_us_at_15 : float; (** model-charged cost at n = 15 *)
+  paper_us_at_15 : float; (** the paper's formula at n = 15 *)
+}
+
+val measure : ?lengths:int list -> unit -> row list
+val render : row list -> string
+val run : unit -> string

@@ -1,0 +1,30 @@
+(** Table 3: CSD-3 run-time overheads per queue class.
+
+    The paper's asymptotics, with q = |DP1|, r = |DP1|+|DP2|, n total
+    tasks:
+
+    {v
+                    DP1     DP2       FP
+      block   t_b   O(1)    O(1)      O(n-r)
+              t_s   O(r-q)  O(r)      O(1)
+      unblock t_u   O(1)    O(1)      O(1)
+              t_s   O(q)    O(r-q)    O(r-q)
+      total         O(r)    O(2r-q)   O(n-q)
+    v}
+
+    The driver instantiates real CSD-3 schedulers, drives each of the
+    six (class x block/unblock) cases through worst-case states, and
+    records the charged cost at two workload sizes; the growth ratio
+    between sizes must match the stated O(.) term (constant cells stay
+    flat, linear cells scale with their argument). *)
+
+type cell = {
+  case : string;            (** e.g. "DP1 block" *)
+  stated : string;          (** the paper's O(.) for t_b+t_s (or t_u+t_s) *)
+  us_small : float;         (** measured at (q,r,n) = (5,15,30) *)
+  us_large : float;         (** measured at (10,30,60) *)
+}
+
+val measure : unit -> cell list
+val render : cell list -> string
+val run : unit -> string

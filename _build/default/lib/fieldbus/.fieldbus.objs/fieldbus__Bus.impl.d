@@ -1,0 +1,1 @@
+lib/fieldbus/bus.ml: Array List Model Sim Util

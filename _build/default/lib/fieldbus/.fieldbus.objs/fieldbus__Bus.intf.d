@@ -1,0 +1,1 @@
+lib/fieldbus/bus.mli: Model Sim

@@ -1,0 +1,1 @@
+lib/fieldbus/node.ml: Bus Emeralds Sim

@@ -1,0 +1,1 @@
+lib/fieldbus/node.mli: Bus Emeralds Model

@@ -1,0 +1,80 @@
+type frame = {
+  frame_id : int;
+  src_node : int;
+  payload : int array;
+  enqueued_at : Model.Time.t;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  bitrate_bps : int;
+  frame_overhead_bits : int;
+  queue : frame Util.Pqueue.t; (* arbitration: lowest id first *)
+  mutable transmitting : bool;
+  subscribers : (int * (frame -> unit)) list ref;
+  mutable sent : int;
+  mutable busy : Model.Time.t;
+  mutable max_delay : Model.Time.t;
+}
+
+let compare_frames a b =
+  match compare a.frame_id b.frame_id with
+  | 0 -> compare a.enqueued_at b.enqueued_at
+  | c -> c
+
+let create ~engine ~bitrate_bps ?(frame_overhead_bits = 47) () =
+  if bitrate_bps <= 0 then invalid_arg "Bus.create: bitrate must be positive";
+  {
+    engine;
+    bitrate_bps;
+    frame_overhead_bits;
+    queue = Util.Pqueue.create ~cmp:compare_frames ();
+    transmitting = false;
+    subscribers = ref [];
+    sent = 0;
+    busy = 0;
+    max_delay = 0;
+  }
+
+let engine t = t.engine
+
+let subscribe t ~node callback = t.subscribers := (node, callback) :: !(t.subscribers)
+
+let frame_bits t frame =
+  t.frame_overhead_bits + (32 * Array.length frame.payload)
+
+let transmission_time t frame =
+  (* ns = bits * 1e9 / bitrate *)
+  frame_bits t frame * 1_000_000_000 / t.bitrate_bps
+
+let rec start_next t =
+  if not t.transmitting then
+    match Util.Pqueue.pop t.queue with
+    | None -> ()
+    | Some frame ->
+      t.transmitting <- true;
+      let now = Sim.Engine.now t.engine in
+      t.max_delay <- Model.Time.max t.max_delay (now - frame.enqueued_at);
+      let duration = transmission_time t frame in
+      t.busy <- t.busy + duration;
+      ignore
+        (Sim.Engine.schedule_after t.engine ~delay:duration (fun () ->
+             t.transmitting <- false;
+             t.sent <- t.sent + 1;
+             List.iter
+               (fun (node, callback) ->
+                 if node <> frame.src_node then callback frame)
+               !(t.subscribers);
+             start_next t))
+
+let send t frame =
+  if frame.frame_id < 0 then invalid_arg "Bus.send: negative frame id";
+  if Array.length frame.payload > 2 then
+    invalid_arg "Bus.send: payload exceeds the 8-byte frame limit";
+  ignore (Util.Pqueue.add t.queue frame);
+  start_next t
+
+let pending t = Util.Pqueue.size t.queue
+let frames_sent t = t.sent
+let bus_busy_time t = t.busy
+let max_arbitration_delay t = t.max_delay

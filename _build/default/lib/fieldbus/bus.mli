@@ -1,0 +1,47 @@
+(** A low-speed fieldbus (§2: distributed configurations are 5–10 nodes
+    on a 1–2 Mbit/s bus, e.g. CAN in automotive control).
+
+    The model is a priority-arbitrated broadcast bus: each frame
+    carries an 11-bit-style numeric identifier (lower = higher
+    priority); when the bus goes idle the pending frame with the lowest
+    identifier transmits next; transmission is non-preemptive and takes
+    [bits / bitrate].  Delivery invokes every subscribed node's
+    callback at completion time — typically an interrupt into that
+    node's kernel.
+
+    Inter-node networking is out of the paper's scope (§1 fn. 1);
+    this substrate exists so the distributed example exercises the
+    kernel's interrupt and IPC paths end-to-end. *)
+
+type t
+
+type frame = {
+  frame_id : int;      (** arbitration id: lower wins *)
+  src_node : int;
+  payload : int array; (** data words *)
+  enqueued_at : Model.Time.t;
+}
+
+val create : engine:Sim.Engine.t -> bitrate_bps:int -> ?frame_overhead_bits:int -> unit -> t
+(** [frame_overhead_bits] models header/CRC/stuffing (default 47 bits,
+    a CAN base frame). *)
+
+val engine : t -> Sim.Engine.t
+(** The discrete-event engine the bus runs on (stations share it). *)
+
+val subscribe : t -> node:int -> (frame -> unit) -> unit
+(** Register a node's receive callback; a node does not hear its own
+    frames. *)
+
+val send : t -> frame -> unit
+(** Queue a frame for arbitration.  @raise Invalid_argument on a
+    negative frame id or an oversized payload (> 2 words, the 8-byte
+    CAN limit). *)
+
+val pending : t -> int
+val frames_sent : t -> int
+val bus_busy_time : t -> Model.Time.t
+(** Cumulative transmission time — utilization = busy / elapsed. *)
+
+val max_arbitration_delay : t -> Model.Time.t
+(** Worst queueing delay (enqueue to start-of-transmission) observed. *)

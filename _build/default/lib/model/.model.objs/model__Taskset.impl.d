@@ -1,0 +1,1 @@
+lib/model/taskset.ml: Array Float Format List Task Util

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Buffer Format Hashtbl List Model Option Printf

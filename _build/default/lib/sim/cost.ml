@@ -1,0 +1,143 @@
+type t = {
+  edf_tb : Model.Time.t;
+  edf_tu : Model.Time.t;
+  edf_ts_base : Model.Time.t;
+  edf_ts_per_task : Model.Time.t;
+  rm_tb_base : Model.Time.t;
+  rm_tb_per_task : Model.Time.t;
+  rm_tu : Model.Time.t;
+  rm_ts : Model.Time.t;
+  heap_tb_base : Model.Time.t;
+  heap_tb_per_level : Model.Time.t;
+  heap_tu_base : Model.Time.t;
+  heap_tu_per_level : Model.Time.t;
+  heap_ts : Model.Time.t;
+  csd_queue_parse : Model.Time.t;
+  context_switch : Model.Time.t;
+  address_space_switch : Model.Time.t;
+  syscall_entry : Model.Time.t;
+  sem_admin : Model.Time.t;
+  pi_step : Model.Time.t;
+  pi_fp_scan_per_task : Model.Time.t;
+  interrupt_entry : Model.Time.t;
+  mailbox_base : Model.Time.t;
+  mailbox_per_word : Model.Time.t;
+  state_write_base : Model.Time.t;
+  state_write_per_word : Model.Time.t;
+  state_read_base : Model.Time.t;
+  state_read_per_word : Model.Time.t;
+  timer_service : Model.Time.t;
+}
+
+let us = Model.Time.of_us_f
+
+let m68040 =
+  {
+    edf_tb = us 1.6;
+    edf_tu = us 1.2;
+    edf_ts_base = us 1.2;
+    edf_ts_per_task = us 0.25;
+    rm_tb_base = us 1.0;
+    rm_tb_per_task = us 0.36;
+    rm_tu = us 1.4;
+    rm_ts = us 0.6;
+    heap_tb_base = us 0.4;
+    heap_tb_per_level = us 2.8;
+    heap_tu_base = us 1.9;
+    heap_tu_per_level = us 0.7;
+    heap_ts = us 0.6;
+    csd_queue_parse = us 0.55;
+    context_switch = us 4.0;
+    address_space_switch = us 2.0;
+    syscall_entry = us 3.0;
+    sem_admin = us 2.0;
+    pi_step = us 1.0;
+    pi_fp_scan_per_task = us 0.36;
+    interrupt_entry = us 4.0;
+    mailbox_base = us 8.0;
+    mailbox_per_word = us 0.4;
+    state_write_base = us 2.0;
+    state_write_per_word = us 0.2;
+    state_read_base = us 1.5;
+    state_read_per_word = us 0.2;
+    timer_service = us 1.5;
+  }
+
+let zero =
+  {
+    edf_tb = 0;
+    edf_tu = 0;
+    edf_ts_base = 0;
+    edf_ts_per_task = 0;
+    rm_tb_base = 0;
+    rm_tb_per_task = 0;
+    rm_tu = 0;
+    rm_ts = 0;
+    heap_tb_base = 0;
+    heap_tb_per_level = 0;
+    heap_tu_base = 0;
+    heap_tu_per_level = 0;
+    heap_ts = 0;
+    csd_queue_parse = 0;
+    context_switch = 0;
+    address_space_switch = 0;
+    syscall_entry = 0;
+    sem_admin = 0;
+    pi_step = 0;
+    pi_fp_scan_per_task = 0;
+    interrupt_entry = 0;
+    mailbox_base = 0;
+    mailbox_per_word = 0;
+    state_write_base = 0;
+    state_write_per_word = 0;
+    state_read_base = 0;
+    state_read_per_word = 0;
+    timer_service = 0;
+  }
+
+let scale c f =
+  let s x = int_of_float (Float.round (float_of_int x *. f)) in
+  {
+    edf_tb = s c.edf_tb;
+    edf_tu = s c.edf_tu;
+    edf_ts_base = s c.edf_ts_base;
+    edf_ts_per_task = s c.edf_ts_per_task;
+    rm_tb_base = s c.rm_tb_base;
+    rm_tb_per_task = s c.rm_tb_per_task;
+    rm_tu = s c.rm_tu;
+    rm_ts = s c.rm_ts;
+    heap_tb_base = s c.heap_tb_base;
+    heap_tb_per_level = s c.heap_tb_per_level;
+    heap_tu_base = s c.heap_tu_base;
+    heap_tu_per_level = s c.heap_tu_per_level;
+    heap_ts = s c.heap_ts;
+    csd_queue_parse = s c.csd_queue_parse;
+    context_switch = s c.context_switch;
+    address_space_switch = s c.address_space_switch;
+    syscall_entry = s c.syscall_entry;
+    sem_admin = s c.sem_admin;
+    pi_step = s c.pi_step;
+    pi_fp_scan_per_task = s c.pi_fp_scan_per_task;
+    interrupt_entry = s c.interrupt_entry;
+    mailbox_base = s c.mailbox_base;
+    mailbox_per_word = s c.mailbox_per_word;
+    state_write_base = s c.state_write_base;
+    state_write_per_word = s c.state_write_per_word;
+    state_read_base = s c.state_read_base;
+    state_read_per_word = s c.state_read_per_word;
+    timer_service = s c.timer_service;
+  }
+
+let edf_ts c ~n = c.edf_ts_base + (c.edf_ts_per_task * n)
+let rm_tb c ~scanned = c.rm_tb_base + (c.rm_tb_per_task * scanned)
+
+let levels n = Util.Intmath.ceil_log2 (n + 1)
+
+let heap_tb c ~n = c.heap_tb_base + (c.heap_tb_per_level * levels n)
+let heap_tu c ~n = c.heap_tu_base + (c.heap_tu_per_level * levels n)
+let csd_parse c ~queues = c.csd_queue_parse * queues
+let mailbox_copy c ~words = c.mailbox_base + (c.mailbox_per_word * words)
+let state_write c ~words = c.state_write_base + (c.state_write_per_word * words)
+let state_read c ~words = c.state_read_base + (c.state_read_per_word * words)
+
+let pi_fp_standard c ~scanned = c.pi_step + (c.pi_fp_scan_per_task * scanned)

@@ -1,0 +1,91 @@
+(** Kernel overhead cost model.
+
+    The paper expresses every scheduler overhead as a measured linear
+    model on a 25 MHz Motorola 68040 (its Table 1, microseconds):
+
+    {v
+                 EDF - queue   RM - queue      RM - sorted heap
+      t_b        1.6           1.0 + 0.36 n    0.4 + 2.8 ceil(log2 (n+1))
+      t_u        1.2           1.4             1.9 + 0.7 ceil(log2 (n+1))
+      t_s        1.2 + 0.25 n  0.6             0.6
+    v}
+
+    plus [x * 0.55 us] per scheduler invocation for CSD-x's parse of the
+    list of queues (§5.7).  The kernel simulation charges virtual time
+    through this table, so the experiments reproduce the paper's
+    overhead-driven crossovers; swapping in a different model (e.g. one
+    fitted to this host by the Bechamel bench) is the shape-invariance
+    ablation.
+
+    Costs beyond Table 1 (context switch, syscall entry, semaphore
+    bookkeeping, IPC copy costs) are not itemised in the paper; their
+    defaults here are calibrated so the §6.4 semaphore totals land near
+    the paper's reported points (≈39 vs ≈28 µs at DP-queue length 15;
+    29.4 µs constant on the FP queue). *)
+
+type t = {
+  (* Table 1 *)
+  edf_tb : Model.Time.t;
+  edf_tu : Model.Time.t;
+  edf_ts_base : Model.Time.t;
+  edf_ts_per_task : Model.Time.t;
+  rm_tb_base : Model.Time.t;
+  rm_tb_per_task : Model.Time.t;
+  rm_tu : Model.Time.t;
+  rm_ts : Model.Time.t;
+  heap_tb_base : Model.Time.t;
+  heap_tb_per_level : Model.Time.t;
+  heap_tu_base : Model.Time.t;
+  heap_tu_per_level : Model.Time.t;
+  heap_ts : Model.Time.t;
+  csd_queue_parse : Model.Time.t;  (** per queue, per scheduler invocation *)
+  (* calibrated constants *)
+  context_switch : Model.Time.t;
+      (** thread-state save/restore; same-process switches pay only
+          this *)
+  address_space_switch : Model.Time.t;
+      (** extra cost when the incoming thread lives in a different
+          protection domain (§3's memory-protected processes).  Tasks
+          default to one process each, so the calibrated full
+          inter-process switch is [context_switch +
+          address_space_switch] = 6 us — the figure the semaphore
+          experiments are calibrated against. *)
+  syscall_entry : Model.Time.t;
+  sem_admin : Model.Time.t;     (** lock bookkeeping per acquire/release *)
+  pi_step : Model.Time.t;       (** an O(1) priority-inheritance step *)
+  pi_fp_scan_per_task : Model.Time.t;
+      (** extra per-task cost of a standard (re-insertion) PI step in a
+          sorted FP queue *)
+  interrupt_entry : Model.Time.t;
+  mailbox_base : Model.Time.t;
+  mailbox_per_word : Model.Time.t;
+  state_write_base : Model.Time.t;
+  state_write_per_word : Model.Time.t;
+  state_read_base : Model.Time.t;
+  state_read_per_word : Model.Time.t;
+  timer_service : Model.Time.t;
+}
+
+val m68040 : t
+(** Default model: Table 1 plus calibrated constants (see above). *)
+
+val zero : t
+(** All costs zero — for pure-logic tests where virtual time should
+    reflect task execution only. *)
+
+val scale : t -> float -> t
+(** Multiply every cost (e.g. to model a slower CPU). *)
+
+(* Derived Table 1 entries; [n] is the relevant queue length. *)
+val edf_ts : t -> n:int -> Model.Time.t
+val rm_tb : t -> scanned:int -> Model.Time.t
+(** [scanned] = tasks examined while advancing [highestp]; the paper's
+    worst case is [n]. *)
+
+val heap_tb : t -> n:int -> Model.Time.t
+val heap_tu : t -> n:int -> Model.Time.t
+val csd_parse : t -> queues:int -> Model.Time.t
+val mailbox_copy : t -> words:int -> Model.Time.t
+val state_write : t -> words:int -> Model.Time.t
+val state_read : t -> words:int -> Model.Time.t
+val pi_fp_standard : t -> scanned:int -> Model.Time.t

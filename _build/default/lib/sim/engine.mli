@@ -1,0 +1,41 @@
+(** Discrete-event simulation engine.
+
+    This stands in for the paper's 25 MHz Motorola 68040: a single
+    virtual CPU whose time advances only when events fire.  Events
+    scheduled for the same instant fire in FIFO order of scheduling,
+    which keeps kernel-entry sequences deterministic. *)
+
+type t
+type handle
+
+val create : unit -> t
+
+val now : t -> Model.Time.t
+(** Current virtual time. *)
+
+val schedule : t -> at:Model.Time.t -> (unit -> unit) -> handle
+(** Schedule a callback; [at] must not be in the past.
+    @raise Invalid_argument if [at < now t]. *)
+
+val schedule_after : t -> delay:Model.Time.t -> (unit -> unit) -> handle
+(** [schedule_after t ~delay f] = [schedule t ~at:(now t + delay) f];
+    [delay] must be non-negative. *)
+
+val cancel : t -> handle -> bool
+(** Cancel a scheduled event; [false] if it already fired or was
+    cancelled. *)
+
+val pending : t -> int
+(** Number of events still queued. *)
+
+val step : t -> bool
+(** Fire the earliest event.  [false] when the queue is empty. *)
+
+val run_until : t -> Model.Time.t -> unit
+(** Fire every event with time <= the horizon (events newly scheduled
+    within the horizon are fired too), then set the clock to the
+    horizon. *)
+
+val run : t -> unit
+(** Fire events until none remain.  Diverges on a self-perpetuating
+    event pattern, so prefer [run_until] for kernel simulations. *)

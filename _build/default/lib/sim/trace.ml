@@ -1,0 +1,215 @@
+type entry =
+  | Job_release of { tid : int; job : int; deadline : Model.Time.t }
+  | Job_complete of { tid : int; job : int; response : Model.Time.t }
+  | Deadline_miss of { tid : int; job : int; lateness : Model.Time.t }
+  | Context_switch of { from_tid : int option; to_tid : int option }
+  | Thread_block of { tid : int; reason : string }
+  | Thread_unblock of { tid : int }
+  | Sem_acquired of { tid : int; sem : int }
+  | Sem_blocked of { tid : int; sem : int }
+  | Sem_released of { tid : int; sem : int }
+  | Priority_inherit of { holder : int; from_tid : int }
+  | Priority_restore of { holder : int }
+  | Msg_sent of { tid : int; mailbox : int; words : int }
+  | Msg_received of {
+      tid : int;
+      mailbox : int;
+      words : int;
+      queued_for : Model.Time.t;
+          (* how long the message sat in the mailbox before delivery *)
+    }
+  | State_written of { tid : int; state : int; seq : int }
+  | State_read of { tid : int; state : int; seq : int }
+  | Interrupt of { irq : int }
+  | Overhead of { category : string; cost : Model.Time.t }
+  | Note of string
+
+type stamped = { at : Model.Time.t; entry : entry }
+
+type t = {
+  keep : bool;
+  mutable entries : stamped list; (* reversed *)
+  mutable switches : int;
+  mutable misses : int;
+  mutable preemptions : int;
+  mutable overhead : Model.Time.t;
+  by_category : (string, Model.Time.t ref) Hashtbl.t;
+  mutable first_miss : stamped option;
+  mutable busy : Model.Time.t;
+  (* [last_outgoing_ready] is set by the kernel marking whether the
+     thread being switched out was still ready (a preemption). *)
+  mutable last_outgoing_ready : bool;
+}
+
+let create ?(keep_entries = true) () =
+  {
+    keep = keep_entries;
+    entries = [];
+    switches = 0;
+    misses = 0;
+    preemptions = 0;
+    overhead = 0;
+    by_category = Hashtbl.create 16;
+    first_miss = None;
+    busy = 0;
+    last_outgoing_ready = false;
+  }
+
+let emit t ~at entry =
+  let stamped = { at; entry } in
+  (match entry with
+  | Context_switch _ ->
+    t.switches <- t.switches + 1;
+    if t.last_outgoing_ready then t.preemptions <- t.preemptions + 1
+  | Deadline_miss _ ->
+    t.misses <- t.misses + 1;
+    if t.first_miss = None then t.first_miss <- Some stamped
+  | Overhead { category; cost } ->
+    t.overhead <- Model.Time.add t.overhead cost;
+    let cell =
+      match Hashtbl.find_opt t.by_category category with
+      | Some c -> c
+      | None ->
+        let c = ref 0 in
+        Hashtbl.add t.by_category category c;
+        c
+    in
+    cell := Model.Time.add !cell cost
+  | Job_release _ | Job_complete _ | Thread_block _ | Thread_unblock _
+  | Sem_acquired _ | Sem_blocked _ | Sem_released _ | Priority_inherit _
+  | Priority_restore _ | Msg_sent _ | Msg_received _ | State_written _
+  | State_read _ | Interrupt _ | Note _ ->
+    ());
+  if t.keep then t.entries <- stamped :: t.entries
+
+let entries t = List.rev t.entries
+let context_switches t = t.switches
+let deadline_misses t = t.misses
+let preemptions t = t.preemptions
+let overhead_total t = t.overhead
+
+let overhead_by_category t =
+  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.by_category []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let first_miss t = t.first_miss
+let busy_time t = t.busy
+let add_busy t d = t.busy <- Model.Time.add t.busy d
+
+(* Used by the kernel just before it emits a Context_switch. *)
+let set_outgoing_ready t b = t.last_outgoing_ready <- b
+
+let pp_entry ppf = function
+  | Job_release { tid; job; deadline } ->
+    Format.fprintf ppf "release   tau%d#%d (deadline %a)" tid job Model.Time.pp
+      deadline
+  | Job_complete { tid; job; response } ->
+    Format.fprintf ppf "complete  tau%d#%d (response %a)" tid job Model.Time.pp
+      response
+  | Deadline_miss { tid; job; lateness } ->
+    Format.fprintf ppf "MISS      tau%d#%d (late by %a)" tid job Model.Time.pp
+      lateness
+  | Context_switch { from_tid; to_tid } ->
+    let pp_opt ppf = function
+      | Some tid -> Format.fprintf ppf "tau%d" tid
+      | None -> Format.pp_print_string ppf "idle"
+    in
+    Format.fprintf ppf "switch    %a -> %a" pp_opt from_tid pp_opt to_tid
+  | Thread_block { tid; reason } ->
+    Format.fprintf ppf "block     tau%d (%s)" tid reason
+  | Thread_unblock { tid } -> Format.fprintf ppf "unblock   tau%d" tid
+  | Sem_acquired { tid; sem } ->
+    Format.fprintf ppf "sem-lock  tau%d sem%d" tid sem
+  | Sem_blocked { tid; sem } ->
+    Format.fprintf ppf "sem-wait  tau%d sem%d" tid sem
+  | Sem_released { tid; sem } ->
+    Format.fprintf ppf "sem-free  tau%d sem%d" tid sem
+  | Priority_inherit { holder; from_tid } ->
+    Format.fprintf ppf "inherit   tau%d <- prio of tau%d" holder from_tid
+  | Priority_restore { holder } ->
+    Format.fprintf ppf "restore   tau%d" holder
+  | Msg_sent { tid; mailbox; words } ->
+    Format.fprintf ppf "send      tau%d mbox%d (%d words)" tid mailbox words
+  | Msg_received { tid; mailbox; words; queued_for } ->
+    Format.fprintf ppf "recv      tau%d mbox%d (%d words, queued %a)" tid
+      mailbox words Model.Time.pp queued_for
+  | State_written { tid; state; seq } ->
+    Format.fprintf ppf "st-write  tau%d state%d seq=%d" tid state seq
+  | State_read { tid; state; seq } ->
+    Format.fprintf ppf "st-read   tau%d state%d seq=%d" tid state seq
+  | Interrupt { irq } -> Format.fprintf ppf "interrupt irq%d" irq
+  | Overhead { category; cost } ->
+    Format.fprintf ppf "overhead  %s %a" category Model.Time.pp cost
+  | Note s -> Format.fprintf ppf "note      %s" s
+
+let timeline_relevant = function
+  | Job_release _ | Job_complete _ | Deadline_miss _ | Context_switch _ ->
+    true
+  | Thread_block _ | Thread_unblock _ | Sem_acquired _ | Sem_blocked _
+  | Sem_released _ | Priority_inherit _ | Priority_restore _ | Msg_sent _
+  | Msg_received _ | State_written _ | State_read _ | Interrupt _
+  | Overhead _ | Note _ ->
+    false
+
+let pp_stamped ppf { at; entry } =
+  Format.fprintf ppf "%10.3fms  %a" (Model.Time.to_ms_f at) pp_entry entry
+
+let responses t ~tid =
+  List.filter_map
+    (fun { entry; _ } ->
+      match entry with
+      | Job_complete { tid = t'; response; _ } when t' = tid -> Some response
+      | _ -> None)
+    (entries t)
+
+let csv_fields = function
+  | Job_release { tid; job; deadline } ->
+    ("release", tid, Printf.sprintf "job=%d deadline=%d" job deadline)
+  | Job_complete { tid; job; response } ->
+    ("complete", tid, Printf.sprintf "job=%d response=%d" job response)
+  | Deadline_miss { tid; job; _ } -> ("miss", tid, Printf.sprintf "job=%d" job)
+  | Context_switch { from_tid; to_tid } ->
+    let s = function Some tid -> string_of_int tid | None -> "idle" in
+    ("switch", Option.value from_tid ~default:(-1),
+     Printf.sprintf "from=%s to=%s" (s from_tid) (s to_tid))
+  | Thread_block { tid; reason } -> ("block", tid, reason)
+  | Thread_unblock { tid } -> ("unblock", tid, "")
+  | Sem_acquired { tid; sem } -> ("sem-lock", tid, Printf.sprintf "sem=%d" sem)
+  | Sem_blocked { tid; sem } -> ("sem-wait", tid, Printf.sprintf "sem=%d" sem)
+  | Sem_released { tid; sem } -> ("sem-free", tid, Printf.sprintf "sem=%d" sem)
+  | Priority_inherit { holder; from_tid } ->
+    ("inherit", holder, Printf.sprintf "from=%d" from_tid)
+  | Priority_restore { holder } -> ("restore", holder, "")
+  | Msg_sent { tid; mailbox; words } ->
+    ("send", tid, Printf.sprintf "mbox=%d words=%d" mailbox words)
+  | Msg_received { tid; mailbox; words; queued_for } ->
+    ("recv", tid,
+     Printf.sprintf "mbox=%d words=%d queued_ns=%d" mailbox words queued_for)
+  | State_written { tid; state; seq } ->
+    ("st-write", tid, Printf.sprintf "state=%d seq=%d" state seq)
+  | State_read { tid; state; seq } ->
+    ("st-read", tid, Printf.sprintf "state=%d seq=%d" state seq)
+  | Interrupt { irq } -> ("irq", -1, Printf.sprintf "irq=%d" irq)
+  | Overhead { category; cost } ->
+    ("overhead", -1, Printf.sprintf "%s=%d" category cost)
+  | Note s -> ("note", -1, s)
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "time_ns,kind,tid,detail\n";
+  List.iter
+    (fun { at; entry } ->
+      let kind, tid, detail = csv_fields entry in
+      Buffer.add_string buf (Printf.sprintf "%d,%s,%d,%s\n" at kind tid detail))
+    (entries t);
+  Buffer.contents buf
+
+let pp_timeline ppf t =
+  let emit_line { at; entry } =
+    if timeline_relevant entry then
+      Format.fprintf ppf "%10.3fms  %a@," (Model.Time.to_ms_f at) pp_entry
+        entry
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter emit_line (entries t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,83 @@
+(** Execution traces.
+
+    Every kernel simulation appends typed entries here; experiments and
+    tests query the trace for context-switch counts, deadline misses,
+    per-category overhead totals, and schedule timelines (Figure 2 is
+    rendered straight from a trace). *)
+
+type entry =
+  | Job_release of { tid : int; job : int; deadline : Model.Time.t }
+  | Job_complete of { tid : int; job : int; response : Model.Time.t }
+  | Deadline_miss of { tid : int; job : int; lateness : Model.Time.t }
+  | Context_switch of { from_tid : int option; to_tid : int option }
+  | Thread_block of { tid : int; reason : string }
+  | Thread_unblock of { tid : int }
+  | Sem_acquired of { tid : int; sem : int }
+  | Sem_blocked of { tid : int; sem : int }
+  | Sem_released of { tid : int; sem : int }
+  | Priority_inherit of { holder : int; from_tid : int }
+  | Priority_restore of { holder : int }
+  | Msg_sent of { tid : int; mailbox : int; words : int }
+  | Msg_received of {
+      tid : int;
+      mailbox : int;
+      words : int;
+      queued_for : Model.Time.t;
+          (* how long the message sat in the mailbox before delivery *)
+    }
+  | State_written of { tid : int; state : int; seq : int }
+  | State_read of { tid : int; state : int; seq : int }
+  | Interrupt of { irq : int }
+  | Overhead of { category : string; cost : Model.Time.t }
+  | Note of string
+
+type stamped = { at : Model.Time.t; entry : entry }
+
+type t
+
+val create : ?keep_entries:bool -> unit -> t
+(** With [keep_entries:false] only the aggregate counters below are
+    maintained — breakdown-utilization sweeps run thousands of
+    simulations and must not retain per-event lists. *)
+
+val emit : t -> at:Model.Time.t -> entry -> unit
+
+val entries : t -> stamped list
+(** Chronological.  Empty when created with [keep_entries:false]. *)
+
+val context_switches : t -> int
+val deadline_misses : t -> int
+val preemptions : t -> int
+(** Switches where the outgoing thread was still ready. *)
+
+val overhead_total : t -> Model.Time.t
+val overhead_by_category : t -> (string * Model.Time.t) list
+(** Sorted by category name. *)
+
+val first_miss : t -> stamped option
+
+val busy_time : t -> Model.Time.t
+(** Total time threads spent computing (excludes overhead and idle);
+    maintained by the kernel via [add_busy]. *)
+
+val add_busy : t -> Model.Time.t -> unit
+
+val set_outgoing_ready : t -> bool -> unit
+(** Kernel hook: whether the thread about to be switched out is still
+    ready, so the next [Context_switch] counts as a preemption. *)
+
+val pp_timeline : Format.formatter -> t -> unit
+(** Render release/switch/complete/miss entries chronologically, one
+    per line. *)
+
+val pp_stamped : Format.formatter -> stamped -> unit
+(** One entry with its timestamp, as a single line. *)
+
+val responses : t -> tid:int -> Model.Time.t list
+(** Chronological job response times of one task — the raw series for
+    jitter statistics.  Empty under [keep_entries:false]. *)
+
+val to_csv : t -> string
+(** Machine-readable dump: [time_ns,kind,tid,detail] per entry, for
+    external timeline tooling.  Empty (header only) when the trace was
+    created with [keep_entries:false]. *)

@@ -1,0 +1,23 @@
+let ceil_div a b =
+  assert (b > 0 && a >= 0);
+  (a + b - 1) / b
+
+let ceil_log2 n =
+  assert (n >= 1);
+  let rec loop k pow = if pow >= n then k else loop (k + 1) (pow * 2) in
+  loop 0 1
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let lcm a b = if a = 0 || b = 0 then 0 else a / gcd a b * b
+
+let lcm_list l = List.fold_left lcm 1 l
+
+let pow b e =
+  assert (e >= 0);
+  let rec loop acc e = if e = 0 then acc else loop (acc * b) (e - 1) in
+  loop 1 e
+
+let clamp ~lo ~hi x =
+  assert (lo <= hi);
+  if x < lo then lo else if x > hi then hi else x

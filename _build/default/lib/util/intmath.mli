@@ -1,0 +1,29 @@
+(** Small integer-math helpers used throughout the kernel and analysis
+    code.  All functions operate on native [int]s; callers are expected to
+    stay far below [max_int] (simulated times are nanoseconds in an
+    embedded-scale horizon, well within 62 bits). *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is [a / b] rounded towards positive infinity.
+    Requires [b > 0] and [a >= 0]. *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 n] is the least [k] with [2{^k} >= n].  Requires [n >= 1].
+    The paper's heap cost models use [ceil_log2 (n + 1)]. *)
+
+val gcd : int -> int -> int
+(** Greatest common divisor.  [gcd 0 0 = 0]; arguments must be [>= 0]. *)
+
+val lcm : int -> int -> int
+(** Least common multiple.  [lcm 0 x = 0]. *)
+
+val lcm_list : int list -> int
+(** LCM of a list; the hyperperiod of a list of task periods.
+    [lcm_list [] = 1]. *)
+
+val pow : int -> int -> int
+(** [pow b e] is [b{^e}] for [e >= 0]. *)
+
+val clamp : lo:int -> hi:int -> int -> int
+(** [clamp ~lo ~hi x] bounds [x] into the inclusive range [lo, hi].
+    Requires [lo <= hi]. *)

@@ -1,0 +1,53 @@
+(* splitmix64: tiny, fast, passes BigCrush when used as a 64-bit stream.
+   Perfect for reproducible simulation workloads; not for cryptography. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create ~seed = { state = mix (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t i =
+  (* Derive the child from the parent's *current* state and the index,
+     without advancing the parent: children are reproducible no matter
+     how much of the parent stream is consumed afterwards. *)
+  let h = mix (Int64.logxor t.state (mix (Int64.of_int (i + 0x5151))) ) in
+  { state = h }
+
+let copy t = { state = t.state }
+
+let int t bound =
+  assert (bound > 0);
+  let mask = Int64.shift_right_logical (bits64 t) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+let int_in t ~lo ~hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let b = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  b /. 9007199254740992.0 *. bound (* 2^53 *)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))

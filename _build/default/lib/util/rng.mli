@@ -1,0 +1,43 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    The experiment harness must be reproducible run-to-run (the paper
+    averages 500 random workloads per data point; we want the same 500
+    every time), so we use our own splitmix64-based generator instead of
+    the ambient [Random] state.  Each generator is an independent value;
+    [split] derives a statistically independent child stream, which lets
+    workload [i] of an experiment use stream [split i] regardless of how
+    many numbers earlier workloads consumed. *)
+
+type t
+
+val create : seed:int -> t
+(** A fresh generator from a seed.  Equal seeds give equal streams. *)
+
+val split : t -> int -> t
+(** [split t i] derives an independent child generator; children with
+    distinct [i] are independent of each other and of [t]'s future
+    output.  Does not perturb [t]. *)
+
+val copy : t -> t
+(** A generator that will produce the same future stream as [t]. *)
+
+val bits64 : t -> int64
+(** Next 64 uniformly random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).  Requires [bound > 0]. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** Uniform in the inclusive range [lo, hi].  Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+(** A fair coin flip. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniformly random element.  Requires a non-empty array. *)

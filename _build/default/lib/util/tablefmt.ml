@@ -1,0 +1,57 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = { headers : string list; mutable rows : row list (* reversed *) }
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Tablefmt.add_row: cell count mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render ?(align = Right) t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let measure = function
+    | Rule -> ()
+    | Cells cs ->
+      List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cs
+  in
+  List.iter measure rows;
+  let pad i c =
+    let w = widths.(i) in
+    let gap = w - String.length c in
+    match align with
+    | Left -> c ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ c
+  in
+  let buf = Buffer.create 256 in
+  let emit_cells cs =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad i c))
+      cs;
+    Buffer.add_char buf '\n'
+  in
+  let total =
+    Array.fold_left ( + ) 0 widths + (2 * (Array.length widths - 1))
+  in
+  emit_cells t.headers;
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  let emit = function
+    | Cells cs -> emit_cells cs
+    | Rule ->
+      Buffer.add_string buf (String.make total '-');
+      Buffer.add_char buf '\n'
+  in
+  List.iter emit rows;
+  Buffer.contents buf
+
+let cell_f ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let cell_i = string_of_int

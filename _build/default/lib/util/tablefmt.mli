@@ -1,0 +1,25 @@
+(** Plain-text table rendering for the experiment harness, so every
+    regenerated table/figure prints the same rows the paper reports. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:string list -> t
+(** A table whose column count is fixed by [headers]. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; must have exactly as many cells as there are
+    headers. *)
+
+val add_rule : t -> unit
+(** Append a horizontal rule. *)
+
+val render : ?align:align -> t -> string
+(** Render with padded columns; numbers read best with [Right]
+    (the default). *)
+
+val cell_f : ?decimals:int -> float -> string
+(** Format a float cell ([decimals] defaults to 2). *)
+
+val cell_i : int -> string

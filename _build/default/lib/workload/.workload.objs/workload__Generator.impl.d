@@ -1,0 +1,1 @@
+lib/workload/generator.ml: List Model Util

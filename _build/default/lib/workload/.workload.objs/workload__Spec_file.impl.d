@@ -1,0 +1,1 @@
+lib/workload/spec_file.ml: Array Buffer Float In_channel List Model Printf Result String

@@ -1,0 +1,32 @@
+let random_period rng =
+  (* Equal probability for each digit class (§5.7). *)
+  match Util.Rng.int rng 3 with
+  | 0 -> Model.Time.ms (Util.Rng.int_in rng ~lo:5 ~hi:9)
+  | 1 -> Model.Time.ms (Util.Rng.int_in rng ~lo:10 ~hi:99)
+  | _ -> Model.Time.ms (Util.Rng.int_in rng ~lo:100 ~hi:999)
+
+let scale_to_utilization taskset target =
+  let u = Model.Taskset.utilization taskset in
+  if u <= 0.0 then None else Model.Taskset.scale_wcets taskset (target /. u)
+
+let random_taskset ~rng ~n ?(target_u = 0.5) () =
+  if n < 1 then invalid_arg "Generator.random_taskset: n must be >= 1";
+  let task i =
+    let period = random_period rng in
+    (* Draw raw WCET as 1–25 % of the period (microsecond resolution);
+       the set is then rescaled to the target utilization, so only the
+       relative spread matters. *)
+    let permille = Util.Rng.int_in rng ~lo:10 ~hi:250 in
+    let wcet = max (Model.Time.us 10) (period * permille / 1000) in
+    Model.Task.make ~id:(i + 1) ~period ~wcet ~blocking_calls:(i mod 2) ()
+  in
+  let set = Model.Taskset.of_list (List.init n task) in
+  match scale_to_utilization set target_u with
+  | Some scaled -> scaled
+  | None -> set (* target unreachable: keep the raw draw *)
+
+let batch ~seed ~n ~count ?target_u () =
+  let root = Util.Rng.create ~seed in
+  List.init count (fun i ->
+      let rng = Util.Rng.split root i in
+      random_taskset ~rng ~n ?target_u ())

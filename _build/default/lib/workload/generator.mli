@@ -1,0 +1,26 @@
+(** Random workloads per the paper's test procedure (§5.7):
+
+    - task periods are drawn so each has equal probability of being
+      single-digit (5–9 ms), double-digit (10–99 ms) or triple-digit
+      (100–999 ms) — the short/long mix typical of control systems;
+    - execution times are drawn and then scaled so the workload starts
+      at a moderate utilization; the breakdown search scales further;
+    - Figures 4 and 5 divide all periods by 2 and 3 respectively. *)
+
+val random_taskset :
+  rng:Util.Rng.t -> n:int -> ?target_u:float -> unit -> Model.Taskset.t
+(** An [n]-task workload with the §5.7 period distribution; WCETs are
+    scaled to [target_u] (default 0.5) when achievable.  Blocking-call
+    counts alternate 0/1 so half the tasks make one blocking call per
+    period, matching the 1.5 overhead factor. *)
+
+val batch :
+  seed:int -> n:int -> count:int -> ?target_u:float -> unit ->
+  Model.Taskset.t list
+(** [count] independent reproducible workloads: workload [i] is built
+    from the split stream [i] of [seed], so changing [count] or
+    consuming order never changes workload [i]. *)
+
+val scale_to_utilization : Model.Taskset.t -> float -> Model.Taskset.t option
+(** Scale WCETs to hit a target utilization; [None] if some WCET would
+    exceed its deadline. *)

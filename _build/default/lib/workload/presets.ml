@@ -1,0 +1,70 @@
+let task ?blocking_calls id period_ms wcet_us =
+  Model.Task.make ?blocking_calls ~id ~period:(Model.Time.ms period_ms)
+    ~wcet:(Model.Time.us wcet_us) ()
+
+let table2 =
+  Model.Taskset.of_list
+    [
+      task 1 4 1000;
+      task 2 5 1000;
+      task 3 6 1000;
+      task 4 7 1000;
+      task 5 8 400;
+      task 6 50 1000;
+      task 7 60 1000;
+      task 8 70 1000;
+      task 9 80 1000;
+      task 10 90 1000;
+    ]
+
+let table2_troublesome_rank = 4
+
+let engine_control =
+  Model.Taskset.of_list
+    [
+      (* crank-synchronous: injection and ignition timing *)
+      task ~blocking_calls:1 1 5 900;
+      task 2 5 600;
+      task ~blocking_calls:1 3 10 1400;
+      (* fuel/spark maps, knock control, lambda regulation *)
+      task 4 20 2500;
+      task ~blocking_calls:1 5 20 1800;
+      task 6 40 3000;
+      task 7 50 2200;
+      (* diagnostics, thermal model, idle governor *)
+      task ~blocking_calls:1 8 100 6000;
+      task 9 200 9000;
+      task 10 250 5000;
+      task ~blocking_calls:1 11 500 12000;
+      task 12 1000 15000;
+    ]
+
+let avionics =
+  Model.Taskset.of_list
+    [
+      task ~blocking_calls:1 1 5 700;
+      task 2 10 1200;
+      task ~blocking_calls:1 3 10 800;
+      task 4 20 2000;
+      task 5 20 1500;
+      task ~blocking_calls:1 6 40 2600;
+      task 7 40 2000;
+      task 8 80 5000;
+      task ~blocking_calls:1 9 80 4200;
+      task 10 160 8000;
+      task 11 160 6500;
+      task ~blocking_calls:1 12 320 14000;
+      task 13 640 20000;
+      task 14 640 16000;
+    ]
+
+let voice =
+  Model.Taskset.of_list
+    [
+      task ~blocking_calls:1 1 20 7000; (* speech codec frame *)
+      task 2 20 1500; (* echo cancellation *)
+      task ~blocking_calls:1 3 40 2500; (* channel protocol *)
+      task 4 100 3000; (* keypad scan *)
+      task 5 250 8000; (* display refresh *)
+      task ~blocking_calls:1 6 500 6000; (* battery/thermal *)
+    ]

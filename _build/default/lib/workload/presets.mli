@@ -1,0 +1,27 @@
+(** Named workloads used by examples, tests and experiments. *)
+
+val table2 : Model.Taskset.t
+(** The paper's Table 2: ten tasks, U = 0.88, feasible under EDF but
+    infeasible under RM (tau5 misses its 8 ms deadline, Figure 2).
+    The paper's table prints only U = 0.88 legibly in our source; the
+    periods/WCETs here are reconstructed to satisfy every property the
+    text states: tau1..tau4 execute in [0,4) and again before 8 ms,
+    d5 = 8 ms, tau6..tau10 have much longer periods, and U = 0.884. *)
+
+val table2_troublesome_rank : int
+(** RM rank (0-based) of tau5, the troublesome task: CSD-2 needs
+    [Csd [rank + 1]] to cover it. *)
+
+val engine_control : Model.Taskset.t
+(** A 12-task automotive engine-control workload (crank-synchronous
+    short-period tasks, medium-rate fuel/spark control, slow thermal
+    management) — the small-memory embedded profile of §2. *)
+
+val avionics : Model.Taskset.t
+(** A 14-task avionics-style workload with harmonically related
+    periods. *)
+
+val voice : Model.Taskset.t
+(** A cellular-phone-style workload: a 20 ms voice-compression frame
+    task plus keypad/display/protocol housekeeping (§1's motivating
+    applications). *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Emeralds List Model QCheck2 QCheck_alcotest Sim Util Workload

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Emeralds Experiments List Printf String

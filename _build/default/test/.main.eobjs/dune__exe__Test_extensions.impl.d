@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Analysis Array Condvar Driver Emeralds Experiments Fieldbus Kernel List Model Objects Printf Program Result Sched Sim State_msg String Types Workload

@@ -1,0 +1,1 @@
+test/test_fieldbus.ml: Alcotest Fieldbus List Model Sim

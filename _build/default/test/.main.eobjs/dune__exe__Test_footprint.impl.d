@@ -1,0 +1,1 @@
+test/test_footprint.ml: Alcotest Emeralds List String

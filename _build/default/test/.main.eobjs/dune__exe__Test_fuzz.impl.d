@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Emeralds Hashtbl Kernel List Model Objects Program QCheck2 QCheck_alcotest Random Sched Sim State_msg Types Util

@@ -1,0 +1,1 @@
+test/test_ipc.ml: Alcotest Array Emeralds Kernel List Model Objects Printf Program Sched Sim State_msg Types

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Analysis Array Emeralds Kernel List Model Objects Program QCheck2 QCheck_alcotest Sched Sim Workload

@@ -1,0 +1,1 @@
+test/test_readyq.ml: Alcotest Array Emeralds List Mock QCheck2 QCheck_alcotest Readyq

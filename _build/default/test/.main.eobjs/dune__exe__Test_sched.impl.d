@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Emeralds List Mock Model Sched Sim

@@ -1,0 +1,1 @@
+test/test_sem.ml: Alcotest Array Emeralds Kernel List Model Objects Option Printf Program QCheck2 QCheck_alcotest Random Sched Sim Types Util

@@ -1,0 +1,1 @@
+test/test_state_msg.ml: Alcotest Array Emeralds List Model Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array List Model QCheck2 QCheck_alcotest Util Workload

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "emeralds"
+    [
+      ("util", Test_util.suite);
+      ("model", Test_model.suite);
+      ("sim", Test_sim.suite);
+      ("state-msg", Test_state_msg.suite);
+      ("readyq", Test_readyq.suite);
+      ("sched", Test_sched.suite);
+      ("kernel", Test_kernel.suite);
+      ("semaphores", Test_sem.suite);
+      ("ipc", Test_ipc.suite);
+      ("analysis", Test_analysis.suite);
+      ("workload", Test_workload.suite);
+      ("fieldbus", Test_fieldbus.suite);
+      ("footprint", Test_footprint.suite);
+      ("experiments", Test_experiments.suite);
+      ("extensions", Test_extensions.suite);
+      ("fuzz", Test_fuzz.suite);
+    ]

@@ -1,0 +1,248 @@
+(* The evaluation reproductions themselves: each experiment's *shape*
+   claims (who wins, what grows, what stays flat) are asserted here, so
+   `dune runtest` certifies the paper's results end-to-end. *)
+
+open Alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 *)
+
+let test_table1_shapes () =
+  let rows = Experiments.Exp_table1.measure () in
+  let find op structure =
+    List.find
+      (fun (r : Experiments.Exp_table1.row) -> r.op = op && r.structure = structure)
+      rows
+  in
+  let flat r = abs_float r.Experiments.Exp_table1.fit.slope < 0.01 in
+  let linear r = r.Experiments.Exp_table1.fit.slope > 0.5 in
+  (* EDF: O(1) block/unblock, O(n) select *)
+  check bool "edf t_b flat" true (flat (find "t_b" "EDF-queue"));
+  check bool "edf t_u flat" true (flat (find "t_u" "EDF-queue"));
+  check bool "edf t_s linear" true (linear (find "t_s" "EDF-queue"));
+  (* RM: O(n) block, O(1) unblock/select *)
+  check bool "rm t_b linear" true (linear (find "t_b" "RM-queue"));
+  check bool "rm t_u flat" true (flat (find "t_u" "RM-queue"));
+  check bool "rm t_s flat" true (flat (find "t_s" "RM-queue"));
+  (* heap: log-domain fits with high r2 *)
+  let heap_b = find "t_b" "RM-heap" in
+  check bool "heap t_b log-shaped" true
+    (heap_b.log_domain && heap_b.fit.slope > 0.5);
+  (* charged model equals the paper's numbers at n = 15 *)
+  List.iter
+    (fun (r : Experiments.Exp_table1.row) ->
+      check (float 0.01) (r.op ^ " " ^ r.structure ^ " matches paper")
+        r.paper_us_at_15 r.model_us_at_15)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2 *)
+
+let test_figure2_outcomes () =
+  let outcomes = Experiments.Exp_figure2.outcomes () in
+  let get name =
+    List.find
+      (fun (o : Experiments.Exp_figure2.outcome) -> o.scheduler = name)
+      outcomes
+  in
+  let rm = get "RM" in
+  check bool "RM misses" true (rm.misses > 0);
+  check (option int) "tau5 is the victim" (Some 5) rm.missed_task;
+  check (option (float 0.01)) "at 8ms" (Some 8.0) rm.first_miss_ms;
+  List.iter
+    (fun name -> check int (name ^ " clean") 0 (get name).misses)
+    [ "EDF"; "CSD-2"; "CSD-3" ];
+  let timeline = Experiments.Exp_figure2.rm_timeline () in
+  check bool "timeline shows the miss" true
+    (String.length timeline > 0
+    &&
+    let rec contains i =
+      i + 4 <= String.length timeline
+      && (String.sub timeline i 4 = "MISS" || contains (i + 1))
+    in
+    contains 0)
+
+(* ------------------------------------------------------------------ *)
+(* Figures 3-5 (reduced sweep) *)
+
+let test_breakdown_figures_shapes () =
+  let figures =
+    Experiments.Exp_figures3_5.compute ~seed:7 ~workloads:8 ~ns:[ 15; 40 ]
+      ~divisors:[ 1; 3 ] ()
+  in
+  let value fig n sched =
+    let f = List.find (fun (f : Experiments.Exp_figures3_5.figure) -> f.divisor = fig) figures in
+    let p = List.find (fun (p : Experiments.Exp_figures3_5.point) -> p.n = n) f.points in
+    List.assoc sched p.by_sched
+  in
+  (* CSD-3 dominates both EDF and RM everywhere (small tolerance for
+     the reduced workload count) *)
+  List.iter
+    (fun (d, n) ->
+      check bool
+        (Printf.sprintf "CSD-3 >= EDF (div %d, n %d)" d n)
+        true
+        (value d n "CSD-3" >= value d n "EDF" -. 0.02);
+      check bool
+        (Printf.sprintf "CSD-3 >= RM (div %d, n %d)" d n)
+        true
+        (value d n "CSD-3" >= value d n "RM" -. 0.02))
+    [ (1, 15); (1, 40); (3, 15); (3, 40) ];
+  (* EDF leads RM at long periods and small n... *)
+  check bool "EDF > RM on Figure 3" true (value 1 15 "EDF" > value 1 15 "RM");
+  (* ...but RM overtakes EDF at divided periods and large n (Figure 5) *)
+  check bool "RM >= EDF at div 3, n = 40" true
+    (value 3 40 "RM" >= value 3 40 "EDF" -. 0.01);
+  (* utilization degrades with n for every scheduler *)
+  List.iter
+    (fun sched ->
+      check bool (sched ^ " declines with n") true
+        (value 3 40 sched < value 3 15 sched))
+    Experiments.Exp_figures3_5.schedulers
+
+(* ------------------------------------------------------------------ *)
+(* Table 3 *)
+
+let test_table3_growth () =
+  let cells = Experiments.Exp_table3.measure () in
+  let get case =
+    List.find (fun (c : Experiments.Exp_table3.cell) -> c.case = case) cells
+  in
+  (* linear cases grow markedly when sizes double; the FP-block case is
+     dominated by its O(n - r) scan *)
+  List.iter
+    (fun case ->
+      let c = get case in
+      check bool (case ^ " grows") true (c.us_large > c.us_small *. 1.15))
+    [ "DP1 block"; "DP2 block"; "FP block"; "FP unblock" ];
+  (* every cost is positive and small-scale sane *)
+  List.iter
+    (fun (c : Experiments.Exp_table3.cell) ->
+      check bool (c.case ^ " positive") true (c.us_small > 0.0))
+    cells
+
+(* ------------------------------------------------------------------ *)
+(* Figures 11-12 *)
+
+let test_semaphore_curves () =
+  let dp = Experiments.Exp_sem.dp_curve ~lengths:[ 3; 15; 30 ] () in
+  let fp = Experiments.Exp_sem.fp_curve ~lengths:[ 3; 15; 30 ] () in
+  List.iter
+    (fun (m : Experiments.Exp_sem.measurement) ->
+      check bool "EMERALDS cheaper (DP)" true (m.emeralds_us < m.standard_us);
+      check bool "one switch saved" true
+        (m.emeralds_switches = m.standard_switches - 1))
+    dp;
+  List.iter
+    (fun (m : Experiments.Exp_sem.measurement) ->
+      check bool "EMERALDS cheaper (FP)" true (m.emeralds_us < m.standard_us))
+    fp;
+  (* DP: standard slope is twice the new scheme's *)
+  let slope curve pick =
+    let get len =
+      pick (List.find (fun (m : Experiments.Exp_sem.measurement) -> m.queue_len = len) curve)
+    in
+    (get 30 -. get 3) /. 27.0
+  in
+  let std_slope = slope dp (fun m -> m.standard_us) in
+  let eme_slope = slope dp (fun m -> m.emeralds_us) in
+  check (float 0.05) "2:1 slope ratio" 2.0 (std_slope /. eme_slope);
+  (* FP: the new scheme is constant, the standard one grows *)
+  let fp_at len pick =
+    pick (List.find (fun (m : Experiments.Exp_sem.measurement) -> m.queue_len = len) fp)
+  in
+  check (float 0.5) "FP EMERALDS flat"
+    (fp_at 3 (fun m -> m.emeralds_us))
+    (fp_at 30 (fun m -> m.emeralds_us));
+  check bool "FP standard grows" true
+    (fp_at 30 (fun m -> m.standard_us) > fp_at 3 (fun m -> m.standard_us) +. 5.0)
+
+let test_scenario_timelines_differ () =
+  let std = Experiments.Exp_sem.scenario_timeline ~kind:Emeralds.Types.Standard in
+  let eme = Experiments.Exp_sem.scenario_timeline ~kind:Emeralds.Types.Emeralds in
+  check bool "both render" true (String.length std > 0 && String.length eme > 0);
+  check bool "different event sequences" true (std <> eme)
+
+(* ------------------------------------------------------------------ *)
+(* IPC (section 7) *)
+
+let test_ipc_shapes () =
+  let rows =
+    Experiments.Exp_ipc.measure ~readers_list:[ 1; 4; 8 ] ~words_list:[ 4; 64 ] ()
+  in
+  List.iter
+    (fun (r : Experiments.Exp_ipc.row) ->
+      check bool "state messages cheapest" true
+        (r.state_us < r.mailbox_us && r.state_us < r.shared_sem_us))
+    rows;
+  let find readers words =
+    List.find
+      (fun (r : Experiments.Exp_ipc.row) -> r.readers = readers && r.words = words)
+      rows
+  in
+  (* mailbox cost grows about linearly with the reader count *)
+  let m1 = (find 1 4).mailbox_us and m8 = (find 8 4).mailbox_us in
+  check bool "mailboxes scale with readers" true (m8 > 5.0 *. m1);
+  (* everything grows with message size *)
+  check bool "state grows with words" true
+    ((find 4 64).state_us > (find 4 4).state_us);
+  (* the writer-side advantage: state messaging grows far slower with
+     readers than mailboxes do *)
+  let s1 = (find 1 4).state_us and s8 = (find 8 4).state_us in
+  check bool "state-msg scaling milder than mailbox" true
+    (s8 /. s1 < m8 /. m1)
+
+(* ------------------------------------------------------------------ *)
+(* Interrupt latency (§3) *)
+
+let test_interrupt_latency_flat_under_csd () =
+  let csd =
+    Experiments.Exp_interrupt.measure ~irqs:25 ~background:[ 2; 40 ] ()
+  in
+  let edf =
+    Experiments.Exp_interrupt.measure ~spec:Emeralds.Sched.Edf ~irqs:25
+      ~background:[ 2; 40 ] ()
+  in
+  let mean rows n =
+    (List.find
+       (fun (r : Experiments.Exp_interrupt.row) -> r.background_tasks = n)
+       rows)
+      .mean_latency_us
+  in
+  List.iter
+    (fun (r : Experiments.Exp_interrupt.row) ->
+      check int "every interrupt reached the driver" 25 r.interrupts)
+    csd;
+  check bool "CSD latency flat in background load" true
+    (abs_float (mean csd 40 -. mean csd 2) < 1.0);
+  check bool "EDF latency grows with the task count" true
+    (mean edf 40 > mean edf 2 +. 3.0)
+
+(* ------------------------------------------------------------------ *)
+(* CSV export *)
+
+let test_csv_export () =
+  let figures =
+    Experiments.Exp_figures3_5.compute ~seed:3 ~workloads:2 ~ns:[ 10 ]
+      ~divisors:[ 1 ] ()
+  in
+  let csv = Experiments.Exp_figures3_5.to_csv figures in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  (* header + one row per scheduler *)
+  check int "row count" (1 + List.length Experiments.Exp_figures3_5.schedulers)
+    (List.length lines);
+  check string "header" "divisor,n,scheduler,breakdown_utilization"
+    (List.hd lines)
+
+let suite =
+  [
+    test_case "table 1: structure shapes" `Quick test_table1_shapes;
+    test_case "figure 2: outcomes" `Quick test_figure2_outcomes;
+    test_case "figures 3-5: breakdown shapes" `Slow test_breakdown_figures_shapes;
+    test_case "table 3: growth" `Quick test_table3_growth;
+    test_case "figures 11-12: semaphore curves" `Quick test_semaphore_curves;
+    test_case "figure 8: timelines differ" `Quick test_scenario_timelines_differ;
+    test_case "ipc: section 7 shapes" `Quick test_ipc_shapes;
+    test_case "interrupt latency shapes" `Quick test_interrupt_latency_flat_under_csd;
+    test_case "csv export" `Quick test_csv_export;
+  ]

@@ -1,0 +1,105 @@
+(* The fieldbus substrate: priority arbitration, transmission timing,
+   delivery fan-out. *)
+
+open Alcotest
+
+let ms = Model.Time.ms
+let us = Model.Time.us
+
+let frame ?(enqueued_at = 0) ~id ~src payload =
+  { Fieldbus.Bus.frame_id = id; src_node = src; payload; enqueued_at }
+
+let setup ?(bitrate = 1_000_000) () =
+  let engine = Sim.Engine.create () in
+  let bus = Fieldbus.Bus.create ~engine ~bitrate_bps:bitrate () in
+  (engine, bus)
+
+let test_transmission_time () =
+  (* 47 overhead bits + 32 payload bits at 1 Mbit/s = 79 us *)
+  let engine, bus = setup () in
+  let delivered = ref None in
+  Fieldbus.Bus.subscribe bus ~node:1 (fun _ ->
+      delivered := Some (Sim.Engine.now engine));
+  Fieldbus.Bus.send bus (frame ~id:1 ~src:0 [| 5 |]);
+  Sim.Engine.run engine;
+  check (option int) "79us frame" (Some (us 79)) !delivered;
+  check int "busy time" (us 79) (Fieldbus.Bus.bus_busy_time bus)
+
+let test_priority_arbitration () =
+  let engine, bus = setup () in
+  let order = ref [] in
+  Fieldbus.Bus.subscribe bus ~node:9 (fun f ->
+      order := f.Fieldbus.Bus.frame_id :: !order);
+  (* node 0 wins the bus with id 5; while it transmits, 3 and 1 queue:
+     lower id goes first when the bus frees *)
+  Fieldbus.Bus.send bus (frame ~id:5 ~src:0 [| 1 |]);
+  ignore
+    (Sim.Engine.schedule engine ~at:(us 10) (fun () ->
+         Fieldbus.Bus.send bus (frame ~id:3 ~src:1 [| 2 |]);
+         Fieldbus.Bus.send bus (frame ~id:1 ~src:2 [| 3 |])));
+  Sim.Engine.run engine;
+  check (list int) "arbitration order" [ 5; 1; 3 ] (List.rev !order);
+  check int "three frames" 3 (Fieldbus.Bus.frames_sent bus)
+
+let test_no_self_delivery () =
+  let engine, bus = setup () in
+  let got = ref 0 in
+  Fieldbus.Bus.subscribe bus ~node:0 (fun _ -> incr got);
+  Fieldbus.Bus.subscribe bus ~node:1 (fun _ -> incr got);
+  Fieldbus.Bus.send bus (frame ~id:1 ~src:0 [| 1 |]);
+  Sim.Engine.run engine;
+  check int "only the other node hears it" 1 !got
+
+let test_arbitration_delay_tracking () =
+  let engine, bus = setup () in
+  Fieldbus.Bus.subscribe bus ~node:1 (fun _ -> ());
+  Fieldbus.Bus.send bus (frame ~id:2 ~src:0 [| 1 |]);
+  Fieldbus.Bus.send bus (frame ~id:4 ~src:0 [| 2 |]);
+  Sim.Engine.run engine;
+  (* second frame waited for the first one's 79us *)
+  check int "max arbitration delay" (us 79)
+    (Fieldbus.Bus.max_arbitration_delay bus);
+  ignore ms
+
+let test_validation () =
+  let _, bus = setup () in
+  check bool "negative id rejected" true
+    (try
+       Fieldbus.Bus.send bus (frame ~id:(-1) ~src:0 [| 1 |]);
+       false
+     with Invalid_argument _ -> true);
+  check bool "oversized payload rejected" true
+    (try
+       Fieldbus.Bus.send bus (frame ~id:1 ~src:0 [| 1; 2; 3 |]);
+       false
+     with Invalid_argument _ -> true);
+  check bool "bad bitrate rejected" true
+    (try
+       let engine = Sim.Engine.create () in
+       ignore (Fieldbus.Bus.create ~engine ~bitrate_bps:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_saturation () =
+  (* 2 Mbit/s bus: a 79-bit frame takes 39.5us -> 1000 frames need
+     ~39.5ms of bus time. *)
+  let engine, bus = setup ~bitrate:2_000_000 () in
+  Fieldbus.Bus.subscribe bus ~node:1 (fun _ -> ());
+  for i = 1 to 1000 do
+    Fieldbus.Bus.send bus (frame ~id:(i mod 32) ~src:0 [| i |])
+  done;
+  Sim.Engine.run engine;
+  check int "all delivered" 1000 (Fieldbus.Bus.frames_sent bus);
+  check int "none pending" 0 (Fieldbus.Bus.pending bus);
+  check bool "bus time accounted" true
+    (Fieldbus.Bus.bus_busy_time bus = 1000 * ((47 + 32) * 500))
+
+let suite =
+  [
+    test_case "transmission time" `Quick test_transmission_time;
+    test_case "priority arbitration" `Quick test_priority_arbitration;
+    test_case "no self delivery" `Quick test_no_self_delivery;
+    test_case "arbitration delay tracking" `Quick test_arbitration_delay_tracking;
+    test_case "validation" `Quick test_validation;
+    test_case "saturation" `Quick test_saturation;
+  ]

@@ -1,0 +1,48 @@
+(* The memory-footprint model (§3: "a rich set of OS services in just
+   13 kbytes of code"). *)
+
+open Alcotest
+
+let test_code_budget () =
+  let total = Emeralds.Footprint.total_code_bytes in
+  check bool "about 13 KB of kernel code" true
+    (total >= 12_000 && total <= 14_500);
+  List.iter
+    (fun (name, bytes) ->
+      check bool (name ^ " positive") true (bytes > 0);
+      check bool (name ^ " small") true (bytes < 4_000))
+    Emeralds.Footprint.kernel_code_bytes
+
+let test_ram_model () =
+  let base = Emeralds.Footprint.default_config in
+  let ram = Emeralds.Footprint.total_ram_bytes base in
+  check bool "default config fits small memory" true (ram < 32_768);
+  (* monotone in threads *)
+  let more = { base with threads = base.threads + 5 } in
+  check bool "more threads, more RAM" true
+    (Emeralds.Footprint.total_ram_bytes more > ram);
+  (* state messages scale with depth x words *)
+  let deeper = { base with state_messages = [ (16, 64) ] } in
+  let shallow = { base with state_messages = [ (2, 64) ] } in
+  check bool "deeper buffers cost more" true
+    (Emeralds.Footprint.total_ram_bytes deeper
+    > Emeralds.Footprint.total_ram_bytes shallow)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i =
+    i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1))
+  in
+  scan 0
+
+let test_report_renders () =
+  let report = Emeralds.Footprint.report Emeralds.Footprint.default_config in
+  check bool "mentions the code total" true (contains report "TOTAL kernel code");
+  check bool "mentions RAM" true (contains report "TOTAL kernel-object RAM")
+
+let suite =
+  [
+    test_case "code budget" `Quick test_code_budget;
+    test_case "RAM model" `Quick test_ram_model;
+    test_case "report rendering" `Quick test_report_renders;
+  ]

@@ -1,0 +1,205 @@
+(* Kernel fuzzing: random workloads with random (balanced) thread
+   programs under every scheduler and both cost models.  Asserts that
+   no kernel invariant ever breaks and that the execution trace is
+   well-formed — deadline misses and blocked-forever threads are
+   legitimate outcomes; crashes, corrupted queues, phantom context
+   switches and unbalanced semaphores are not. *)
+
+open Emeralds
+
+let qtest ?(count = 120) name gen law =
+  QCheck_alcotest.to_alcotest ~speed_level:`Quick
+    (QCheck2.Test.make ~count ~name gen law)
+
+let ms = Model.Time.ms
+let us = Model.Time.us
+
+(* --- random programs ------------------------------------------------ *)
+
+(* Shared objects: two mutexes (nested only in s1 -> s2 order, so
+   self-deadlock is impossible and cross-deadlock merely blocks), one
+   wait queue, one mailbox, one state message. *)
+type objects = {
+  s1 : Types.sem;
+  s2 : Types.sem;
+  wq : Types.waitq;
+  mb : Types.mailbox;
+  sm : State_msg.t;
+}
+
+let fresh_objects kind =
+  {
+    s1 = Objects.sem ~kind ();
+    s2 = Objects.sem ~kind ();
+    wq = Objects.waitq ();
+    mb = Objects.mailbox ~capacity:2 ();
+    sm = State_msg.create ~depth:3 ~words:2;
+  }
+
+(* One program atom.  [allow_s1] prevents re-acquiring the outer mutex
+   inside its own critical section (self-deadlock is a program bug,
+   not a kernel behaviour we want to fuzz). *)
+let gen_atom objs ~allow_s1 =
+  QCheck2.Gen.(
+    let mutex = if allow_s1 then objs.s1 else objs.s2 in
+    frequency
+      [
+        ( 6,
+          let+ n = int_range 50 800 in
+          [ Program.compute (us n) ] );
+        ( 2,
+          let+ n = int_range 100 500 in
+          Program.critical mutex (us n) );
+        ( 1,
+          let+ n = int_range 50 300 in
+          [ Program.delay (us (500 + n)) ] );
+        (1, return [ Program.signal objs.wq ]);
+        (1, return [ Program.wait objs.wq ]);
+        ( 1,
+          let+ n = int_range 100 2_000 in
+          [ Program.timed_wait objs.wq (us n) ] );
+        (1, return [ Program.send objs.mb [| 1; 2 |] ]);
+        (1, return [ Program.recv objs.mb ]);
+        (1, return [ Program.state_write objs.sm [| 3; 4 |] ]);
+        (1, return [ Program.state_read objs.sm ]);
+      ])
+
+(* A nested section: hold s1 across inner atoms that may block, take
+   s2, signal, ... — the §6.3.2 blocking-while-holding patterns. *)
+let gen_nested objs =
+  QCheck2.Gen.(
+    let* inner = gen_atom objs ~allow_s1:false in
+    let+ n = int_range 50 200 in
+    (Program.acquire objs.s1 :: inner)
+    @ [ Program.compute (us n); Program.release objs.s1 ])
+
+let gen_program objs =
+  QCheck2.Gen.(
+    let* len = int_range 1 5 in
+    let+ atoms =
+      list_repeat len
+        (frequency [ (4, gen_atom objs ~allow_s1:true); (1, gen_nested objs) ])
+    in
+    List.concat atoms)
+
+let gen_case =
+  QCheck2.Gen.(
+    let* n = int_range 2 5 in
+    let* kind = oneofl [ Types.Standard; Types.Emeralds ] in
+    let* spec_idx = int_bound 3 in
+    let* costly = bool in
+    let* tick = oneofl [ None; Some (ms 1); Some (us 700) ] in
+    let* seed = int_range 1 10_000 in
+    return (n, kind, spec_idx, costly, tick, seed))
+
+let spec_of idx n =
+  match idx with
+  | 0 -> Sched.Edf
+  | 1 -> Sched.Rm
+  | 2 -> Sched.Rm_heap
+  | _ -> Sched.Csd [ max 1 (n / 2) ]
+
+(* --- trace well-formedness ------------------------------------------ *)
+
+let well_formed_trace entries horizon =
+  let last_to = ref None in
+  let holders : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  let ok = ref true in
+  let fail_if b = if b then ok := false in
+  List.iter
+    (fun (s : Sim.Trace.stamped) ->
+      fail_if (s.at < 0 || s.at > horizon + ms 10);
+      match s.entry with
+      | Context_switch { from_tid; to_tid } ->
+        (* switches chain: you can only switch away from the thread
+           that last received the CPU *)
+        fail_if (from_tid <> !last_to);
+        last_to := to_tid
+      | Sem_acquired { tid; sem } ->
+        fail_if (Hashtbl.mem holders sem);
+        Hashtbl.replace holders sem tid
+      | Sem_released { tid; sem } -> (
+        match Hashtbl.find_opt holders sem with
+        | Some h ->
+          fail_if (h <> tid);
+          Hashtbl.remove holders sem
+        | None -> ok := false)
+      | _ -> ())
+    entries;
+  !ok
+
+(* --- the property ---------------------------------------------------- *)
+
+let run_case (n, kind, spec_idx, costly, tick, seed) =
+  let rng = Util.Rng.create ~seed in
+  let objs = fresh_objects kind in
+  let taskset =
+    Model.Taskset.of_list
+      (List.init n (fun i ->
+           let period =
+             Util.Rng.choose rng [| ms 10; ms 20; ms 25; ms 40; ms 50 |]
+           in
+           Model.Task.make ~id:(i + 1) ~period ~wcet:(ms 2) ()))
+  in
+  (* derive each task's program from the deterministic rng *)
+  let gen = QCheck2.Gen.generate1 ~rand:(Random.State.make [| seed |]) in
+  let programs = Array.init n (fun _ -> gen (gen_program objs)) in
+  let k =
+    Kernel.create
+      ~cost:(if costly then Sim.Cost.m68040 else Sim.Cost.zero)
+      ~spec:(spec_of spec_idx n) ~taskset ?tick
+      ~programs:(fun task -> programs.(task.id - 1))
+      ~optimized_pi:(kind = Types.Emeralds) ()
+  in
+  let horizon = ms 150 in
+  (* interleave structural checks with execution *)
+  let rec probes t =
+    if t < horizon then begin
+      Kernel.at k ~at:t (fun () -> Kernel.check_invariants k);
+      probes (t + ms 13)
+    end
+  in
+  probes (ms 1);
+  Kernel.run k ~until:horizon;
+  Kernel.check_invariants k;
+  let tr = Kernel.trace k in
+  Sim.Trace.busy_time tr <= horizon
+  && well_formed_trace (Sim.Trace.entries tr) horizon
+
+let prop_kernel_fuzz =
+  qtest "random programs never break kernel invariants" gen_case run_case
+
+let prop_busy_conservation =
+  qtest ~count:60 "zero-cost: busy time equals completed work"
+    QCheck2.Gen.(int_range 1 5_000)
+    (fun seed ->
+      let rng = Util.Rng.create ~seed in
+      let n = 1 + Util.Rng.int rng 4 in
+      let taskset =
+        Model.Taskset.of_list
+          (List.init n (fun i ->
+               Model.Task.make ~id:(i + 1)
+                 ~period:(Util.Rng.choose rng [| ms 10; ms 20; ms 40 |])
+                 ~wcet:(us (500 + Util.Rng.int rng 2000))
+                 ()))
+      in
+      let k =
+        Kernel.create ~cost:Sim.Cost.zero ~spec:Sched.Edf ~taskset ()
+      in
+      let horizon = ms 200 in
+      Kernel.run k ~until:horizon;
+      (* with zero overhead, banked busy time = sum of completed job
+         work + possibly one partial job per task *)
+      let completed_work =
+        List.fold_left
+          (fun acc (s : Kernel.task_stats) ->
+            let tcb = Kernel.tcb k ~tid:s.tid in
+            acc + (s.jobs_completed * tcb.Types.task.wcet))
+          0 (Kernel.stats k)
+      in
+      let busy = Sim.Trace.busy_time (Kernel.trace k) in
+      busy >= completed_work && busy <= completed_work + (n * ms 3))
+
+let suite = [ prop_kernel_fuzz; prop_busy_conservation ]
+
+

@@ -1,0 +1,303 @@
+(* Intra-node IPC: mailboxes (blocking message passing), wait queues /
+   signals / broadcast, the condition-variable pattern, and state
+   messages inside the kernel. *)
+
+open Alcotest
+open Emeralds
+
+let ms = Model.Time.ms
+
+let task ?phase id p c = Model.Task.make ?phase ~id ~period:(ms p) ~wcet:(ms c) ()
+
+let run_k ?(cost = Sim.Cost.zero) ?(spec = Sched.Edf) ~programs ts ~until =
+  let k = Kernel.create ~cost ~spec ~taskset:ts ~programs () in
+  Kernel.run k ~until;
+  k
+
+let stat k tid =
+  List.find (fun (s : Kernel.task_stats) -> s.tid = tid) (Kernel.stats k)
+
+let msgs_received k tid =
+  List.length
+    (List.filter
+       (fun (s : Sim.Trace.stamped) ->
+         match s.entry with
+         | Msg_received { tid = t; _ } -> t = tid
+         | _ -> false)
+       (Sim.Trace.entries (Kernel.trace k)))
+
+(* ------------------------------------------------------------------ *)
+(* Mailboxes *)
+
+let test_send_recv_basic () =
+  let mb = Objects.mailbox ~capacity:4 () in
+  let ts = Model.Taskset.of_list [ task 1 10 1; task 2 10 1 ] in
+  let programs (t : Model.Task.t) =
+    let open Program in
+    if t.id = 1 then [ compute (ms 1); send mb [| 42; 43 |] ]
+    else [ recv mb; compute (ms 1) ]
+  in
+  let k = run_k ~programs ts ~until:(ms 100) in
+  check int "receiver got every message" 10 (msgs_received k 2);
+  check int "no misses" 0 (Kernel.total_misses k);
+  (* payload integrity: the receiver's inbox holds the last message *)
+  let receiver = Kernel.tcb k ~tid:2 in
+  match receiver.Types.inbox with
+  | Some m ->
+    check (array int) "payload intact" [| 42; 43 |] m.Types.msg_data;
+    check int "source recorded" 1 m.Types.msg_src
+  | None -> fail "inbox empty"
+
+let test_recv_blocks_until_send () =
+  let mb = Objects.mailbox ~capacity:2 () in
+  let ts =
+    Model.Taskset.of_list [ task 1 100 1; task ~phase:(ms 20) 2 100 1 ]
+  in
+  let programs (t : Model.Task.t) =
+    let open Program in
+    if t.id = 1 then [ recv mb; compute (ms 1) ]
+    else [ send mb [| 7 |]; compute (ms 1) ]
+  in
+  let k = run_k ~programs ts ~until:(ms 100) in
+  (* receiver released at 0 but can only finish after the 20ms send *)
+  check int "receiver response includes the wait" (ms 21) (stat k 1).max_response
+
+let test_send_blocks_when_full () =
+  let mb = Objects.mailbox ~capacity:1 () in
+  let ts =
+    Model.Taskset.of_list [ task 1 200 5; task ~phase:(ms 50) 2 200 1 ]
+  in
+  let programs (t : Model.Task.t) =
+    let open Program in
+    if t.id = 1 then
+      (* second send must block on the full mailbox until the reader
+         drains it at 50ms *)
+      [ send mb [| 1 |]; send mb [| 2 |]; compute (ms 1) ]
+    else [ recv mb; recv mb; compute (ms 1) ]
+  in
+  let k = run_k ~programs ts ~until:(ms 200) in
+  check int "sender finished only after the drain" (ms 51)
+    (stat k 1).max_response;
+  check int "both messages arrived" 2 (msgs_received k 2)
+
+let test_mailbox_fifo () =
+  let mb = Objects.mailbox ~capacity:8 () in
+  let received = ref [] in
+  let ts = Model.Taskset.of_list [ task 1 100 1; task ~phase:(ms 10) 2 100 1 ] in
+  let programs (t : Model.Task.t) =
+    let open Program in
+    if t.id = 1 then
+      [ send mb [| 1 |]; send mb [| 2 |]; send mb [| 3 |] ]
+    else
+      [ recv mb; compute (ms 1); recv mb; compute (ms 1); recv mb;
+        compute (ms 1) ]
+  in
+  let k = Kernel.create ~cost:Sim.Cost.zero ~spec:Sched.Edf ~taskset:ts ~programs () in
+  (* snoop on delivery order via the receiver's inbox after each recv *)
+  let rec poll t =
+    if t <= ms 60 then begin
+      Kernel.at k ~at:t (fun () ->
+          let r = Kernel.tcb k ~tid:2 in
+          match r.Types.inbox with
+          | Some m -> (
+            match !received with
+            | x :: _ when x = m.Types.msg_data.(0) -> ()
+            | _ -> received := m.Types.msg_data.(0) :: !received)
+          | None -> ());
+      poll (t + Model.Time.us 200)
+    end
+  in
+  poll (ms 10);
+  Kernel.run k ~until:(ms 100);
+  check (list int) "FIFO order" [ 1; 2; 3 ] (List.rev !received)
+
+let test_mailbox_capacity_validation () =
+  check bool "capacity >= 1" true
+    (try
+       ignore (Objects.mailbox ~capacity:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Wait queues *)
+
+let test_signal_before_wait_is_pending () =
+  let wq = Objects.waitq () in
+  let ts =
+    Model.Taskset.of_list [ task 1 100 1; task ~phase:(ms 10) 2 100 1 ]
+  in
+  let programs (t : Model.Task.t) =
+    let open Program in
+    if t.id = 1 then [ signal wq; compute (ms 1) ]
+    else [ wait wq; compute (ms 1) ]
+  in
+  let k = run_k ~programs ts ~until:(ms 100) in
+  (* the waiter finds the signal already pending: no blocking at all *)
+  check int "waiter response" (ms 1) (stat k 2).max_response
+
+let test_broadcast_wakes_all () =
+  let wq = Objects.waitq () in
+  let ts =
+    Model.Taskset.of_list
+      [ task 1 100 1; task 2 100 1; task 3 100 1; task ~phase:(ms 5) 4 100 1 ]
+  in
+  let programs (t : Model.Task.t) =
+    let open Program in
+    if t.id = 4 then [ broadcast wq; compute (ms 1) ]
+    else [ wait wq; compute (ms 1) ]
+  in
+  let k = run_k ~programs ts ~until:(ms 100) in
+  List.iter
+    (fun tid ->
+      check int (Printf.sprintf "tau%d woke" tid) 1 (stat k tid).jobs_completed)
+    [ 1; 2; 3 ]
+
+let test_condition_variable_pattern () =
+  (* A producer/consumer monitor: consumer waits on a condition while
+     holding the monitor lock (released across the wait), producer
+     signals under the lock. *)
+  let mutex = Objects.sem ~kind:Types.Emeralds () in
+  let cond = Objects.waitq () in
+  let ts =
+    Model.Taskset.of_list [ task 1 50 2; task ~phase:(ms 10) 2 50 2 ]
+  in
+  let programs (t : Model.Task.t) =
+    let open Program in
+    if t.id = 1 then
+      (* consumer *)
+      (acquire mutex :: condition_wait cond mutex)
+      @ [ compute (ms 1); release mutex ]
+    else
+      (* producer *)
+      [ acquire mutex; compute (ms 1); signal cond; release mutex ]
+  in
+  let k = run_k ~programs ts ~until:(ms 50) in
+  check int "consumer completed" 1 (stat k 1).jobs_completed;
+  check int "producer completed" 1 (stat k 2).jobs_completed;
+  check int "no misses" 0 (Kernel.total_misses k)
+
+(* ------------------------------------------------------------------ *)
+(* State messages in the kernel *)
+
+let test_state_message_freshness () =
+  let sm = State_msg.create ~depth:3 ~words:1 in
+  let ts = Model.Taskset.of_list [ task 1 10 1; task 2 20 1 ] in
+  let seqs = ref [] in
+  let programs (t : Model.Task.t) =
+    let open Program in
+    if t.id = 1 then [ compute (ms 1); state_write sm [| 5 |] ]
+    else [ state_read sm; compute (ms 1) ]
+  in
+  let k = Kernel.create ~cost:Sim.Cost.zero ~spec:Sched.Edf ~taskset:ts ~programs () in
+  let rec probe t =
+    if t <= ms 95 then begin
+      Kernel.at k ~at:t (fun () -> seqs := State_msg.seq sm :: !seqs);
+      probe (t + ms 10)
+    end
+  in
+  probe (ms 5);
+  Kernel.run k ~until:(ms 100);
+  check int "ten publications" 10 (State_msg.seq sm);
+  (* sequence numbers observed in order: monotone non-decreasing *)
+  let sorted = List.rev !seqs in
+  check (list int) "monotone growth" (List.sort compare sorted) sorted;
+  check int "reads never block: all jobs done" 5 (stat k 2).jobs_completed
+
+let test_state_read_never_blocks () =
+  (* A reader outpacing the writer still never blocks (unlike recv). *)
+  let sm = State_msg.create ~depth:3 ~words:1 in
+  let ts = Model.Taskset.of_list [ task 1 5 1; task ~phase:(ms 40) 2 100 1 ] in
+  let programs (t : Model.Task.t) =
+    let open Program in
+    if t.id = 1 then [ state_read sm; compute (ms 1) ]
+    else [ compute (ms 1); state_write sm [| 9 |] ]
+  in
+  let k = run_k ~programs ts ~until:(ms 100) in
+  check int "reader ran every period" 20 (stat k 1).jobs_completed;
+  check int "no misses" 0 (Kernel.total_misses k)
+
+(* ------------------------------------------------------------------ *)
+(* Timed waits *)
+
+let test_timed_wait_times_out () =
+  let wq = Objects.waitq () in
+  let ts = Model.Taskset.of_list [ task 1 100 1 ] in
+  let programs _ = Program.[ timed_wait wq (ms 8); compute (ms 1) ] in
+  let k = run_k ~programs ts ~until:(ms 100) in
+  (* nobody signals: the job proceeds at the 8ms timeout *)
+  check int "completed via timeout" 1 (stat k 1).jobs_completed;
+  check int "response = timeout + compute" (ms 9) (stat k 1).max_response
+
+let test_timed_wait_signal_wins () =
+  let wq = Objects.waitq () in
+  let ts =
+    Model.Taskset.of_list [ task 1 100 1; task ~phase:(ms 3) 2 100 1 ]
+  in
+  let programs (t : Model.Task.t) =
+    let open Program in
+    if t.id = 1 then [ timed_wait wq (ms 50); compute (ms 1) ]
+    else [ signal wq; compute (ms 1) ]
+  in
+  let k = run_k ~programs ts ~until:(ms 100) in
+  check int "woken by the signal, not the timeout" (ms 4)
+    (stat k 1).max_response;
+  (* the stale timeout later must not disturb anything *)
+  check int "one job only" 1 (stat k 1).jobs_completed
+
+let test_timed_wait_stale_timeout_ignored () =
+  (* signal arrives early; the task then re-waits in a later job; the
+     first job's timeout must not wake the second job's wait *)
+  let wq = Objects.waitq () in
+  let ts = Model.Taskset.of_list [ task 1 20 1 ] in
+  let programs _ = Program.[ timed_wait wq (ms 15); compute (ms 1) ] in
+  let k = Kernel.create ~cost:Sim.Cost.zero ~spec:Sched.Edf ~taskset:ts ~programs () in
+  Kernel.at k ~at:(ms 2) (fun () -> Kernel.signal_waitq k wq);
+  Kernel.run k ~until:(ms 40);
+  (* job 1: signalled at 2ms -> completes at 3ms.  Its 15ms timeout is
+     stale.  job 2 (released 20ms): no signal -> its own timeout at
+     35ms -> completes 36ms: response 16ms, not something shorter. *)
+  let s = stat k 1 in
+  check int "two jobs" 2 s.jobs_completed;
+  check int "second job waited its own full timeout" (ms 16) s.max_response
+
+let test_timed_wait_pending_signal () =
+  let wq = Objects.waitq () in
+  let ts =
+    Model.Taskset.of_list [ task 1 100 1; task ~phase:(ms 100_000) 2 1000 1 ]
+  in
+  let programs (t : Model.Task.t) =
+    let open Program in
+    if t.id = 1 then [ compute (ms 2); timed_wait wq (ms 50); compute (ms 1) ]
+    else [ compute (ms 1) ]
+  in
+  let k = Kernel.create ~cost:Sim.Cost.zero ~spec:Sched.Edf ~taskset:ts ~programs () in
+  Kernel.at k ~at:(ms 1) (fun () -> Kernel.signal_waitq k wq);
+  Kernel.run k ~until:(ms 100);
+  check int "pending signal consumed without blocking" (ms 3)
+    (stat k 1).max_response
+
+let test_trace_responses_helper () =
+  let ts = Model.Taskset.of_list [ task 1 10 2 ] in
+  let k = run_k ~programs:(fun t -> [ Program.compute t.wcet ]) ts ~until:(ms 50) in
+  let rs = Sim.Trace.responses (Kernel.trace k) ~tid:1 in
+  check int "five responses" 5 (List.length rs);
+  List.iter (fun r -> check int "constant response" (ms 2) r) rs
+
+let suite =
+  [
+    test_case "mailbox: send/recv round trips" `Quick test_send_recv_basic;
+    test_case "timed wait: timeout path" `Quick test_timed_wait_times_out;
+    test_case "timed wait: signal path" `Quick test_timed_wait_signal_wins;
+    test_case "timed wait: stale timeout" `Quick test_timed_wait_stale_timeout_ignored;
+    test_case "timed wait: pending signal" `Quick test_timed_wait_pending_signal;
+    test_case "trace: responses helper" `Quick test_trace_responses_helper;
+    test_case "mailbox: recv blocks until send" `Quick test_recv_blocks_until_send;
+    test_case "mailbox: send blocks when full" `Quick test_send_blocks_when_full;
+    test_case "mailbox: FIFO order" `Quick test_mailbox_fifo;
+    test_case "mailbox: capacity validation" `Quick test_mailbox_capacity_validation;
+    test_case "waitq: pending signal" `Quick test_signal_before_wait_is_pending;
+    test_case "waitq: broadcast" `Quick test_broadcast_wakes_all;
+    test_case "condition-variable pattern" `Quick test_condition_variable_pattern;
+    test_case "state message: freshness" `Quick test_state_message_freshness;
+    test_case "state message: wait-free reads" `Quick test_state_read_never_blocks;
+  ]

@@ -1,0 +1,383 @@
+(* The scheduler queue structures (§5.1, §6.2): the unsorted EDF list,
+   the sorted RM list with the highestp pointer and the place-holder
+   priority-inheritance tricks, and the heap variant. *)
+
+open Alcotest
+open Emeralds
+open Emeralds.Types
+
+let qtest ?(count = 300) name gen law =
+  QCheck_alcotest.to_alcotest ~speed_level:`Quick
+    (QCheck2.Test.make ~count ~name gen law)
+
+let make_tcbs n = Array.init n (fun i -> Mock.tcb ~tid:i ~prio:i ())
+
+(* ------------------------------------------------------------------ *)
+(* EDF queue *)
+
+let test_edf_select_earliest () =
+  let q = Readyq.Edf_queue.create () in
+  let tcbs = make_tcbs 5 in
+  tcbs.(0).eff_deadline <- 50;
+  tcbs.(1).eff_deadline <- 10;
+  tcbs.(2).eff_deadline <- 30;
+  tcbs.(3).eff_deadline <- 5;
+  tcbs.(4).eff_deadline <- 40;
+  Array.iter (Readyq.Edf_queue.add q) tcbs;
+  (match Readyq.Edf_queue.select q with
+  | Some t -> check int "earliest deadline wins" 3 t.tid
+  | None -> fail "selection expected");
+  (* block the earliest: next-earliest is picked *)
+  tcbs.(3).state <- Blocked "t";
+  Readyq.Edf_queue.note_blocked q tcbs.(3);
+  (match Readyq.Edf_queue.select q with
+  | Some t -> check int "next earliest" 1 t.tid
+  | None -> fail "selection expected");
+  Readyq.Edf_queue.check q
+
+let test_edf_ready_count () =
+  let q = Readyq.Edf_queue.create () in
+  let tcbs = make_tcbs 4 in
+  Array.iter (Readyq.Edf_queue.add q) tcbs;
+  check int "all ready" 4 (Readyq.Edf_queue.ready_count q);
+  tcbs.(2).state <- Blocked "t";
+  Readyq.Edf_queue.note_blocked q tcbs.(2);
+  check int "one blocked" 3 (Readyq.Edf_queue.ready_count q);
+  tcbs.(2).state <- Ready;
+  Readyq.Edf_queue.note_unblocked q tcbs.(2);
+  check int "unblocked again" 4 (Readyq.Edf_queue.ready_count q);
+  Readyq.Edf_queue.remove q tcbs.(0);
+  check int "removed member" 3 (Readyq.Edf_queue.ready_count q);
+  check int "length" 3 (Readyq.Edf_queue.length q);
+  Readyq.Edf_queue.check q
+
+let test_edf_empty () =
+  let q = Readyq.Edf_queue.create () in
+  check bool "empty select" true (Readyq.Edf_queue.select q = None);
+  let t = Mock.tcb ~tid:0 ~state:(Blocked "x") () in
+  Readyq.Edf_queue.add q t;
+  check bool "no ready member" true (Readyq.Edf_queue.select q = None)
+
+let prop_edf_select_minimal =
+  qtest "EDF select returns the min-deadline ready task"
+    QCheck2.Gen.(list_size (int_range 1 30) (pair (int_range 1 1000) bool))
+    (fun spec ->
+      let q = Readyq.Edf_queue.create () in
+      let tcbs =
+        List.mapi
+          (fun i (deadline, ready) ->
+            let t =
+              Mock.tcb ~tid:i ~deadline
+                ~state:(if ready then Ready else Blocked "x")
+                ()
+            in
+            Readyq.Edf_queue.add q t;
+            t)
+          spec
+      in
+      Readyq.Edf_queue.check q;
+      let expected =
+        List.filter is_ready tcbs
+        |> List.sort deadline_compare
+        |> function [] -> None | t :: _ -> Some t
+      in
+      match (Readyq.Edf_queue.select q, expected) with
+      | None, None -> true
+      | Some a, Some b -> a == b
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* RM queue *)
+
+let ready_in_priority_order q =
+  Readyq.Rm_queue.check q;
+  match Readyq.Rm_queue.select q with
+  | None -> true
+  | Some _ -> true
+
+let test_rm_highestp_tracking () =
+  let q = Readyq.Rm_queue.create () in
+  let tcbs = make_tcbs 5 in
+  tcbs.(0).state <- Blocked "x";
+  tcbs.(2).state <- Blocked "x";
+  Array.iter (Readyq.Rm_queue.add q) tcbs;
+  (match Readyq.Rm_queue.select q with
+  | Some t -> check int "first ready is tau1" 1 t.tid
+  | None -> fail "ready task expected");
+  (* block tau1: highestp must advance past blocked tau2 to tau3 *)
+  tcbs.(1).state <- Blocked "x";
+  let scanned = Readyq.Rm_queue.note_blocked q tcbs.(1) in
+  check bool "scan advanced" true (scanned >= 1);
+  (match Readyq.Rm_queue.select q with
+  | Some t -> check int "skips blocked tau2" 3 t.tid
+  | None -> fail "ready task expected");
+  (* unblock tau0 (highest priority): O(1) update *)
+  tcbs.(0).state <- Ready;
+  Readyq.Rm_queue.note_unblocked q tcbs.(0);
+  (match Readyq.Rm_queue.select q with
+  | Some t -> check int "tau0 takes over" 0 t.tid
+  | None -> fail "ready task expected");
+  check bool "invariants hold" true (ready_in_priority_order q)
+
+let test_rm_all_blocked () =
+  let q = Readyq.Rm_queue.create () in
+  let tcbs = make_tcbs 3 in
+  Array.iter (fun t -> t.state <- Blocked "x") tcbs;
+  Array.iter (Readyq.Rm_queue.add q) tcbs;
+  check bool "no selection" true (Readyq.Rm_queue.select q = None);
+  tcbs.(2).state <- Ready;
+  Readyq.Rm_queue.note_unblocked q tcbs.(2);
+  (match Readyq.Rm_queue.select q with
+  | Some t -> check int "lowest-priority ready" 2 t.tid
+  | None -> fail "expected tau2")
+
+(* Random block/unblock storm against a model. *)
+let prop_rm_model =
+  qtest "RM queue tracks the highest-priority ready task"
+    QCheck2.Gen.(
+      pair (int_range 2 20) (list_size (int_bound 60) (pair (int_bound 19) bool)))
+    (fun (n, ops) ->
+      let q = Readyq.Rm_queue.create () in
+      let tcbs = make_tcbs n in
+      Array.iter (Readyq.Rm_queue.add q) tcbs;
+      let ok = ref true in
+      let apply (idx, block) =
+        let t = tcbs.(idx mod n) in
+        match (t.state, block) with
+        | Ready, true ->
+          t.state <- Blocked "x";
+          ignore (Readyq.Rm_queue.note_blocked q t)
+        | Blocked _, false ->
+          t.state <- Ready;
+          Readyq.Rm_queue.note_unblocked q t
+        | Ready, false | Blocked _, true -> ()
+        | (Running | Dormant), _ -> ()
+      in
+      let verify () =
+        Readyq.Rm_queue.check q;
+        let expected =
+          Array.to_list tcbs |> List.filter is_ready
+          |> List.sort prio_compare
+          |> function [] -> None | t :: _ -> Some t
+        in
+        match (Readyq.Rm_queue.select q, expected) with
+        | None, None -> ()
+        | Some a, Some b when a == b -> ()
+        | _ -> ok := false
+      in
+      List.iter
+        (fun op ->
+          apply op;
+          verify ())
+        ops;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Place-holder priority inheritance (§6.2) *)
+
+let test_inherit_swap_positions () =
+  let q = Readyq.Rm_queue.create () in
+  let tcbs = make_tcbs 4 in
+  (* tau0 high prio (will block on the sem), tau3 low prio (holder) *)
+  Array.iter (Readyq.Rm_queue.add q) tcbs;
+  let holder = tcbs.(3) and waiter = tcbs.(0) in
+  (* the waiter blocks (it is about to wait on the semaphore) *)
+  waiter.state <- Blocked "sem";
+  ignore (Readyq.Rm_queue.note_blocked q waiter);
+  holder.eff_prio <- waiter.eff_prio;
+  Readyq.Rm_queue.inherit_swap q ~holder ~waiter;
+  check bool "placeholder recorded" true
+    (match holder.placeholder with Some p -> p == waiter | None -> false);
+  (match Readyq.Rm_queue.select q with
+  | Some t -> check int "holder now first ready" 3 t.tid
+  | None -> fail "expected holder");
+  Readyq.Rm_queue.check q;
+  (* restore *)
+  holder.eff_prio <- holder.base_prio;
+  Readyq.Rm_queue.restore_swap q ~holder;
+  check bool "placeholder cleared" true (holder.placeholder = None);
+  waiter.state <- Ready;
+  Readyq.Rm_queue.note_unblocked q waiter;
+  (match Readyq.Rm_queue.select q with
+  | Some t -> check int "waiter back on top" 0 t.tid
+  | None -> fail "expected waiter");
+  Readyq.Rm_queue.check q
+
+let test_inherit_second_waiter () =
+  (* §6.2's three-thread case: T1 inherits T2, then higher T3 arrives:
+     T3 becomes the place-holder and T2 returns home. *)
+  let q = Readyq.Rm_queue.create () in
+  let tcbs = make_tcbs 5 in
+  Array.iter (Readyq.Rm_queue.add q) tcbs;
+  let holder = tcbs.(4) and t2 = tcbs.(2) and t3 = tcbs.(0) in
+  t2.state <- Blocked "sem";
+  ignore (Readyq.Rm_queue.note_blocked q t2);
+  holder.eff_prio <- t2.eff_prio;
+  Readyq.Rm_queue.inherit_swap q ~holder ~waiter:t2;
+  t3.state <- Blocked "sem";
+  ignore (Readyq.Rm_queue.note_blocked q t3);
+  holder.eff_prio <- t3.eff_prio;
+  Readyq.Rm_queue.inherit_swap q ~holder ~waiter:t3;
+  check bool "t3 is the placeholder now" true
+    (match holder.placeholder with Some p -> p == t3 | None -> false);
+  Readyq.Rm_queue.check q;
+  (match Readyq.Rm_queue.select q with
+  | Some t -> check int "holder leads" 4 t.tid
+  | None -> fail "expected holder");
+  (* restore: everyone returns to base positions *)
+  holder.eff_prio <- holder.base_prio;
+  Readyq.Rm_queue.restore_swap q ~holder;
+  t3.state <- Ready;
+  Readyq.Rm_queue.note_unblocked q t3;
+  t2.state <- Ready;
+  Readyq.Rm_queue.note_unblocked q t2;
+  Readyq.Rm_queue.check q;
+  match Readyq.Rm_queue.select q with
+  | Some t -> check int "t3 on top after restore" 0 t.tid
+  | None -> fail "expected t3"
+
+let test_reposition_standard_pi () =
+  let q = Readyq.Rm_queue.create () in
+  let tcbs = make_tcbs 6 in
+  Array.iter (Readyq.Rm_queue.add q) tcbs;
+  let holder = tcbs.(5) in
+  holder.eff_prio <- -1; (* boost above everyone *)
+  let scanned = Readyq.Rm_queue.reposition q holder in
+  check bool "scan cost reported" true (scanned >= 1);
+  (match Readyq.Rm_queue.select q with
+  | Some t -> check int "boosted holder first" 5 t.tid
+  | None -> fail "expected holder");
+  holder.eff_prio <- holder.base_prio;
+  let scanned_back = Readyq.Rm_queue.reposition q holder in
+  check bool "restore scans the queue" true (scanned_back >= 5);
+  Readyq.Rm_queue.check q;
+  match Readyq.Rm_queue.select q with
+  | Some t -> check int "tau0 leads again" 0 t.tid
+  | None -> fail "expected tau0"
+
+(* Random storm of block/unblock/inherit/restore operations (legality
+   mirroring the kernel's usage): after every step the queue invariants
+   hold and selection returns the highest-priority ready task. *)
+let prop_pi_storm =
+  qtest ~count:200 "place-holder PI under random op storms"
+    QCheck2.Gen.(
+      pair (int_range 3 12) (list_size (int_bound 40) (pair (int_bound 3) (int_bound 11))))
+    (fun (n, ops) ->
+      let q = Readyq.Rm_queue.create () in
+      let tcbs = make_tcbs n in
+      Array.iter (Readyq.Rm_queue.add q) tcbs;
+      let is_placeholder t =
+        Array.exists
+          (fun h -> match h.placeholder with Some p -> p == t | None -> false)
+          tcbs
+      in
+      let ok = ref true in
+      let verify () =
+        Readyq.Rm_queue.check q;
+        let expected =
+          Array.to_list tcbs |> List.filter is_ready |> List.sort prio_compare
+          |> function [] -> None | t :: _ -> Some t
+        in
+        match (Readyq.Rm_queue.select q, expected) with
+        | None, None -> ()
+        | Some a, Some b when a == b -> ()
+        | _ -> ok := false
+      in
+      let apply (op, idx) =
+        let t = tcbs.(idx mod n) in
+        match op with
+        | 0 ->
+          (* block a ready task *)
+          if is_ready t then begin
+            t.state <- Blocked "x";
+            ignore (Readyq.Rm_queue.note_blocked q t)
+          end
+        | 1 ->
+          (* unblock — but never a parked place-holder *)
+          if (not (is_ready t)) && not (is_placeholder t) then begin
+            t.state <- Ready;
+            Readyq.Rm_queue.note_unblocked q t
+          end
+        | 2 ->
+          (* inherit: t is the holder; pick the highest blocked
+             non-place-holder task that outranks it as the waiter *)
+          if not (is_placeholder t) then begin
+            let waiter =
+              Array.fold_left
+                (fun acc w ->
+                  if
+                    w != t
+                    && (not (is_ready w))
+                    && (not (is_placeholder w))
+                    && w.eff_prio = w.base_prio
+                    && w.eff_prio < t.eff_prio
+                    && match t.placeholder with
+                       | Some p -> p != w
+                       | None -> true
+                  then
+                    match acc with
+                    | Some best when prio_compare best w <= 0 -> acc
+                    | _ -> Some w
+                  else acc)
+                None tcbs
+            in
+            match waiter with
+            | Some w ->
+              t.eff_prio <- w.eff_prio;
+              Readyq.Rm_queue.inherit_swap q ~holder:t ~waiter:w
+            | None -> ()
+          end
+        | _ -> (
+          (* restore *)
+          match t.placeholder with
+          | Some _ ->
+            t.eff_prio <- t.base_prio;
+            Readyq.Rm_queue.restore_swap q ~holder:t
+          | None -> ())
+      in
+      List.iter
+        (fun op ->
+          apply op;
+          verify ())
+        ops;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Heap queue *)
+
+let test_heap_basics () =
+  let q = Readyq.Heap_queue.create () in
+  let tcbs = make_tcbs 6 in
+  (* heap holds ready tasks only *)
+  Array.iter (fun t -> Readyq.Heap_queue.note_unblocked q t) tcbs;
+  check int "length" 6 (Readyq.Heap_queue.length q);
+  (match Readyq.Heap_queue.select q with
+  | Some t -> check int "min prio value first" 0 t.tid
+  | None -> fail "expected tau0");
+  Readyq.Heap_queue.note_blocked q tcbs.(0);
+  (match Readyq.Heap_queue.select q with
+  | Some t -> check int "next" 1 t.tid
+  | None -> fail "expected tau1");
+  (* re-key after a priority change *)
+  tcbs.(5).eff_prio <- -1;
+  Readyq.Heap_queue.rekey q tcbs.(5);
+  (match Readyq.Heap_queue.select q with
+  | Some t -> check int "rekeyed to top" 5 t.tid
+  | None -> fail "expected tau5");
+  Readyq.Heap_queue.check q
+
+let suite =
+  [
+    test_case "edf: earliest-deadline selection" `Quick test_edf_select_earliest;
+    test_case "edf: ready counting" `Quick test_edf_ready_count;
+    test_case "edf: empty cases" `Quick test_edf_empty;
+    prop_edf_select_minimal;
+    test_case "rm: highestp tracking" `Quick test_rm_highestp_tracking;
+    test_case "rm: all blocked" `Quick test_rm_all_blocked;
+    prop_rm_model;
+    test_case "pi: place-holder swap" `Quick test_inherit_swap_positions;
+    test_case "pi: second waiter case" `Quick test_inherit_second_waiter;
+    test_case "pi: standard reposition" `Quick test_reposition_standard_pi;
+    prop_pi_storm;
+    test_case "heap: basics and rekey" `Quick test_heap_basics;
+  ]

@@ -1,0 +1,165 @@
+(* Scheduler instances (§5.3–§5.6): partition assignment, selection
+   order across queues, charged costs, and cross-queue priority
+   inheritance. *)
+
+open Alcotest
+open Emeralds
+open Emeralds.Types
+
+let cost = Sim.Cost.m68040
+
+let make ~spec ~n ~ready =
+  let sched = Sched.instantiate spec ~cost ~optimized_pi:true in
+  let tcbs =
+    Array.init n (fun i ->
+        Mock.tcb ~tid:i ~prio:i
+          ~state:(if List.mem i ready then Ready else Blocked "init")
+          ())
+  in
+  sched.s_attach tcbs;
+  (sched, tcbs)
+
+let select_tid sched =
+  match fst (sched.s_select ()) with Some t -> Some t.tid | None -> None
+
+(* ------------------------------------------------------------------ *)
+
+let test_partition_assignment () =
+  let sched, tcbs = make ~spec:(Sched.Csd [ 2; 3 ]) ~n:8 ~ready:[] in
+  let classes = Array.map (fun t -> sched.s_queue_class t) tcbs in
+  check bool "ranks 0-1 in DP1" true (classes.(0) = Dp 0 && classes.(1) = Dp 0);
+  check bool "ranks 2-4 in DP2" true
+    (classes.(2) = Dp 1 && classes.(3) = Dp 1 && classes.(4) = Dp 1);
+  check bool "ranks 5-7 in FP" true
+    (classes.(5) = Fp && classes.(6) = Fp && classes.(7) = Fp)
+
+let test_edf_is_single_dp () =
+  let sched, tcbs = make ~spec:Sched.Edf ~n:4 ~ready:[] in
+  Array.iter (fun t -> check bool "all DP" true (sched.s_queue_class t = Dp 0)) tcbs
+
+let test_rm_is_all_fp () =
+  let sched, tcbs = make ~spec:Sched.Rm ~n:4 ~ready:[] in
+  Array.iter (fun t -> check bool "all FP" true (sched.s_queue_class t = Fp)) tcbs
+
+let test_selection_priority_order () =
+  (* DP1 beats DP2 beats FP, regardless of deadlines. *)
+  let sched, tcbs = make ~spec:(Sched.Csd [ 2; 2 ]) ~n:6 ~ready:[ 1; 3; 5 ] in
+  tcbs.(1).eff_deadline <- 1_000_000;
+  tcbs.(3).eff_deadline <- 5;
+  tcbs.(5).eff_deadline <- 1;
+  check (option int) "DP1 wins" (Some 1) (select_tid sched);
+  tcbs.(1).state <- Blocked "x";
+  ignore (sched.s_block tcbs.(1));
+  check (option int) "then DP2" (Some 3) (select_tid sched);
+  tcbs.(3).state <- Blocked "x";
+  ignore (sched.s_block tcbs.(3));
+  check (option int) "then FP" (Some 5) (select_tid sched);
+  tcbs.(5).state <- Blocked "x";
+  ignore (sched.s_block tcbs.(5));
+  check (option int) "idle" None (select_tid sched)
+
+let test_edf_within_queue () =
+  let sched, tcbs = make ~spec:(Sched.Csd [ 3 ]) ~n:4 ~ready:[ 0; 1; 2 ] in
+  tcbs.(0).eff_deadline <- 30;
+  tcbs.(1).eff_deadline <- 10;
+  tcbs.(2).eff_deadline <- 20;
+  check (option int) "earliest deadline in DP" (Some 1) (select_tid sched)
+
+let test_select_costs () =
+  (* CSD select charges the queue-list parse plus the scanned queue. *)
+  let sched, tcbs = make ~spec:(Sched.Csd [ 2; 3 ]) ~n:8 ~ready:[ 0 ] in
+  let _, c = sched.s_select () in
+  (* x = 3 queues -> 1.65us parse + DP1 scan (len 2) = 1.2 + 0.5 *)
+  check int "DP1 selection cost"
+    (Model.Time.of_us_f (1.65 +. 1.2 +. 0.5))
+    c;
+  tcbs.(0).state <- Blocked "x";
+  ignore (sched.s_block tcbs.(0));
+  tcbs.(6).state <- Ready;
+  ignore (sched.s_unblock tcbs.(6));
+  let _, c_fp = sched.s_select () in
+  check int "FP selection cost" (Model.Time.of_us_f (1.65 +. 0.6)) c_fp
+
+let test_block_unblock_costs () =
+  let sched, tcbs = make ~spec:Sched.Edf ~n:10 ~ready:[ 0; 1 ] in
+  tcbs.(0).state <- Blocked "x";
+  check int "edf t_b" (Model.Time.of_us_f 1.6) (sched.s_block tcbs.(0));
+  tcbs.(0).state <- Ready;
+  check int "edf t_u" (Model.Time.of_us_f 1.2) (sched.s_unblock tcbs.(0))
+
+let test_cross_queue_inheritance () =
+  (* FP holder inherits a DP waiter's priority: it migrates into the
+     DP queue and is selected ahead of other FP work; restore sends it
+     home. *)
+  let sched, tcbs = make ~spec:(Sched.Csd [ 2 ]) ~n:5 ~ready:[ 3 ] in
+  let holder = tcbs.(3) and waiter = tcbs.(0) in
+  check bool "holder starts FP" true (sched.s_queue_class holder = Fp);
+  ignore (sched.s_inherit ~holder ~waiter);
+  check bool "holder boosted into DP" true (sched.s_queue_class holder = Dp 0);
+  check (option int) "boosted holder selected" (Some 3) (select_tid sched);
+  ignore (sched.s_restore ~holder);
+  check bool "holder back in FP" true (sched.s_queue_class holder = Fp);
+  check int "effective priority restored" holder.base_prio holder.eff_prio;
+  check (option int) "still the only ready task" (Some 3) (select_tid sched)
+
+let test_dp_to_dp_inheritance () =
+  let sched, tcbs = make ~spec:(Sched.Csd [ 1; 2 ]) ~n:4 ~ready:[ 2 ] in
+  let holder = tcbs.(2) and waiter = tcbs.(0) in
+  check bool "holder in DP2" true (sched.s_queue_class holder = Dp 1);
+  ignore (sched.s_inherit ~holder ~waiter);
+  check bool "holder hoisted to DP1" true (sched.s_queue_class holder = Dp 0);
+  check bool "deadline inherited" true
+    (holder.eff_deadline <= waiter.eff_deadline);
+  ignore (sched.s_restore ~holder);
+  check bool "home again" true (sched.s_queue_class holder = Dp 1)
+
+let test_heap_sched () =
+  let sched, tcbs = make ~spec:Sched.Rm_heap ~n:4 ~ready:[] in
+  (* heap scheduler queues ready tasks on unblock *)
+  tcbs.(2).state <- Ready;
+  ignore (sched.s_unblock tcbs.(2));
+  tcbs.(1).state <- Ready;
+  ignore (sched.s_unblock tcbs.(1));
+  check (option int) "highest ready" (Some 1) (select_tid sched);
+  tcbs.(1).state <- Blocked "x";
+  let c = sched.s_block tcbs.(1) in
+  check bool "heap block cost is log-shaped" true
+    (c >= Sim.Cost.heap_tb cost ~n:1);
+  check (option int) "next" (Some 2) (select_tid sched)
+
+let test_validate_partition () =
+  Sched.validate_partition (Sched.Csd [ 2; 2 ]) ~n_tasks:5;
+  check bool "oversized partition rejected" true
+    (try
+       Sched.validate_partition (Sched.Csd [ 4; 4 ]) ~n_tasks:5;
+       false
+     with Invalid_argument _ -> true);
+  check bool "non-positive size rejected" true
+    (try
+       Sched.validate_partition (Sched.Csd [ 0 ]) ~n_tasks:5;
+       false
+     with Invalid_argument _ -> true)
+
+let test_spec_names () =
+  check string "edf" "EDF" (Sched.spec_name Sched.Edf);
+  check string "rm" "RM" (Sched.spec_name Sched.Rm);
+  check string "heap" "RM-heap" (Sched.spec_name Sched.Rm_heap);
+  check string "csd3" "CSD-3" (Sched.spec_name (Sched.Csd [ 1; 2 ]));
+  check int "queue count csd4" 4 (Sched.queue_count (Sched.Csd [ 1; 1; 1 ]));
+  check int "queue count rm" 1 (Sched.queue_count Sched.Rm)
+
+let suite =
+  [
+    test_case "partition: rank assignment" `Quick test_partition_assignment;
+    test_case "partition: EDF = one DP queue" `Quick test_edf_is_single_dp;
+    test_case "partition: RM = FP only" `Quick test_rm_is_all_fp;
+    test_case "selection: queue priority order" `Quick test_selection_priority_order;
+    test_case "selection: EDF within a queue" `Quick test_edf_within_queue;
+    test_case "costs: selection" `Quick test_select_costs;
+    test_case "costs: block/unblock" `Quick test_block_unblock_costs;
+    test_case "pi: FP -> DP migration" `Quick test_cross_queue_inheritance;
+    test_case "pi: DP -> DP hoist" `Quick test_dp_to_dp_inheritance;
+    test_case "heap scheduler" `Quick test_heap_sched;
+    test_case "partition validation" `Quick test_validate_partition;
+    test_case "spec names" `Quick test_spec_names;
+  ]

@@ -1,0 +1,183 @@
+(* State-message IPC (§7): wait-free single-writer many-reader buffers.
+   The crucial property is torn-read freedom under the depth bound, and
+   torn-read *detection* (never silent corruption) when the bound is
+   violated. *)
+
+open Alcotest
+module Sm = Emeralds.State_msg
+
+let qtest ?(count = 300) name gen law =
+  QCheck_alcotest.to_alcotest ~speed_level:`Quick
+    (QCheck2.Test.make ~count ~name gen law)
+
+(* ------------------------------------------------------------------ *)
+(* Basics *)
+
+let test_create_validation () =
+  check bool "depth >= 2" true
+    (try
+       ignore (Sm.create ~depth:1 ~words:4);
+       false
+     with Invalid_argument _ -> true);
+  check bool "words >= 1" true
+    (try
+       ignore (Sm.create ~depth:3 ~words:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_initial_value () =
+  let sm = Sm.create ~depth:3 ~words:4 in
+  check (array int) "zeroed before first write" [| 0; 0; 0; 0 |] (Sm.read sm);
+  check int "seq 0" 0 (Sm.seq sm)
+
+let test_write_read_roundtrip () =
+  let sm = Sm.create ~depth:3 ~words:3 in
+  Sm.write sm [| 1; 2; 3 |];
+  check (array int) "first write" [| 1; 2; 3 |] (Sm.read sm);
+  Sm.write sm [| 4; 5; 6 |];
+  Sm.write sm [| 7; 8; 9 |];
+  Sm.write sm [| 10; 11; 12 |];
+  check (array int) "latest wins after wrap" [| 10; 11; 12 |] (Sm.read sm);
+  check int "seq counts writes" 4 (Sm.seq sm)
+
+let test_size_mismatch () =
+  let sm = Sm.create ~depth:2 ~words:2 in
+  check bool "mismatched write rejected" true
+    (try
+       Sm.write sm [| 1 |];
+       false
+     with Invalid_argument _ -> true)
+
+let test_required_depth () =
+  (* read 3x slower than write interval: ceil(3) + 2 *)
+  check int "3x" 5
+    (Sm.required_depth ~max_read_time:(Model.Time.ms 3)
+       ~min_write_interval:(Model.Time.ms 1));
+  check int "fast reads" 3
+    (Sm.required_depth ~max_read_time:(Model.Time.us 10)
+       ~min_write_interval:(Model.Time.ms 5));
+  check bool "rejects zero" true
+    (try
+       ignore (Sm.required_depth ~max_read_time:0 ~min_write_interval:1);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Step-wise interleaving properties *)
+
+(* A reader's result must be one of the values the writer published
+   (or the initial zeros) — never a mixture. *)
+let published_values writes words =
+  Array.make words 0 :: List.map Array.copy writes
+
+let value_of_writes i words = Array.init words (fun w -> (100 * i) + w)
+
+(* Interleave one reader against a stream of complete writes: the
+   schedule says after which reader step each write burst happens. *)
+let run_interleaving ~depth ~words ~pre_writes ~burst_after =
+  let sm = Sm.create ~depth ~words in
+  let writes = ref [] in
+  let write_next i =
+    let v = value_of_writes i words in
+    Sm.write sm v;
+    writes := v :: !writes
+  in
+  for i = 1 to pre_writes do
+    write_next i
+  done;
+  let reader = Sm.Reader.start sm in
+  let wrote = ref pre_writes in
+  let continue = ref true in
+  let step = ref 0 in
+  while !continue do
+    incr step;
+    continue := Sm.Reader.step reader;
+    List.iter
+      (fun (after, count) ->
+        if after = !step then
+          for _ = 1 to count do
+            incr wrote;
+            write_next !wrote
+          done)
+      burst_after
+  done;
+  (Sm.Reader.finish reader, List.rev !writes)
+
+let gen_interleaving =
+  QCheck2.Gen.(
+    let* depth = int_range 2 6 in
+    let* words = int_range 1 8 in
+    let* pre_writes = int_range 0 10 in
+    let* bursts = list_size (int_bound 3) (pair (int_range 1 8) (int_range 1 8)) in
+    return (depth, words, pre_writes, bursts))
+
+let prop_no_silent_tearing =
+  qtest "reads are a published value or flagged torn" gen_interleaving
+    (fun (depth, words, pre_writes, bursts) ->
+      let result, writes =
+        run_interleaving ~depth ~words ~pre_writes ~burst_after:bursts
+      in
+      match result with
+      | None -> true (* detected lapping: allowed (depth may be small) *)
+      | Some v ->
+        List.exists (fun w -> w = v) (published_values writes words))
+
+let prop_depth_bound_prevents_tearing =
+  qtest "enough depth -> reads always succeed" gen_interleaving
+    (fun (depth, words, pre_writes, bursts) ->
+      ignore depth;
+      let total_burst = List.fold_left (fun a (_, c) -> a + c) 0 bursts in
+      (* a reader overlapped by at most [total_burst] writes is safe
+         with depth >= total_burst + 2 *)
+      let result, _ =
+        run_interleaving ~depth:(total_burst + 2) ~words ~pre_writes
+          ~burst_after:bursts
+      in
+      result <> None)
+
+let test_exact_lapping_boundary () =
+  (* depth d tolerates exactly d-1 intervening writes. *)
+  let words = 4 in
+  List.iter
+    (fun depth ->
+      let safe, _ =
+        run_interleaving ~depth ~words ~pre_writes:1
+          ~burst_after:[ (1, depth - 1) ]
+      in
+      check bool
+        (Printf.sprintf "depth %d survives %d writes" depth (depth - 1))
+        true (safe <> None);
+      let torn, _ =
+        run_interleaving ~depth ~words ~pre_writes:1
+          ~burst_after:[ (1, depth) ]
+      in
+      check bool
+        (Printf.sprintf "depth %d detects %d writes" depth depth)
+        true (torn = None))
+    [ 2; 3; 4; 5 ]
+
+let test_writer_cursor_discipline () =
+  let sm = Sm.create ~depth:3 ~words:2 in
+  let c = Sm.Writer.start sm [| 9; 9 |] in
+  check bool "unfinished write invisible" true (Sm.read sm = [| 0; 0 |]);
+  check bool "premature finish rejected" true
+    (try
+       Sm.Writer.finish c;
+       false
+     with Invalid_argument _ -> true);
+  while Sm.Writer.step c do () done;
+  Sm.Writer.finish c;
+  check (array int) "published after finish" [| 9; 9 |] (Sm.read sm)
+
+let suite =
+  [
+    test_case "validation" `Quick test_create_validation;
+    test_case "initial value" `Quick test_initial_value;
+    test_case "write/read roundtrip" `Quick test_write_read_roundtrip;
+    test_case "size mismatch" `Quick test_size_mismatch;
+    test_case "required depth" `Quick test_required_depth;
+    prop_no_silent_tearing;
+    prop_depth_bound_prevents_tearing;
+    test_case "exact lapping boundary" `Quick test_exact_lapping_boundary;
+    test_case "writer cursor discipline" `Quick test_writer_cursor_discipline;
+  ]

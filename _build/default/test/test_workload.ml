@@ -1,0 +1,111 @@
+(* Workload generation (§5.7 methodology) and presets. *)
+
+open Alcotest
+
+let qtest ?(count = 100) name gen law =
+  QCheck_alcotest.to_alcotest ~speed_level:`Quick
+    (QCheck2.Test.make ~count ~name gen law)
+
+let ms = Model.Time.ms
+
+let test_period_buckets () =
+  (* Periods are 5-9, 10-99 or 100-999 ms, roughly a third each. *)
+  let rng = Util.Rng.create ~seed:4 in
+  let counts = [| 0; 0; 0 |] in
+  for _ = 1 to 50 do
+    let ts = Workload.Generator.random_taskset ~rng ~n:30 () in
+    Array.iter
+      (fun (t : Model.Task.t) ->
+        let p = t.period in
+        if p >= ms 5 && p <= ms 9 then counts.(0) <- counts.(0) + 1
+        else if p >= ms 10 && p <= ms 99 then counts.(1) <- counts.(1) + 1
+        else if p >= ms 100 && p <= ms 999 then counts.(2) <- counts.(2) + 1
+        else failf "period out of range: %dms" (p / 1_000_000))
+      (Model.Taskset.tasks ts)
+  done;
+  let total = counts.(0) + counts.(1) + counts.(2) in
+  check int "all periods classified" 1500 total;
+  Array.iter
+    (fun c ->
+      check bool "each bucket near a third" true
+        (float_of_int c /. float_of_int total > 0.25
+        && float_of_int c /. float_of_int total < 0.42))
+    counts
+
+let test_target_utilization () =
+  let rng = Util.Rng.create ~seed:5 in
+  let ts = Workload.Generator.random_taskset ~rng ~n:20 ~target_u:0.6 () in
+  check bool "utilization near target" true
+    (abs_float (Model.Taskset.utilization ts -. 0.6) < 0.02)
+
+let test_blocking_call_mix () =
+  let rng = Util.Rng.create ~seed:6 in
+  let ts = Workload.Generator.random_taskset ~rng ~n:20 () in
+  let with_calls =
+    Array.fold_left
+      (fun acc (t : Model.Task.t) -> acc + min 1 t.blocking_calls)
+      0 (Model.Taskset.tasks ts)
+  in
+  check int "half the tasks make a blocking call" 10 with_calls
+
+let test_batch_reproducibility () =
+  let a = Workload.Generator.batch ~seed:42 ~n:10 ~count:5 () in
+  let b = Workload.Generator.batch ~seed:42 ~n:10 ~count:5 () in
+  List.iter2
+    (fun x y ->
+      let tx = Model.Taskset.tasks x and ty = Model.Taskset.tasks y in
+      Array.iteri
+        (fun i (t : Model.Task.t) ->
+          check int "same periods" t.period ty.(i).period;
+          check int "same wcets" t.wcet ty.(i).wcet)
+        tx)
+    a b;
+  (* prefix stability: workload i doesn't depend on count *)
+  let big = Workload.Generator.batch ~seed:42 ~n:10 ~count:8 () in
+  let first_small = Model.Taskset.tasks (List.hd a) in
+  let first_big = Model.Taskset.tasks (List.hd big) in
+  Array.iteri
+    (fun i (t : Model.Task.t) ->
+      check int "prefix stable" t.period first_big.(i).period)
+    first_small
+
+let prop_generated_sets_valid =
+  qtest "generated sets are well-formed"
+    QCheck2.Gen.(pair (int_range 1 500) (int_range 1 40))
+    (fun (seed, n) ->
+      let ts =
+        Workload.Generator.random_taskset ~rng:(Util.Rng.create ~seed) ~n ()
+      in
+      Model.Taskset.size ts = n
+      && Model.Taskset.utilization ts > 0.0
+      && Array.for_all
+           (fun (t : Model.Task.t) -> t.wcet >= 1 && t.wcet <= t.deadline)
+           (Model.Taskset.tasks ts))
+
+let test_presets_sane () =
+  List.iter
+    (fun (name, ts, max_u) ->
+      let u = Model.Taskset.utilization ts in
+      check bool (name ^ " utilization sane") true (u > 0.2 && u < max_u))
+    [
+      ("table2", Workload.Presets.table2, 0.9);
+      ("engine", Workload.Presets.engine_control, 1.0);
+      ("avionics", Workload.Presets.avionics, 1.0);
+      ("voice", Workload.Presets.voice, 1.0);
+    ];
+  check (float 0.001) "table2 is the paper's 0.884" 0.884
+    (Model.Taskset.utilization Workload.Presets.table2);
+  check int "troublesome rank names tau5" 5
+    (Model.Taskset.get Workload.Presets.table2
+       Workload.Presets.table2_troublesome_rank)
+      .id
+
+let suite =
+  [
+    test_case "period buckets" `Quick test_period_buckets;
+    test_case "target utilization" `Quick test_target_utilization;
+    test_case "blocking-call mix" `Quick test_blocking_call_mix;
+    test_case "batch reproducibility" `Quick test_batch_reproducibility;
+    prop_generated_sets_valid;
+    test_case "presets" `Quick test_presets_sane;
+  ]
