@@ -263,6 +263,70 @@ let sensitivity_cmd =
     Term.(const run $ preset $ random_n $ file $ seed $ sched)
 
 (* ------------------------------------------------------------------ *)
+(* lint *)
+
+let lint_cmd =
+  let preset_name =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "preset" ] ~docv:"NAME"
+          ~doc:
+            "Scenario to lint: table2, engine, avionics or voice \
+             (default: all of them).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit findings as JSON.")
+  in
+  let blocking =
+    Arg.(
+      value & flag
+      & info [ "blocking" ]
+          ~doc:
+            "Also print the statically extracted per-semaphore priority \
+             ceilings, worst-case critical sections, and per-rank \
+             blocking terms.")
+  in
+  let run preset_name json blocking =
+    let scenarios =
+      match preset_name with
+      | None -> Workload.Scenario.all ()
+      | Some n -> (
+        match Workload.Scenario.make n with
+        | Some s -> [ s ]
+        | None ->
+          Printf.eprintf "unknown scenario %S (expected: %s)\n" n
+            (String.concat ", " Workload.Scenario.names);
+          exit 2)
+    in
+    let had_errors = ref false in
+    List.iter
+      (fun (s : Workload.Scenario.t) ->
+        let ctx =
+          Lint.Ctx.make ~irq_signals:s.irq_signals ~irq_writes:s.irq_writes
+            ~taskset:s.taskset ~programs:s.programs ()
+        in
+        let diags = Lint.Report.run ctx in
+        if Lint.Diag.errors diags > 0 then had_errors := true;
+        if json then
+          Printf.printf "{\"scenario\":%S,\"findings\":%s}\n" s.name
+            (Lint.Report.to_json diags)
+        else begin
+          Printf.printf "==== %s ====\n" s.name;
+          print_string (Lint.Report.render diags);
+          if blocking then print_string (Lint.Report.render_blocking ctx)
+        end)
+      scenarios;
+    if !had_errors then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically verify task programs, sync-object usage, and \
+          schedulability inputs")
+    Term.(const run $ preset_name $ json $ blocking)
+
+(* ------------------------------------------------------------------ *)
 (* footprint *)
 
 let footprint_cmd =
@@ -279,4 +343,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ experiment_cmd; analyze_cmd; simulate_cmd; sensitivity_cmd; footprint_cmd ]))
+          [
+            experiment_cmd; analyze_cmd; simulate_cmd; sensitivity_cmd;
+            lint_cmd; footprint_cmd;
+          ]))

@@ -68,9 +68,28 @@ let () =
 
   (* Crank interrupts at ~6000 rpm: every 10 ms the handler samples the
      timer and publishes speed. *)
-  Kernel.register_irq k ~irq:crank_irq ~handler:(fun () ->
+  Kernel.register_irq k ~irq:crank_irq ~writes:[ engine_speed ]
+    ~handler:(fun () ->
       let rpm = 6000 + ((Model.Time.to_ms_f (Kernel.now k) |> int_of_float) mod 200) in
-      State_msg.write engine_speed [| rpm; Kernel.now k / 1_000_000 |]);
+      State_msg.write engine_speed [| rpm; Kernel.now k / 1_000_000 |])
+    ();
+
+  (* Statically verify the programs before interpreting them: same
+     taskset and programs the kernel just got, IRQ side effects from
+     the registration above. *)
+  let lint_ctx =
+    Lint.Ctx.make
+      ~irq_signals:(Kernel.irq_signals k)
+      ~irq_writes:(Kernel.irq_state_writes k)
+      ~taskset ~programs ()
+  in
+  let findings = Lint.Report.run lint_ctx in
+  print_string (Lint.Report.render findings);
+  if Lint.Diag.errors findings > 0 then begin
+    print_endline "lint errors: refusing to run";
+    exit 1
+  end;
+
   let rec schedule_crank t =
     if t <= Model.Time.sec 2 then begin
       Kernel.raise_irq_at k ~at:t ~irq:crank_irq;

@@ -12,32 +12,9 @@ let blocking_terms ~n css =
           else acc)
         0 css)
 
-let response_time ?(limit = 10_000) ~tasks ~blocking i =
-  let _, deadline, wcet = tasks.(i) in
-  let base = wcet + blocking.(i) in
-  let rec iterate r steps =
-    if steps > limit then None
-    else begin
-      let interference = ref 0 in
-      for j = 0 to i - 1 do
-        let period_j, _, wcet_j = tasks.(j) in
-        interference := !interference + (Util.Intmath.ceil_div r period_j * wcet_j)
-      done;
-      let r' = base + !interference in
-      if r' > deadline then None
-      else if r' = r then Some r
-      else iterate r' (steps + 1)
-    end
-  in
-  iterate base 0
+(* The blocking-aware fixpoint is Rta's with B folded into the base
+   demand; delegate so there is exactly one RTA implementation. *)
+let response_time ?limit ~tasks ~blocking i =
+  Rta.response_time ?limit ~blocking ~tasks i
 
-let feasible ?limit tasks ~blocking =
-  let n = Array.length tasks in
-  let rec loop i =
-    i >= n
-    ||
-    match response_time ?limit ~tasks ~blocking i with
-    | Some _ -> loop (i + 1)
-    | None -> false
-  in
-  loop 0
+let feasible ?limit tasks ~blocking = Rta.feasible ?limit ~blocking tasks

@@ -17,7 +17,11 @@ val blocking_terms : n:int -> critical_section list -> int array
 (** [blocking_terms ~n css] gives each priority rank its worst-case
     priority-inheritance blocking: the longest critical section of any
     *lower*-priority task on a semaphore also used at this level or
-    above.  Under PI each job blocks at most once. *)
+    above.  Under PI each job blocks at most once.
+
+    The [critical_section] list can be written by hand or extracted
+    statically from thread programs by the verifier
+    ([Lint.Blocking_terms.critical_sections]). *)
 
 val response_time :
   ?limit:int ->

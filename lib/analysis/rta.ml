@@ -1,5 +1,7 @@
-let response_time ?(limit = 10_000) ~tasks i =
+let response_time ?(limit = 10_000) ?blocking ~tasks i =
   let _, deadline, wcet = tasks.(i) in
+  let b = match blocking with None -> 0 | Some terms -> terms.(i) in
+  let base = wcet + b in
   let rec iterate r steps =
     if steps > limit then None
     else begin
@@ -8,22 +10,23 @@ let response_time ?(limit = 10_000) ~tasks i =
         let period_j, _, wcet_j = tasks.(j) in
         interference := !interference + (Util.Intmath.ceil_div r period_j * wcet_j)
       done;
-      let r' = wcet + !interference in
+      let r' = base + !interference in
       if r' > deadline then None
       else if r' = r then Some r
       else iterate r' (steps + 1)
     end
   in
-  iterate wcet 0
+  iterate base 0
 
-let feasible_prefix ?limit tasks ~upto =
+let feasible_prefix ?limit ?blocking tasks ~upto =
   let rec loop i =
     i >= upto
     ||
-    match response_time ?limit ~tasks i with
+    match response_time ?limit ?blocking ~tasks i with
     | Some _ -> loop (i + 1)
     | None -> false
   in
   loop 0
 
-let feasible ?limit tasks = feasible_prefix ?limit tasks ~upto:(Array.length tasks)
+let feasible ?limit ?blocking tasks =
+  feasible_prefix ?limit ?blocking tasks ~upto:(Array.length tasks)

@@ -4,18 +4,25 @@
     fit within its deadline. *)
 
 val response_time :
-  ?limit:int -> tasks:(int * int * int) array -> int -> int option
+  ?limit:int -> ?blocking:int array -> tasks:(int * int * int) array -> int -> int option
 (** [response_time ~tasks i] is the worst-case response time of the
     task at index [i] of [(period, deadline, wcet)] rows sorted by
     decreasing priority, or [None] if the fixpoint exceeds the task's
     deadline (or [limit] iterations, default 10_000) — both mean
-    "unschedulable at this priority". *)
+    "unschedulable at this priority".
 
-val feasible : ?limit:int -> (int * int * int) array -> bool
+    [blocking] gives each rank a priority-inversion blocking term added
+    to its own demand (R = C + B + interference).  The terms typically
+    come from {!Blocking.blocking_terms} over hand-declared critical
+    sections, or from the static verifier's extraction
+    ([Lint.Blocking_terms]) over actual thread programs. *)
+
+val feasible : ?limit:int -> ?blocking:int array -> (int * int * int) array -> bool
 (** Whole-set feasibility: every task's response time is within its
     deadline. *)
 
-val feasible_prefix : ?limit:int -> (int * int * int) array -> upto:int -> bool
+val feasible_prefix :
+  ?limit:int -> ?blocking:int array -> (int * int * int) array -> upto:int -> bool
 (** Feasibility of tasks [0..upto-1] only (interference still comes
     solely from higher-priority tasks, so this equals [feasible] on the
     truncated array). *)

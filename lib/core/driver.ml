@@ -8,10 +8,12 @@ type t = {
 let attach kernel ~irq ?(capture = fun () -> ()) () =
   let wq = Objects.waitq () in
   let t = { kernel; irq; wq; serviced = 0 } in
-  Kernel.register_irq kernel ~irq ~handler:(fun () ->
+  Kernel.register_irq kernel ~irq ~signals:[ wq ]
+    ~handler:(fun () ->
       capture ();
       t.serviced <- t.serviced + 1;
-      Kernel.signal_waitq kernel wq);
+      Kernel.signal_waitq kernel wq)
+    ();
   t
 
 let wait_for_interrupt t = Program.wait t.wq

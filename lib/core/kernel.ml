@@ -3,6 +3,15 @@ open Types
 (* ------------------------------------------------------------------ *)
 (* Kernel state *)
 
+(* Handler plus the static metadata the code parser / lint pass needs:
+   which wait queues the handler may signal and which state messages it
+   writes (the handler body itself is an opaque closure). *)
+type irq_entry = {
+  handler : unit -> unit;
+  wakes : Types.waitq list;
+  publishes : State_msg.t list;
+}
+
 type burst = {
   owner : tcb;
   started : Model.Time.t; (* may be in the (near) future: after pending
@@ -26,7 +35,7 @@ type t = {
   stop_on_miss : bool;
   mutable stopped : bool;
   tick : Model.Time.t option; (* None = event-precise timers (EMERALDS) *)
-  irq_handlers : (int, unit -> unit) Hashtbl.t;
+  irq_handlers : (int, irq_entry) Hashtbl.t;
 }
 
 let now k = Sim.Engine.now k.engine
@@ -549,14 +558,14 @@ let rec run_instrs k tcb =
       charge k "ipc" (Sim.Cost.state_write k.cost ~words:(State_msg.words sm));
       State_msg.write sm data;
       Sim.Trace.emit k.tr ~at:(now k)
-        (State_written { tid = tcb.tid; state = 0; seq = State_msg.seq sm });
+        (State_written { tid = tcb.tid; state = State_msg.id sm; seq = State_msg.seq sm });
       step ()
     | State_read sm ->
       charge k "syscall" k.cost.syscall_entry;
       charge k "ipc" (Sim.Cost.state_read k.cost ~words:(State_msg.words sm));
       ignore (State_msg.read sm);
       Sim.Trace.emit k.tr ~at:(now k)
-        (State_read { tid = tcb.tid; state = 0; seq = State_msg.seq sm });
+        (State_read { tid = tcb.tid; state = State_msg.id sm; seq = State_msg.seq sm });
       step ()
     | Delay d ->
       charge k "timer" k.cost.timer_service;
@@ -833,18 +842,25 @@ let total_misses k =
 (* ------------------------------------------------------------------ *)
 (* Environment hooks *)
 
-let register_irq k ~irq ~handler =
+let register_irq k ~irq ?(signals = []) ?(writes = []) ~handler () =
   if Hashtbl.mem k.irq_handlers irq then
     invalid_arg "Kernel.register_irq: duplicate irq";
-  Hashtbl.replace k.irq_handlers irq handler
+  Hashtbl.replace k.irq_handlers irq
+    { handler; wakes = signals; publishes = writes }
 
 let raise_irq_at k ~at ~irq =
   let body () =
     charge k "irq" k.cost.interrupt_entry;
     Sim.Trace.emit k.tr ~at:(now k) (Interrupt { irq });
-    (Hashtbl.find k.irq_handlers irq) ()
+    (Hashtbl.find k.irq_handlers irq).handler ()
   in
   ignore (Sim.Engine.schedule k.engine ~at (kernel_event k body))
+
+let irq_signals k =
+  Hashtbl.fold (fun _ e acc -> e.wakes @ acc) k.irq_handlers []
+
+let irq_state_writes k =
+  Hashtbl.fold (fun _ e acc -> e.publishes @ acc) k.irq_handlers []
 
 let signal_waitq k wq = do_signal k wq
 

@@ -89,9 +89,27 @@ val check_invariants : t -> unit
     by scheduling environment actions; handlers run in kernel context
     and may signal wait queues. *)
 
-val register_irq : t -> irq:int -> handler:(unit -> unit) -> unit
+val register_irq :
+  t ->
+  irq:int ->
+  ?signals:Types.waitq list ->
+  ?writes:State_msg.t list ->
+  handler:(unit -> unit) ->
+  unit ->
+  unit
 (** Install a handler; it runs with the interrupt-entry cost already
-    charged.  @raise Invalid_argument on a duplicate irq. *)
+    charged.  [signals] and [writes] declare which wait queues the
+    handler may signal and which state messages it publishes — static
+    metadata for the §6.2.1-style code parser / lint pass (the handler
+    body is an opaque closure the verifier cannot see into).
+    @raise Invalid_argument on a duplicate irq. *)
+
+val irq_signals : t -> Types.waitq list
+(** Wait queues declared as signalled by some registered IRQ handler. *)
+
+val irq_state_writes : t -> State_msg.t list
+(** State messages declared as written by some registered IRQ
+    handler. *)
 
 val raise_irq_at : t -> at:Model.Time.t -> irq:int -> unit
 (** Schedule delivery of interrupt [irq].

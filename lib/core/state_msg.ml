@@ -1,4 +1,5 @@
 type t = {
+  sm_id : int;
   depth : int;
   words : int;
   slots : int array array;
@@ -8,13 +9,17 @@ type t = {
   mutable published : int;
 }
 
+let id_counter = ref 0
+
 let create ~depth ~words =
   if depth < 2 then invalid_arg "State_msg.create: depth must be >= 2";
   if words < 1 then invalid_arg "State_msg.create: words must be >= 1";
   let slot_stamp = Array.init depth (fun i -> i - depth) in
   (* Sequence 0 is pre-published as the all-zero value. *)
   slot_stamp.(0) <- 0;
+  incr id_counter;
   {
+    sm_id = !id_counter;
     depth;
     words;
     slots = Array.init depth (fun _ -> Array.make words 0);
@@ -22,6 +27,7 @@ let create ~depth ~words =
     published = 0;
   }
 
+let id t = t.sm_id
 let depth t = t.depth
 let words t = t.words
 let seq t = t.published

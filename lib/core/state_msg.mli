@@ -29,6 +29,11 @@ val create : depth:int -> words:int -> t
 (** [depth >= 2], [words >= 1].  Slots start zeroed with sequence 0
     published (readers of a never-written message see all zeroes). *)
 
+val id : t -> int
+(** Unique identifier (assigned at creation, like kernel-object ids);
+    traces and the static verifier ({!Lint}) key state messages by
+    it. *)
+
 val depth : t -> int
 val words : t -> int
 val seq : t -> int

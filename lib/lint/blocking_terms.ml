@@ -1,0 +1,66 @@
+open Emeralds
+
+type section = { sem : Types.sem; mutable acc : int }
+
+let critical_sections (ctx : Ctx.t) =
+  let out = ref [] in
+  Array.iter
+    (fun (tp : Ctx.task_prog) ->
+      let open_sections = ref [] in
+      let close (s : Types.sem) =
+        (* innermost matching acquisition *)
+        let rec split acc = function
+          | [] -> None
+          | (sec : section) :: rest when sec.sem.sem_id = s.Types.sem_id ->
+            Some (sec, List.rev_append acc rest)
+          | sec :: rest -> split (sec :: acc) rest
+        in
+        match split [] !open_sections with
+        | Some (sec, rest) ->
+          out :=
+            Analysis.Blocking.
+              { task_rank = tp.rank; sem = s.sem_id; duration = sec.acc }
+            :: !out;
+          open_sections := rest
+        | None -> () (* unmatched release: lock balance reports it *)
+      in
+      Array.iter
+        (fun instr ->
+          (match instr with
+          | Types.Acquire s -> open_sections := { sem = s; acc = 0 } :: !open_sections
+          | Types.Release s -> close s
+          | _ -> ());
+          let bounded_time =
+            match instr with
+            | Types.Compute c -> c
+            | Types.Delay d -> d
+            | Types.Timed_wait (_, d) -> d
+            | _ -> 0
+          in
+          if bounded_time > 0 then
+            List.iter
+              (fun sec -> sec.acc <- sec.acc + bounded_time)
+              !open_sections)
+        tp.code;
+      (* sections never closed run to the end of the job *)
+      List.iter (fun (sec : section) -> close sec.sem) !open_sections)
+    ctx.tasks;
+  List.rev !out
+
+let blocking_terms (ctx : Ctx.t) =
+  Analysis.Blocking.blocking_terms ~n:(Array.length ctx.tasks)
+    (critical_sections ctx)
+
+let per_sem (ctx : Ctx.t) =
+  let table : (int, int * int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (cs : Analysis.Blocking.critical_section) ->
+      let ceiling, worst =
+        match Hashtbl.find_opt table cs.sem with
+        | Some (c, w) -> (min c cs.task_rank, max w cs.duration)
+        | None -> (cs.task_rank, cs.duration)
+      in
+      Hashtbl.replace table cs.sem (ceiling, worst))
+    (critical_sections ctx);
+  Hashtbl.fold (fun sem (c, w) acc -> (sem, c, w) :: acc) table []
+  |> List.sort Stdlib.compare

@@ -1,0 +1,35 @@
+(** Static blocking-term extraction.
+
+    Replays the §6.2.1 code parser's walk over each thread program to
+    measure every critical section: from an [Acquire] to its matching
+    [Release], summing the bounded time spent inside — [Compute]
+    durations, [Delay] sleeps, [Timed_wait] timeouts.  Unbounded
+    blocking inside a section ([Wait]/[Recv]/[Send]) contributes
+    nothing here and is flagged by the blocking-hygiene check; time
+    spent *waiting to acquire* a nested inner lock is likewise excluded,
+    matching the classical one-critical-section blocking bound under
+    priority inheritance that {!Analysis.Blocking.blocking_terms}
+    implements.
+
+    The result feeds response-time analysis directly: instead of
+    hand-declaring who locks what for how long, the verifier derives it
+    from the same programs the kernel will interpret, and
+    [Analysis.Rta.response_time ?blocking] consumes the terms. *)
+
+val critical_sections : Ctx.t -> Analysis.Blocking.critical_section list
+(** Every critical section of every task, as the declarative rows
+    blocking analysis consumes ([task_rank] is the RM rank).  A section
+    left open at job end extends to the end of the program (lock
+    balance reports the bug; the extraction stays sound). *)
+
+val blocking_terms : Ctx.t -> int array
+(** Per-rank worst-case priority-inheritance blocking, ns:
+    [Analysis.Blocking.blocking_terms] over {!critical_sections}.
+    Pass to [Analysis.Rta.response_time ~blocking]. *)
+
+val per_sem : Ctx.t -> (int * int * int) list
+(** Per-semaphore summary, sorted by sem id: [(sem_id, ceiling,
+    worst_cs)] where [ceiling] is the priority ceiling — the best
+    (lowest) RM rank of any task that acquires the semaphore — and
+    [worst_cs] the longest statically bounded critical section on it,
+    ns. *)

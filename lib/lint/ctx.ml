@@ -1,0 +1,44 @@
+open Emeralds
+
+type task_prog = {
+  task : Model.Task.t;
+  rank : int;
+  code : Types.instr array;
+}
+
+type t = {
+  tasks : task_prog array;
+  irq_signals : Types.waitq list;
+  irq_writes : State_msg.t list;
+}
+
+let make ?(irq_signals = []) ?(irq_writes = []) ~taskset ~programs () =
+  let tasks =
+    Array.mapi
+      (fun rank task -> { task; rank; code = Array.of_list (programs task) })
+      (Model.Taskset.tasks taskset)
+  in
+  { tasks; irq_signals; irq_writes }
+
+(* Drop the most recent acquisition of [s] from a held list kept in
+   acquisition order (oldest first). *)
+let drop_latest held (s : Types.sem) =
+  let rec drop_first = function
+    | [] -> []
+    | x :: rest when x.Types.sem_id = s.Types.sem_id -> rest
+    | x :: rest -> x :: drop_first rest
+  in
+  List.rev (drop_first (List.rev held))
+
+let held_walk tp =
+  let n = Array.length tp.code in
+  let before = Array.make n [] in
+  let held = ref [] in
+  for pc = 0 to n - 1 do
+    before.(pc) <- !held;
+    match tp.code.(pc) with
+    | Types.Acquire s -> held := !held @ [ s ]
+    | Types.Release s -> held := drop_latest !held s
+    | _ -> ()
+  done;
+  (before, !held)

@@ -1,0 +1,43 @@
+(** The static-analysis context: everything the verifier knows before a
+    single simulated nanosecond runs.
+
+    A context is a task set plus each task's straight-line thread
+    program (the same [programs] function a kernel is created with) and
+    the declared side effects of registered interrupt handlers.  Thread
+    programs are straight-line instruction arrays, so every check works
+    on a single path per task — no abstract interpretation needed; the
+    held-lock state at each pc is exact. *)
+
+type task_prog = {
+  task : Model.Task.t;
+  rank : int;  (** position in the task set's RM order (0 = highest) *)
+  code : Emeralds.Types.instr array;
+}
+
+type t = {
+  tasks : task_prog array;  (** in RM-rank order *)
+  irq_signals : Emeralds.Types.waitq list;
+      (** wait queues some registered IRQ handler may signal *)
+  irq_writes : Emeralds.State_msg.t list;
+      (** state messages some registered IRQ handler writes *)
+}
+
+val make :
+  ?irq_signals:Emeralds.Types.waitq list ->
+  ?irq_writes:Emeralds.State_msg.t list ->
+  taskset:Model.Taskset.t ->
+  programs:(Model.Task.t -> Emeralds.Program.t) ->
+  unit ->
+  t
+(** Build a context the same way [Kernel.create] builds TCBs: one
+    program per task, tasks in RM order.  IRQ metadata typically comes
+    from [Kernel.irq_signals] / [Kernel.irq_state_writes] after handler
+    registration, or is declared directly. *)
+
+val held_walk : task_prog -> Emeralds.Types.sem list array * Emeralds.Types.sem list
+(** [held_walk tp] walks the program once and returns, for each pc, the
+    multiset of semaphores held *before* executing that instruction (in
+    acquisition order, oldest first, duplicates for counting-semaphore
+    units), plus the semaphores still held when the job ends.  Releases
+    drop the most recent matching acquisition; an unmatched release is
+    ignored here (the lock-balance check reports it). *)

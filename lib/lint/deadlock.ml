@@ -1,0 +1,112 @@
+open Emeralds
+
+let name = "deadlock"
+
+(* Tarjan's strongly-connected components over sem ids.  Any SCC with
+   at least one internal edge (here: >= 2 nodes, self-edges being
+   excluded at construction) contains a lock-order cycle. *)
+let sccs nodes succs =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (succs v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.remove on_stack w;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      out := pop [] :: !out
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) nodes;
+  !out
+
+let run (ctx : Ctx.t) =
+  (* (outer, inner) -> nesting witnesses *)
+  let edges : (int * int, (int * int) list ref) Hashtbl.t = Hashtbl.create 16 in
+  let nodes = Hashtbl.create 16 in
+  Array.iter
+    (fun (tp : Ctx.task_prog) ->
+      let before, _ = Ctx.held_walk tp in
+      Array.iteri
+        (fun pc instr ->
+          match instr with
+          | Types.Acquire s2 ->
+            Hashtbl.replace nodes s2.sem_id ();
+            List.iter
+              (fun (s1 : Types.sem) ->
+                if s1.sem_id <> s2.sem_id then begin
+                  let key = (s1.sem_id, s2.sem_id) in
+                  let witnesses =
+                    match Hashtbl.find_opt edges key with
+                    | Some w -> w
+                    | None ->
+                      let w = ref [] in
+                      Hashtbl.replace edges key w;
+                      w
+                  in
+                  witnesses := (tp.task.id, pc) :: !witnesses
+                end)
+              before.(pc)
+          | Types.Release s -> Hashtbl.replace nodes s.sem_id ()
+          | _ -> ())
+        tp.code)
+    ctx.tasks;
+  let node_list = Hashtbl.fold (fun v () acc -> v :: acc) nodes [] in
+  let succs v =
+    Hashtbl.fold
+      (fun (a, b) _ acc -> if a = v then b :: acc else acc)
+      edges []
+  in
+  List.filter_map
+    (fun scc ->
+      if List.length scc < 2 then None
+      else begin
+        let in_scc v = List.mem v scc in
+        let witnesses =
+          Hashtbl.fold
+            (fun (a, b) w acc ->
+              if in_scc a && in_scc b then
+                List.map
+                  (fun (task, pc) ->
+                    Printf.sprintf "tau%d nests sem %d -> sem %d (pc %d)" task
+                      a b pc)
+                  !w
+                @ acc
+              else acc)
+            edges []
+          |> List.sort_uniq String.compare
+        in
+        let sems =
+          String.concat ", "
+            (List.map string_of_int (List.sort Stdlib.compare scc))
+        in
+        Some
+          (Diag.make Diag.Error ~check:name
+             (Printf.sprintf "lock-order cycle among sems {%s}: %s" sems
+                (String.concat "; " witnesses)))
+      end)
+    (sccs node_list succs)

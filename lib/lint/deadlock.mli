@@ -1,0 +1,16 @@
+(** Cross-task deadlock detection.
+
+    Builds the global lock-order graph: an edge [s1 -> s2] whenever
+    some task acquires [s2] while already holding [s1] (Elphinstone et
+    al.'s observation that lock *structure* dominates kernel behaviour
+    makes this the first thing worth checking statically).  A cycle
+    means two jobs can interleave into a circular wait the kernel never
+    escapes — reported as an error naming every semaphore in the cycle
+    and the nesting sites (task, pc) that contribute its edges.
+
+    Self-cycles (re-acquiring a held mutex) are the lock-balance
+    check's finding and are excluded here. *)
+
+val name : string
+
+val run : Ctx.t -> Diag.t list

@@ -1,0 +1,114 @@
+open Emeralds
+
+let name = "blocking-hygiene"
+
+let sem_ids held =
+  String.concat ", "
+    (List.sort_uniq String.compare
+       (List.map (fun (s : Types.sem) -> string_of_int s.Types.sem_id) held))
+
+let run (ctx : Ctx.t) =
+  (* All signal sites per waitq: (task id, held sems at the site). *)
+  let signal_sites : (int, (int * Types.sem list) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let site wq_id entry =
+    let sites =
+      match Hashtbl.find_opt signal_sites wq_id with
+      | Some s -> s
+      | None ->
+        let s = ref [] in
+        Hashtbl.replace signal_sites wq_id s;
+        s
+    in
+    sites := entry :: !sites
+  in
+  let walks =
+    Array.map (fun tp -> (tp, fst (Ctx.held_walk tp))) ctx.tasks
+  in
+  Array.iter
+    (fun ((tp : Ctx.task_prog), before) ->
+      Array.iteri
+        (fun pc instr ->
+          match instr with
+          | Types.Signal wq | Types.Broadcast wq ->
+            site wq.wq_id (tp.task.id, before.(pc))
+          | _ -> ())
+        tp.code)
+    walks;
+  let irq_signalled wq_id =
+    List.exists (fun (w : Types.waitq) -> w.wq_id = wq_id) ctx.irq_signals
+  in
+  let diags = ref [] in
+  let add sev ~task ~pc msg =
+    diags := Diag.make sev ~check:name ~task ~pc msg :: !diags
+  in
+  Array.iter
+    (fun ((tp : Ctx.task_prog), before) ->
+      let tid = tp.task.id in
+      Array.iteri
+        (fun pc instr ->
+          let held = before.(pc) in
+          if held <> [] then
+            match instr with
+            | Types.Wait wq ->
+              let holds_one_of site_held =
+                List.exists
+                  (fun (m : Types.sem) ->
+                    List.exists
+                      (fun (h : Types.sem) -> h.sem_id = m.sem_id)
+                      site_held)
+                  held
+              in
+              let sites =
+                match Hashtbl.find_opt signal_sites wq.wq_id with
+                | Some s -> List.filter (fun (t, _) -> t <> tid) !s
+                | None -> []
+              in
+              if
+                sites <> []
+                && (not (irq_signalled wq.wq_id))
+                && List.for_all (fun (_, h) -> holds_one_of h) sites
+              then
+                add Diag.Error ~task:tid ~pc
+                  (Printf.sprintf
+                     "waits on waitq %d holding sem %s, and every signaller \
+                      of waitq %d signals only inside a critical section on \
+                      a held sem: certain deadlock — release the mutex \
+                      before waiting (Program.condition_wait)"
+                     wq.wq_id (sem_ids held) wq.wq_id)
+              else
+                add Diag.Warning ~task:tid ~pc
+                  (Printf.sprintf
+                     "waits on waitq %d while holding sem %s: the critical \
+                      section now lasts until an external signal (unbounded \
+                      priority inversion)"
+                     wq.wq_id (sem_ids held))
+            | Types.Timed_wait (wq, d) ->
+              add Diag.Warning ~task:tid ~pc
+                (Printf.sprintf
+                   "timed-waits on waitq %d while holding sem %s: the \
+                    critical section stretches by up to the %.1fus timeout"
+                   wq.wq_id (sem_ids held) (Model.Time.to_us_f d))
+            | Types.Delay d ->
+              add Diag.Warning ~task:tid ~pc
+                (Printf.sprintf
+                   "sleeps %.1fus while holding sem %s: the delay is served \
+                    inside the critical section"
+                   (Model.Time.to_us_f d) (sem_ids held))
+            | Types.Recv mb ->
+              add Diag.Warning ~task:tid ~pc
+                (Printf.sprintf
+                   "receives from mailbox %d while holding sem %s: blocks \
+                    until a sender runs (unbounded priority inversion)"
+                   mb.mb_id (sem_ids held))
+            | Types.Send (mb, _) ->
+              add Diag.Warning ~task:tid ~pc
+                (Printf.sprintf
+                   "sends to mailbox %d while holding sem %s: blocks when \
+                    the mailbox is full"
+                   mb.mb_id (sem_ids held))
+            | _ -> ())
+        tp.code)
+    walks;
+  !diags

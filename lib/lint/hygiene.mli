@@ -1,0 +1,21 @@
+(** Blocking hygiene inside critical sections.
+
+    A critical section's length bounds every other task's blocking term
+    (§6's whole point of priority inheritance), so blocking *inside*
+    one — [Wait], [Delay], [Recv], a [Send] to a full mailbox — makes
+    the blocking term unbounded by program text alone: an unbounded
+    priority-inversion hazard, reported as a warning.
+
+    The one certain-deadlock shape is promoted to an error: a task
+    waits on a wait queue while holding a mutex, and every other task
+    that could signal that queue only signals from inside a critical
+    section on a mutex the waiter holds — the signaller can never run,
+    the waiter never wakes.  The fix is the paper's condition-variable
+    pattern ([Program.condition_wait]: release the monitor, block,
+    re-acquire — the derived hint then saves the wake-up switch).  Wait
+    queues declared as IRQ-signalled are exempt: interrupt handlers
+    take no locks. *)
+
+val name : string
+
+val run : Ctx.t -> Diag.t list

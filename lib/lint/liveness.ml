@@ -1,0 +1,115 @@
+open Emeralds
+
+let name = "liveness"
+
+type wq_usage = {
+  wq : Types.waitq;
+  mutable plain_waits : int list;   (* task ids *)
+  mutable timed_waits : int list;
+  mutable signallers : int list;
+}
+
+type mb_usage = {
+  mb : Types.mailbox;
+  mutable senders : int list;
+  mutable receivers : int list;
+}
+
+let taus ids =
+  String.concat ", "
+    (List.map
+       (fun t -> Printf.sprintf "tau%d" t)
+       (List.sort_uniq Stdlib.compare ids))
+
+let run (ctx : Ctx.t) =
+  let wqs : (int, wq_usage) Hashtbl.t = Hashtbl.create 8 in
+  let mbs : (int, mb_usage) Hashtbl.t = Hashtbl.create 8 in
+  let wq_usage (wq : Types.waitq) =
+    match Hashtbl.find_opt wqs wq.wq_id with
+    | Some u -> u
+    | None ->
+      let u = { wq; plain_waits = []; timed_waits = []; signallers = [] } in
+      Hashtbl.replace wqs wq.wq_id u;
+      u
+  in
+  let mb_usage (mb : Types.mailbox) =
+    match Hashtbl.find_opt mbs mb.mb_id with
+    | Some u -> u
+    | None ->
+      let u = { mb; senders = []; receivers = [] } in
+      Hashtbl.replace mbs mb.mb_id u;
+      u
+  in
+  Array.iter
+    (fun (tp : Ctx.task_prog) ->
+      let tid = tp.task.id in
+      Array.iter
+        (fun instr ->
+          match instr with
+          | Types.Wait wq ->
+            let u = wq_usage wq in
+            u.plain_waits <- tid :: u.plain_waits
+          | Types.Timed_wait (wq, _) ->
+            let u = wq_usage wq in
+            u.timed_waits <- tid :: u.timed_waits
+          | Types.Signal wq | Types.Broadcast wq ->
+            let u = wq_usage wq in
+            u.signallers <- tid :: u.signallers
+          | Types.Send (mb, _) ->
+            let u = mb_usage mb in
+            u.senders <- tid :: u.senders
+          | Types.Recv mb ->
+            let u = mb_usage mb in
+            u.receivers <- tid :: u.receivers
+          | _ -> ())
+        tp.code)
+    ctx.tasks;
+  let irq_signalled wq_id =
+    List.exists (fun (w : Types.waitq) -> w.wq_id = wq_id) ctx.irq_signals
+  in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  Hashtbl.iter
+    (fun _ u ->
+      let waited = u.plain_waits <> [] || u.timed_waits <> [] in
+      if waited && u.signallers = [] && not (irq_signalled u.wq.wq_id) then
+        if u.plain_waits <> [] then
+          add
+            (Diag.make Diag.Error ~check:name
+               (Printf.sprintf
+                  "waitq %d is awaited (%s) but no task or registered IRQ \
+                   ever signals it: those jobs block forever"
+                  u.wq.wq_id (taus u.plain_waits)))
+        else
+          add
+            (Diag.make Diag.Warning ~check:name
+               (Printf.sprintf
+                  "waitq %d has no signaller: the timed waits (%s) always \
+                   run to their timeout"
+                  u.wq.wq_id (taus u.timed_waits)));
+      if (not waited) && u.signallers <> [] then
+        add
+          (Diag.make Diag.Info ~check:name
+             (Printf.sprintf
+                "waitq %d is signalled (%s) but never awaited: signals \
+                 accumulate as pending"
+                u.wq.wq_id (taus u.signallers))))
+    wqs;
+  Hashtbl.iter
+    (fun _ u ->
+      if u.receivers <> [] && u.senders = [] then
+        add
+          (Diag.make Diag.Error ~check:name
+             (Printf.sprintf
+                "mailbox %d has receivers (%s) but no senders: recv blocks \
+                 forever"
+                u.mb.mb_id (taus u.receivers)));
+      if u.senders <> [] && u.receivers = [] then
+        add
+          (Diag.make Diag.Warning ~check:name
+             (Printf.sprintf
+                "mailbox %d has senders (%s) but no receivers: senders \
+                 block once its %d slots fill"
+                u.mb.mb_id (taus u.senders) u.mb.mb_capacity)))
+    mbs;
+  !diags

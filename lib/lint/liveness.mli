@@ -1,0 +1,20 @@
+(** Liveness pairing of wait queues and mailboxes.
+
+    Straight-line programs make producer/consumer pairing decidable:
+
+    - a plain [Wait] on a wait queue that no other task and no
+      registered IRQ ever signals blocks that job forever — error;
+      if every wait on such a queue is a [Timed_wait] the job survives
+      on timeouts alone — warning;
+    - a mailbox with receivers but no senders: every [Recv] blocks
+      forever — error;
+    - a mailbox with senders but no receivers fills up, after which
+      every [Send] blocks forever — warning (sends may stay under the
+      capacity within a hyperperiod, which static text alone cannot
+      rule in or out);
+    - a wait queue that is signalled but never awaited accumulates
+      pending signals — info. *)
+
+val name : string
+
+val run : Ctx.t -> Diag.t list

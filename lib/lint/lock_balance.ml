@@ -1,0 +1,54 @@
+open Emeralds
+
+let name = "lock-balance"
+
+let run (ctx : Ctx.t) =
+  let diags = ref [] in
+  let add sev ~task ?pc msg = diags := Diag.make sev ~check:name ~task ?pc msg :: !diags in
+  Array.iter
+    (fun (tp : Ctx.task_prog) ->
+      let tid = tp.task.id in
+      (* sem_id -> (sem, held units) *)
+      let held : (int, Types.sem * int) Hashtbl.t = Hashtbl.create 4 in
+      let units (s : Types.sem) =
+        match Hashtbl.find_opt held s.sem_id with
+        | Some (_, c) -> c
+        | None -> 0
+      in
+      Array.iteri
+        (fun pc instr ->
+          match instr with
+          | Types.Acquire s ->
+            let c = units s in
+            if c >= s.sem_initial then
+              add Diag.Error ~task:tid ~pc
+                (if s.sem_initial = 1 then
+                   Printf.sprintf
+                     "double acquire of sem %d: the job blocks on itself"
+                     s.sem_id
+                 else
+                   Printf.sprintf
+                     "acquire of sem %d exceeds its %d units with none released"
+                     s.sem_id s.sem_initial);
+            Hashtbl.replace held s.sem_id (s, c + 1)
+          | Types.Release s ->
+            let c = units s in
+            if c = 0 then
+              add Diag.Error ~task:tid ~pc
+                (Printf.sprintf
+                   "release of sem %d never acquired (kernel raises at run time)"
+                   s.sem_id)
+            else Hashtbl.replace held s.sem_id (s, c - 1)
+          | _ -> ())
+        tp.code;
+      Hashtbl.iter
+        (fun _ ((s : Types.sem), c) ->
+          if c > 0 then
+            add Diag.Error ~task:tid
+              (Printf.sprintf
+                 "sem %d still held at job end: the next job self-deadlocks \
+                  re-acquiring it"
+                 s.sem_id))
+        held)
+    ctx.tasks;
+  !diags

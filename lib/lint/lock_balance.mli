@@ -1,0 +1,17 @@
+(** Per-task lock balance.
+
+    Walks each thread program with an exact held-lock multiset and
+    flags, as errors:
+
+    - a [Release] of a semaphore the job does not hold (the kernel
+      raises [Invalid_argument] for mutexes at run time);
+    - a re-[Acquire] of a held mutex — the job blocks on itself — or,
+      for a counting semaphore, acquiring more units than exist without
+      releasing any;
+    - a semaphore still held when the job ends: the *next* job of the
+      same task starts with the unit gone and self-deadlocks on its own
+      first acquire. *)
+
+val name : string
+
+val run : Ctx.t -> Diag.t list

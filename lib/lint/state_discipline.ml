@@ -1,0 +1,80 @@
+open Emeralds
+
+let name = "state-discipline"
+
+type usage = {
+  sm : State_msg.t;
+  mutable writers : string list;  (* "tau3" / "irq", most recent first *)
+  mutable readers : int list;
+}
+
+let run (ctx : Ctx.t) =
+  let table : (int, usage) Hashtbl.t = Hashtbl.create 8 in
+  let usage sm =
+    let key = State_msg.id sm in
+    match Hashtbl.find_opt table key with
+    | Some u -> u
+    | None ->
+      let u = { sm; writers = []; readers = [] } in
+      Hashtbl.replace table key u;
+      u
+  in
+  let diags = ref [] in
+  Array.iter
+    (fun (tp : Ctx.task_prog) ->
+      let tid = tp.task.id in
+      Array.iteri
+        (fun pc instr ->
+          match instr with
+          | Types.State_write (sm, data) ->
+            let u = usage sm in
+            let w = Printf.sprintf "tau%d" tid in
+            if not (List.mem w u.writers) then u.writers <- w :: u.writers;
+            if Array.length data <> State_msg.words sm then
+              diags :=
+                Diag.make Diag.Error ~check:name ~task:tid ~pc
+                  (Printf.sprintf
+                     "writes %d words to state %d sized %d words \
+                      (State_msg.write raises at run time)"
+                     (Array.length data) (State_msg.id sm)
+                     (State_msg.words sm))
+                :: !diags
+          | Types.State_read sm ->
+            let u = usage sm in
+            if not (List.mem tid u.readers) then u.readers <- tid :: u.readers
+          | _ -> ())
+        tp.code)
+    ctx.tasks;
+  List.iter
+    (fun sm ->
+      let u = usage sm in
+      if not (List.mem "irq" u.writers) then u.writers <- "irq" :: u.writers)
+    ctx.irq_writes;
+  Hashtbl.iter
+    (fun _ u ->
+      (match u.writers with
+      | [] | [ _ ] -> ()
+      | writers ->
+        diags :=
+          Diag.make Diag.Error ~check:name
+            (Printf.sprintf
+               "state %d has %d writers (%s): state messages are \
+                single-writer/many-reader — concurrent writers race on \
+                the sequence number"
+               (State_msg.id u.sm) (List.length writers)
+               (String.concat ", " (List.rev writers)))
+          :: !diags);
+      if u.writers = [] && u.readers <> [] then
+        diags :=
+          Diag.make Diag.Info ~check:name
+            (Printf.sprintf
+               "state %d is read (%s) but never written: readers see the \
+                pre-published zero value"
+               (State_msg.id u.sm)
+               (String.concat ", "
+                  (List.map
+                     (fun t -> Printf.sprintf "tau%d" t)
+                     (List.sort Stdlib.compare u.readers))))
+          :: !diags)
+    table;
+  !diags

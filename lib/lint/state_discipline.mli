@@ -1,0 +1,18 @@
+(** State-message discipline (§7).
+
+    State messages are single-writer / many-reader by construction: the
+    wait-free circular buffer is only torn-read-safe when one writer
+    advances the sequence.  Errors:
+
+    - two distinct writers (tasks, or a task plus a registered IRQ
+      handler) of the same state variable;
+    - a [State_write] payload whose word count differs from the
+      variable's ([State_msg.write] raises at run time).
+
+    A variable that is read but never written is reported as info:
+    readers see the pre-published all-zero value, which is legal but
+    usually a forgotten producer. *)
+
+val name : string
+
+val run : Ctx.t -> Diag.t list

@@ -1,0 +1,133 @@
+open Emeralds
+
+type t = {
+  name : string;
+  taskset : Model.Taskset.t;
+  programs : Model.Task.t -> Program.t;
+  irq_signals : Types.waitq list;
+  irq_writes : State_msg.t list;
+}
+
+let us = Model.Time.us
+
+(* Pure computation: the Table 2 schedulability workload has no
+   synchronisation story, so every job just burns its WCET. *)
+let table2 () =
+  {
+    name = "table2";
+    taskset = Presets.table2;
+    programs = (fun (task : Model.Task.t) -> [ Program.compute task.wcet ]);
+    irq_signals = [];
+    irq_writes = [];
+  }
+
+(* The engine controller from examples/engine_control.ml: a crank IRQ
+   publishes engine speed as a state message, the fuel/spark tasks
+   share the fuel-map object under an EMERALDS semaphore, and knock
+   diagnostics waits for the spark window. *)
+let engine () =
+  let engine_speed = State_msg.create ~depth:3 ~words:2 in
+  let fuel_map = Objects.sem ~kind:Types.Emeralds () in
+  let spark_event = Objects.waitq () in
+  let programs (task : Model.Task.t) =
+    let open Program in
+    match task.id with
+    | 1 -> [ state_read engine_speed; compute (us 800) ]
+    | 2 -> [ state_read engine_speed; compute (us 500) ]
+    | 3 ->
+      state_read engine_speed :: compute (us 300)
+      :: critical fuel_map (us 900)
+    | 4 ->
+      compute (us 500)
+      :: (critical fuel_map (us 1500) @ [ signal spark_event ])
+    | 5 -> [ state_read engine_speed; compute (us 1600) ]
+    | 8 ->
+      compute (us 2000) :: (wait spark_event :: critical fuel_map (us 2500))
+    | _ -> [ compute task.wcet ]
+  in
+  {
+    name = "engine";
+    taskset = Presets.engine_control;
+    programs;
+    irq_signals = [];
+    irq_writes = [ engine_speed ];
+  }
+
+(* Avionics: an air-data IRQ publishes sensor state for the fast
+   control loops, navigation shares a filter state under a semaphore,
+   landing gear raises an event the monitor waits on, and maintenance
+   streams log records through a mailbox. *)
+let avionics () =
+  let air_data = State_msg.create ~depth:2 ~words:4 in
+  let nav_state = Objects.sem ~kind:Types.Emeralds () in
+  let gear_event = Objects.waitq () in
+  let maint_log = Objects.mailbox ~capacity:4 () in
+  let programs (task : Model.Task.t) =
+    let open Program in
+    match task.id with
+    | 1 -> [ state_read air_data; compute (us 600) ]
+    | 2 -> [ state_read air_data; compute (us 1000) ]
+    | 3 ->
+      (* navigation filter update inside the shared-state monitor *)
+      compute (us 200) :: critical nav_state (us 500)
+    | 5 -> [ compute (us 1300); signal gear_event ]
+    | 6 ->
+      (* guidance reads the filter output under the same lock *)
+      compute (us 1500) :: critical nav_state (us 900)
+    | 9 ->
+      (* gear/flap monitor: waits for the actuation event *)
+      compute (us 2000) :: [ wait gear_event; compute (us 1800) ]
+    | 12 -> [ compute (us 9000); send maint_log (words 2) ]
+    | 13 -> [ recv maint_log; compute (us 15000) ]
+    | _ -> [ compute task.wcet ]
+  in
+  {
+    name = "avionics";
+    taskset = Presets.avionics;
+    programs;
+    irq_signals = [];
+    irq_writes = [ air_data ];
+  }
+
+(* Voice terminal: the codec task owns the frame-clock state message
+   (single writer, no IRQ involvement), shares the codec buffer with
+   the channel protocol, and the protocol streams frames to the
+   battery/thermal logger through a mailbox. *)
+let voice () =
+  let frame_clock = State_msg.create ~depth:2 ~words:1 in
+  let codec_buf = Objects.sem ~kind:Types.Emeralds () in
+  let tx_queue = Objects.mailbox ~capacity:8 () in
+  let programs (task : Model.Task.t) =
+    let open Program in
+    match task.id with
+    | 1 ->
+      state_write frame_clock (words 1)
+      :: (critical codec_buf (us 2500) @ [ compute (us 4000) ])
+    | 2 -> [ state_read frame_clock; compute (us 1400) ]
+    | 3 ->
+      compute (us 700)
+      :: (critical codec_buf (us 1200) @ [ send tx_queue (words 3) ])
+    | 5 -> [ state_read frame_clock; compute (us 7500) ]
+    | 6 -> [ recv tx_queue; compute (us 5000) ]
+    | _ -> [ compute task.wcet ]
+  in
+  {
+    name = "voice";
+    taskset = Presets.voice;
+    programs;
+    irq_signals = [];
+    irq_writes = [];
+  }
+
+let scenarios =
+  [
+    ("table2", table2); ("engine", engine); ("avionics", avionics);
+    ("voice", voice);
+  ]
+
+let names = List.map fst scenarios
+
+let make name =
+  Option.map (fun mk -> mk ()) (List.assoc_opt name scenarios)
+
+let all () = List.map (fun (_, mk) -> mk ()) scenarios

@@ -1,0 +1,32 @@
+(** Named workloads with thread programs attached.
+
+    {!Presets} gives the timing side of each workload (periods, WCETs);
+    a scenario adds the behavioural side — per-task thread programs
+    over statically allocated kernel objects, plus the declared side
+    effects of interrupt handlers.  That is exactly the input the
+    static verifier ([lib/lint]) needs, and enough to create a kernel
+    and simulate.
+
+    [make] allocates fresh kernel objects on every call, so a scenario
+    can be linted and simulated repeatedly without sharing mutable
+    semaphore/mailbox state across runs. *)
+
+type t = {
+  name : string;
+  taskset : Model.Taskset.t;
+  programs : Model.Task.t -> Emeralds.Program.t;
+  irq_signals : Emeralds.Types.waitq list;
+      (** wait queues interrupt handlers signal *)
+  irq_writes : Emeralds.State_msg.t list;
+      (** state messages interrupt handlers publish *)
+}
+
+val names : string list
+(** ["table2"; "engine"; "avionics"; "voice"] — matches the CLI's
+    [--preset] vocabulary. *)
+
+val make : string -> t option
+(** Fresh scenario for a preset name; [None] for unknown names. *)
+
+val all : unit -> t list
+(** A fresh scenario per name, in {!names} order. *)

@@ -16,5 +16,6 @@ let () =
       ("footprint", Test_footprint.suite);
       ("experiments", Test_experiments.suite);
       ("extensions", Test_extensions.suite);
+      ("lint", Test_lint.suite);
       ("fuzz", Test_fuzz.suite);
     ]

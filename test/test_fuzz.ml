@@ -200,6 +200,101 @@ let prop_busy_conservation =
       let busy = Sim.Trace.busy_time (Kernel.trace k) in
       busy >= completed_work && busy <= completed_work + (n * ms 3))
 
-let suite = [ prop_kernel_fuzz; prop_busy_conservation ]
+(* --- lint cross-checks ----------------------------------------------- *)
+
+(* A kernel-level deadlock: a cycle of threads each blocked in [acquire]
+   on a semaphore held by the next.  (A thread parked on a wait queue
+   that never gets signalled is starvation, not deadlock — random
+   programs do that legitimately.) *)
+let sem_wait_cycle k ~n =
+  let next tid =
+    match (Kernel.tcb k ~tid).Types.waiting_on with
+    | Some s ->
+      Option.map (fun (h : Types.tcb) -> h.Types.tid) s.Types.holder
+    | None -> None
+  in
+  let rec chase seen tid =
+    List.mem tid seen
+    || match next tid with None -> false | Some t -> chase (tid :: seen) t
+  in
+  List.exists (fun tid -> chase [] tid) (List.init n (fun i -> i + 1))
+
+(* Programs the static verifier passes must run deadlock-free: lint
+   errors are exactly the class of bugs that turn into stuck kernels,
+   so error-free random programs must simulate without a semaphore
+   wait cycle and keep every kernel invariant. *)
+let run_lint_clean (n, kind, spec_idx, costly, tick, seed) =
+  let rng = Util.Rng.create ~seed in
+  let objs = fresh_objects kind in
+  let taskset =
+    Model.Taskset.of_list
+      (List.init n (fun i ->
+           let period =
+             Util.Rng.choose rng [| ms 10; ms 20; ms 25; ms 40; ms 50 |]
+           in
+           Model.Task.make ~id:(i + 1) ~period ~wcet:(ms 2) ()))
+  in
+  let gen = QCheck2.Gen.generate1 ~rand:(Random.State.make [| seed |]) in
+  let programs =
+    Array.of_list (List.init n (fun _ -> gen (gen_program objs)))
+  in
+  let programs_fn (task : Model.Task.t) = programs.(task.id - 1) in
+  let ctx = Lint.Ctx.make ~taskset ~programs:programs_fn () in
+  if Lint.Diag.errors (Lint.Report.run ctx) > 0 then true
+  else begin
+    let k =
+      Kernel.create
+        ~cost:(if costly then Sim.Cost.m68040 else Sim.Cost.zero)
+        ~spec:(spec_of spec_idx n) ~taskset ?tick ~programs:programs_fn
+        ~optimized_pi:(kind = Types.Emeralds) ()
+    in
+    Kernel.run k ~until:(ms 150);
+    Kernel.check_invariants k;
+    not (sem_wait_cycle k ~n)
+  end
+
+let prop_lint_clean_runs =
+  qtest "lint-clean programs never deadlock the kernel" gen_case
+    run_lint_clean
+
+(* And the flip side: splice an opposite-order nesting into otherwise
+   random programs and the deadlock check must fire. *)
+let prop_injected_cycle =
+  qtest ~count:80 "injected lock-order cycle is flagged"
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed ->
+      let objs = fresh_objects Types.Emeralds in
+      let gen = QCheck2.Gen.generate1 ~rand:(Random.State.make [| seed |]) in
+      let filler () = gen (gen_atom objs ~allow_s1:false) in
+      let nest x y =
+        [
+          Program.acquire x; Program.compute (us 80); Program.acquire y;
+          Program.release y; Program.release x;
+        ]
+      in
+      let p1 = filler () @ nest objs.s1 objs.s2 @ filler () in
+      let p2 = filler () @ nest objs.s2 objs.s1 @ filler () in
+      let taskset =
+        Model.Taskset.of_list
+          [
+            Model.Task.make ~id:1 ~period:(ms 10) ~wcet:(ms 2) ();
+            Model.Task.make ~id:2 ~period:(ms 20) ~wcet:(ms 2) ();
+          ]
+      in
+      let ctx =
+        Lint.Ctx.make ~taskset
+          ~programs:(fun t -> if t.id = 1 then p1 else p2)
+          ()
+      in
+      List.exists
+        (fun (d : Lint.Diag.t) ->
+          d.severity = Lint.Diag.Error && d.check = "deadlock")
+        (Lint.Report.run ctx))
+
+let suite =
+  [
+    prop_kernel_fuzz; prop_busy_conservation; prop_lint_clean_runs;
+    prop_injected_cycle;
+  ]
 
 

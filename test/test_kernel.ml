@@ -162,7 +162,9 @@ let test_interrupt_wakes_task () =
   let k =
     Kernel.create ~cost:Sim.Cost.zero ~spec:Sched.Edf ~taskset:ts ~programs ()
   in
-  Kernel.register_irq k ~irq:5 ~handler:(fun () -> Kernel.signal_waitq k event);
+  Kernel.register_irq k ~irq:5 ~signals:[ event ]
+    ~handler:(fun () -> Kernel.signal_waitq k event)
+    ();
   Kernel.raise_irq_at k ~at:(ms 30) ~irq:5;
   Kernel.run k ~until:(ms 100);
   let s = stat k 1 in
@@ -179,10 +181,10 @@ let test_interrupt_wakes_task () =
 let test_duplicate_irq_rejected () =
   let ts = taskset [ task 1 100 1 ] in
   let k = Kernel.create ~cost:Sim.Cost.zero ~spec:Sched.Edf ~taskset:ts () in
-  Kernel.register_irq k ~irq:1 ~handler:(fun () -> ());
+  Kernel.register_irq k ~irq:1 ~handler:(fun () -> ()) ();
   check bool "duplicate rejected" true
     (try
-       Kernel.register_irq k ~irq:1 ~handler:(fun () -> ());
+       Kernel.register_irq k ~irq:1 ~handler:(fun () -> ()) ();
        false
      with Invalid_argument _ -> true)
 
@@ -192,7 +194,7 @@ let test_irq_preempts_computation () =
   let k =
     Kernel.create ~cost:Sim.Cost.m68040 ~spec:Sched.Edf ~taskset:ts ()
   in
-  Kernel.register_irq k ~irq:2 ~handler:(fun () -> ());
+  Kernel.register_irq k ~irq:2 ~handler:(fun () -> ()) ();
   Kernel.raise_irq_at k ~at:(ms 3) ~irq:2;
   Kernel.run k ~until:(ms 100);
   let with_irq = (stat k 1).max_response in
