@@ -135,7 +135,7 @@ let tests =
 (* ------------------------------------------------------------------ *)
 (* Runner *)
 
-let run_benchmarks () =
+let run_benchmarks ~json_path () =
   let cfg =
     Benchmark.cfg ~limit:1000 ~stabilize:true ~quota:(Time.second 0.25) ()
   in
@@ -163,7 +163,28 @@ let run_benchmarks () =
     rows;
   print_endline "host micro-benchmarks (one per table/figure):";
   print_string (Util.Tablefmt.render t);
-  print_newline ()
+  print_newline ();
+  match json_path with
+  | None -> ()
+  | Some path ->
+    (* machine-readable per-benchmark ns/op for CI artifacts *)
+    let item (name, ols) =
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> Printf.sprintf "%.1f" e
+        | Some [] | None -> "null"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "null"
+      in
+      Printf.sprintf {|{"name":%S,"ns_per_op":%s,"r_square":%s}|} name ns r2
+    in
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc
+          ("[" ^ String.concat "," (List.map item rows) ^ "]\n"));
+    Printf.printf "benchmark JSON written to %s\n\n" path
 
 (* ------------------------------------------------------------------ *)
 (* Experiment tables *)
@@ -190,5 +211,13 @@ let run_experiments ~workloads =
 
 let () =
   let quick = Array.exists (( = ) "--quick") Sys.argv in
-  run_benchmarks ();
+  let json_path =
+    let rec find = function
+      | "--json" :: path :: _ -> Some path
+      | _ :: tl -> find tl
+      | [] -> None
+    in
+    find (Array.to_list Sys.argv)
+  in
+  run_benchmarks ~json_path ();
   run_experiments ~workloads:(if quick then 8 else 30)

@@ -278,6 +278,14 @@ let lint_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit findings as JSON.")
   in
+  let format =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format: sarif (SARIF 2.1.0, one log for all \
+                scenarios).")
+  in
   let blocking =
     Arg.(
       value & flag
@@ -287,7 +295,12 @@ let lint_cmd =
              ceilings, worst-case critical sections, and per-rank \
              blocking terms.")
   in
-  let run preset_name json blocking =
+  let run preset_name json format blocking =
+    (match format with
+    | None | Some "sarif" -> ()
+    | Some f ->
+      Printf.eprintf "unknown format %S (expected: sarif)\n" f;
+      exit 2);
     let scenarios =
       match preset_name with
       | None -> Workload.Scenario.all ()
@@ -300,6 +313,7 @@ let lint_cmd =
           exit 2)
     in
     let had_errors = ref false in
+    let sarif_results = ref [] in
     List.iter
       (fun (s : Workload.Scenario.t) ->
         let ctx =
@@ -308,7 +322,21 @@ let lint_cmd =
         in
         let diags = Lint.Report.run ctx in
         if Lint.Diag.errors diags > 0 then had_errors := true;
-        if json then
+        if format = Some "sarif" then
+          sarif_results :=
+            !sarif_results
+            @ List.map
+                (fun (r : Lint.Sarif.result) ->
+                  {
+                    r with
+                    Lint.Sarif.logical =
+                      Some
+                        (s.name
+                        ^ match r.logical with None -> "" | Some l -> ", " ^ l
+                        );
+                  })
+                (Lint.Sarif.of_diags diags)
+        else if json then
           Printf.printf "{\"scenario\":%S,\"findings\":%s}\n" s.name
             (Lint.Report.to_json diags)
         else begin
@@ -317,6 +345,9 @@ let lint_cmd =
           if blocking then print_string (Lint.Report.render_blocking ctx)
         end)
       scenarios;
+    if format = Some "sarif" then
+      print_endline
+        (Lint.Sarif.render ~tool_name:"emeralds-lint" !sarif_results);
     if !had_errors then exit 1
   in
   Cmd.v
@@ -324,7 +355,269 @@ let lint_cmd =
        ~doc:
          "Statically verify task programs, sync-object usage, and \
           schedulability inputs")
-    Term.(const run $ preset_name $ json $ blocking)
+    Term.(const run $ preset_name $ json $ format $ blocking)
+
+(* ------------------------------------------------------------------ *)
+(* check (bounded model checker) *)
+
+let check_cmd =
+  let preset_name =
+    Arg.(
+      value
+      & opt string "engine"
+      & info [ "preset" ] ~docv:"NAME"
+          ~doc:
+            "Scenario to check: table2, engine, avionics, voice, or \
+             deadlock-demo (the intentionally buggy lock-order cycle).")
+  in
+  let sched =
+    Arg.(
+      value
+      & opt string "fp"
+      & info [ "sched" ] ~docv:"SCHED"
+          ~doc:
+            "Model scheduler: fp (fixed priority, RM order) or edf. The \
+             checker explores every admissible tie-break either way.")
+  in
+  let horizon_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "horizon-ms" ]
+          ~doc:"Virtual-time bound (default: one hyperperiod).")
+  in
+  let max_states =
+    Arg.(
+      value & opt int 200_000
+      & info [ "max-states" ] ~doc:"Expansion budget.")
+  in
+  let max_depth =
+    Arg.(
+      value & opt int 10_000
+      & info [ "max-depth" ] ~doc:"Decision-depth budget per path.")
+  in
+  let props_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "props" ] ~docv:"P1,P2"
+          ~doc:
+            (Printf.sprintf "Properties to check (default: all). Known: %s."
+               (String.concat ", " Mc.Props.names)))
+  in
+  let no_por =
+    Arg.(
+      value & flag
+      & info [ "no-por" ] ~doc:"Disable partial-order reduction.")
+  in
+  let read_span_us =
+    Arg.(
+      value & opt int 0
+      & info [ "read-span-us" ]
+          ~doc:
+            "Model state-message reads as taking this long (0 = atomic); \
+             non-zero spans expose torn reads to the tear property.")
+  in
+  let sporadic =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "sporadic" ] ~docv:"TID:MIN_MS:MAX_MS"
+          ~doc:
+            "Re-model a task as sporadic with the given inter-arrival \
+             window; the checker forks over earliest arrival, latest \
+             arrival and silence. Repeatable.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the result as JSON.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: sarif.")
+  in
+  let rta =
+    Arg.(
+      value & flag
+      & info [ "rta" ]
+          ~doc:
+            "Cross-check: print observed worst-case responses next to the \
+             RTA bounds fed with the lint-extracted blocking terms.")
+  in
+  let run preset_name sched horizon_ms max_states max_depth props_arg no_por
+      read_span_us sporadic json format rta =
+    (match format with
+    | None | Some "sarif" -> ()
+    | Some f ->
+      Printf.eprintf "unknown format %S (expected: sarif)\n" f;
+      exit 2);
+    let scenario =
+      if preset_name = "deadlock-demo" then Workload.Scenario.seeded_deadlock ()
+      else
+        match Workload.Scenario.make preset_name with
+        | Some s -> s
+        | None ->
+          Printf.eprintf "unknown scenario %S (expected: %s, deadlock-demo)\n"
+            preset_name
+            (String.concat ", " Workload.Scenario.names);
+          exit 2
+    in
+    let sched =
+      match String.lowercase_ascii sched with
+      | "fp" | "rm" -> Mc.Machine.Fp
+      | "edf" -> Mc.Machine.Edf
+      | s ->
+        Printf.eprintf "unknown scheduler %S (expected: fp, edf)\n" s;
+        exit 2
+    in
+    let sporadic =
+      List.map
+        (fun spec ->
+          match String.split_on_char ':' spec with
+          | [ tid; lo; hi ] -> (
+            try
+              ( int_of_string tid,
+                Model.Time.ms (int_of_string lo),
+                Model.Time.ms (int_of_string hi) )
+            with _ ->
+              Printf.eprintf "bad --sporadic %S\n" spec;
+              exit 2)
+          | _ ->
+            Printf.eprintf "bad --sporadic %S (expected TID:MIN_MS:MAX_MS)\n"
+              spec;
+            exit 2)
+        sporadic
+    in
+    let props =
+      match props_arg with
+      | None -> Mc.Props.all
+      | Some spec ->
+        List.map
+          (fun name ->
+            match Mc.Props.by_name (String.trim name) with
+            | Some p -> p
+            | None ->
+              Printf.eprintf "unknown property %S (known: %s)\n" name
+                (String.concat ", " Mc.Props.names);
+              exit 2)
+          (String.split_on_char ',' spec)
+    in
+    let m =
+      Mc.Machine.of_scenario ~sched ~read_span:(Model.Time.us read_span_us)
+        ~sporadic scenario
+    in
+    let bounds =
+      {
+        Mc.Explorer.horizon =
+          (match horizon_ms with
+          | Some h -> Model.Time.ms h
+          | None -> m.hyperperiod);
+        max_states;
+        max_depth;
+      }
+    in
+    let r = Mc.Explorer.check ~por:(not no_por) ~props ~bounds m in
+    let ok = r.verdict = `Ok in
+    if format = Some "sarif" then begin
+      let results =
+        match r.verdict with
+        | `Ok -> []
+        | `Violation (cex : Mc.Counterexample.t) ->
+          [
+            {
+              Lint.Sarif.rule_id = "mc-" ^ cex.prop;
+              level = Lint.Sarif.Error;
+              message =
+                Printf.sprintf "%s (at %.3fms, %d choices deep)" cex.message
+                  (Model.Time.to_ms_f cex.at)
+                  (List.length cex.choices);
+              logical = Some scenario.name;
+            };
+          ]
+      in
+      print_endline (Lint.Sarif.render ~tool_name:"emeralds-mc" results)
+    end
+    else if json then begin
+      let verdict_fields =
+        match r.verdict with
+        | `Ok -> {|"verdict":"ok"|}
+        | `Violation cex ->
+          Printf.sprintf
+            {|"verdict":"violation","prop":%S,"message":%S,"at_ns":%d,"choices":%d|}
+            cex.prop cex.message cex.at
+            (List.length cex.choices)
+      in
+      let responses =
+        String.concat ","
+          (List.map
+             (fun (t : Mc.Machine.mtask) ->
+               Printf.sprintf {|%S:%d|} t.task_name r.max_response.(t.idx))
+             (Array.to_list m.tasks))
+      in
+      Printf.printf
+        {|{"scenario":%S,%s,"expansions":%d,"distinct":%d,"revisits":%d,"por_skipped":%d,"truncated":%b,"jobs":%d,"max_response_ns":{%s}}|}
+        scenario.name verdict_fields r.expansions r.distinct r.revisits
+        r.por_skipped r.truncated r.jobs responses;
+      print_newline ()
+    end
+    else begin
+      Printf.printf
+        "%s: %d tasks, horizon %.1fms, properties: %s%s\n"
+        scenario.name (Mc.Machine.n_tasks m)
+        (Model.Time.to_ms_f bounds.horizon)
+        (String.concat ", " (List.map (fun (p : Mc.Props.t) -> p.name) props))
+        (if no_por then " (POR off)" else "");
+      Printf.printf
+        "explored %d segments, %d distinct decision states, %d revisits \
+         pruned, %d tie choices merged, %d jobs%s\n"
+        r.expansions r.distinct r.revisits r.por_skipped r.jobs
+        (if r.truncated then " [TRUNCATED: bounds hit]" else "");
+      (match r.verdict with
+      | `Ok ->
+        Printf.printf "no violation within bounds%s\n"
+          (if r.truncated then " (exploration incomplete)" else "")
+      | `Violation cex -> print_string (Mc.Counterexample.render m ~props cex));
+      if rta then begin
+        let ctx =
+          Lint.Ctx.make ~irq_signals:scenario.irq_signals
+            ~irq_writes:scenario.irq_writes ~taskset:scenario.taskset
+            ~programs:scenario.programs ()
+        in
+        let blocking = Lint.Blocking_terms.blocking_terms ctx in
+        let rows =
+          Array.map
+            (fun (t : Model.Task.t) -> (t.period, t.deadline, t.wcet))
+            (Model.Taskset.tasks scenario.taskset)
+        in
+        Printf.printf "\nRTA cross-check (blocking terms from lint):\n";
+        Array.iteri
+          (fun i (t : Mc.Machine.mtask) ->
+            match Analysis.Rta.response_time ~blocking ~tasks:rows i with
+            | None ->
+              Printf.printf "  %-8s observed %8.3fms  RTA: unbounded\n"
+                t.task_name
+                (Model.Time.to_ms_f r.max_response.(i))
+            | Some bound ->
+              Printf.printf "  %-8s observed %8.3fms  RTA bound %8.3fms  %s\n"
+                t.task_name
+                (Model.Time.to_ms_f r.max_response.(i))
+                (Model.Time.to_ms_f bound)
+                (if r.max_response.(i) <= bound then "ok" else "EXCEEDED"))
+          m.tasks
+      end
+    end;
+    if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Exhaustively explore kernel interleavings within bounds: deadlock \
+          freedom, priority-inheritance correctness, invariants, torn \
+          reads, deadline safety — with replayable counterexamples")
+    Term.(
+      const run $ preset_name $ sched $ horizon_ms $ max_states $ max_depth
+      $ props_arg $ no_por $ read_span_us $ sporadic $ json $ format $ rta)
 
 (* ------------------------------------------------------------------ *)
 (* footprint *)
@@ -345,5 +638,5 @@ let () =
        (Cmd.group info
           [
             experiment_cmd; analyze_cmd; simulate_cmd; sensitivity_cmd;
-            lint_cmd; footprint_cmd;
+            lint_cmd; check_cmd; footprint_cmd;
           ]))

@@ -67,6 +67,25 @@ let () =
     ~capture:(fun frame -> State_msg.write attitude frame.Fieldbus.Bus.payload)
     ();
 
+  (* Lint the controller's programs before flight: the bus interrupt
+     signals the driver's wait queue and publishes [attitude]. *)
+  let lint_programs (t : Model.Task.t) =
+    if t.id = 1 then Array.to_list law.Types.program
+    else [ Program.compute t.wcet ]
+  in
+  let findings =
+    Lint.Report.run
+      (Lint.Ctx.make
+         ~irq_signals:(Kernel.irq_signals k)
+         ~irq_writes:[ attitude ] ~taskset:controller_tasks
+         ~programs:lint_programs ())
+  in
+  if Lint.Diag.errors findings > 0 then begin
+    print_string (Lint.Report.render findings);
+    print_endline "lint errors: refusing to run";
+    exit 1
+  end;
+
   (* --- node 2: actuator ------------------------------------------- *)
   let actuator =
     { commands = 0; last_value = 0; latency_sum = 0; latency_max = 0 }

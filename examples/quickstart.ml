@@ -36,11 +36,22 @@ let () =
       ("CSD-3", Analysis.Breakdown.of_csd ~cost ~queues:3 taskset);
     ];
 
-  (* 3. Run the kernel for one second of virtual time. *)
-  let k = Emeralds.Kernel.create ~cost ~spec ~taskset () in
+  (* 3. Statically verify the thread programs — trivially pure compute
+     bodies here, but the habit is the point: lint runs on the same
+     taskset and programs the kernel gets. *)
+  let programs (t : Model.Task.t) = [ Emeralds.Program.compute t.wcet ] in
+  let findings = Lint.Report.run (Lint.Ctx.make ~taskset ~programs ()) in
+  if Lint.Diag.errors findings > 0 then begin
+    print_string (Lint.Report.render findings);
+    print_endline "lint errors: refusing to run";
+    exit 1
+  end;
+
+  (* 4. Run the kernel for one second of virtual time. *)
+  let k = Emeralds.Kernel.create ~cost ~spec ~taskset ~programs () in
   Emeralds.Kernel.run k ~until:(Model.Time.sec 1);
 
-  (* 4. Outcome: per-task response times, kernel overhead breakdown. *)
+  (* 5. Outcome: per-task response times, kernel overhead breakdown. *)
   let tr = Emeralds.Kernel.trace k in
   Printf.printf "\nper-task results after 1s:\n";
   List.iter

@@ -40,6 +40,14 @@ let () =
     | 1 -> [ compute (us 500); state_write gyro [| 1; 2; 3; task.id |] ]
     | _ -> [ state_read gyro; compute task.wcet ]
   in
+  (* lint before running: single-writer discipline, balanced locks,
+     depth bounds — errors mean the programs are buggy, not the kernel *)
+  let findings = Lint.Report.run (Lint.Ctx.make ~taskset ~programs ()) in
+  if Lint.Diag.errors findings > 0 then begin
+    print_string (Lint.Report.render findings);
+    print_endline "lint errors: refusing to run";
+    exit 1
+  end;
   let k =
     Kernel.create ~cost:Sim.Cost.m68040 ~spec:Sched.Edf ~taskset ~programs ()
   in

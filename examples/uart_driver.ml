@@ -71,6 +71,24 @@ let () =
   driver_tcb.Types.program <- Array.of_list body;
   driver_tcb.Types.hints <- derive_hints driver_tcb.Types.program;
 
+  (* Lint the final programs: the driver body exists only now.  The
+     interrupt's wait-queue signal comes from the registration; the RX
+     write hides inside the capture closure, so declare it. *)
+  let final_programs (t : Model.Task.t) =
+    if t.id = 2 then body else programs t
+  in
+  let findings =
+    Lint.Report.run
+      (Lint.Ctx.make
+         ~irq_signals:(Kernel.irq_signals k)
+         ~irq_writes:[ rx_reg ] ~taskset ~programs:final_programs ())
+  in
+  if Lint.Diag.errors findings > 0 then begin
+    print_string (Lint.Report.render findings);
+    print_endline "lint errors: refusing to run";
+    exit 1
+  end;
+
   (* The device: byte bursts every ~10ms with jitter. *)
   let rec bursts t i =
     if t <= Model.Time.sec 1 then begin

@@ -1,0 +1,60 @@
+type level = Error | Warning | Note
+
+type result = {
+  rule_id : string;
+  level : level;
+  message : string;
+  logical : string option;
+}
+
+let level_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let of_diags diags =
+  List.map
+    (fun (d : Diag.t) ->
+      let logical =
+        match (d.task, d.pc) with
+        | None, _ -> None
+        | Some t, None -> Some (Printf.sprintf "task %d" t)
+        | Some t, Some pc -> Some (Printf.sprintf "task %d, pc %d" t pc)
+      in
+      {
+        rule_id = d.check;
+        level =
+          (match d.severity with
+          | Diag.Error -> Error
+          | Diag.Warning -> Warning
+          | Diag.Info -> Note);
+        message = d.message;
+        logical;
+      })
+    diags
+
+(* %S escaping is JSON-compatible for the ASCII messages these tools
+   produce (same convention as Diag.to_json). *)
+
+let result_json r =
+  let locations =
+    match r.logical with
+    | None -> ""
+    | Some l ->
+      Printf.sprintf
+        {|,"locations":[{"logicalLocations":[{"fullyQualifiedName":%S}]}]|} l
+  in
+  Printf.sprintf {|{"ruleId":%S,"level":%S,"message":{"text":%S}%s}|}
+    r.rule_id (level_label r.level) r.message locations
+
+let rule_json id = Printf.sprintf {|{"id":%S}|} id
+
+let render ~tool_name ?(tool_version = "0.1") results =
+  let rules =
+    List.sort_uniq String.compare (List.map (fun r -> r.rule_id) results)
+  in
+  Printf.sprintf
+    {|{"$schema":"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json","version":"2.1.0","runs":[{"tool":{"driver":{"name":%S,"version":%S,"rules":[%s]}},"results":[%s]}]}|}
+    tool_name tool_version
+    (String.concat "," (List.map rule_json rules))
+    (String.concat "," (List.map result_json results))

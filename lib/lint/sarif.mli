@@ -1,0 +1,26 @@
+(** Minimal SARIF 2.1.0 emission.
+
+    One run, one tool driver, a deduplicated rule table and a flat
+    result list — enough for CI services and editors that ingest the
+    static-analysis interchange format.  Shared by the lint report
+    ([emeralds_cli lint --format sarif]) and the model checker
+    ([emeralds_cli check --format sarif]): both reduce their findings
+    to {!result} values. *)
+
+type level = Error | Warning | Note
+
+type result = {
+  rule_id : string;  (** stable check identifier, e.g. ["deadlock"] *)
+  level : level;
+  message : string;
+  logical : string option;
+      (** logical location, e.g. ["task 3, pc 2"] — these programs have
+          no source files to point into *)
+}
+
+val of_diags : Diag.t list -> result list
+(** Lint diagnostics as SARIF results ([Info] maps to [Note]). *)
+
+val render :
+  tool_name:string -> ?tool_version:string -> result list -> string
+(** A complete SARIF 2.1.0 log document. *)

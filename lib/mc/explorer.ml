@@ -1,0 +1,97 @@
+type bounds = { horizon : int; max_states : int; max_depth : int }
+
+let default_bounds (m : Machine.t) =
+  { horizon = m.hyperperiod; max_states = 200_000; max_depth = 10_000 }
+
+type result = {
+  verdict : [ `Ok | `Violation of Counterexample.t ];
+  expansions : int;
+  distinct : int;
+  revisits : int;
+  por_skipped : int;
+  truncated : bool;
+  jobs : int;
+  max_response : int array;
+}
+
+let check ?(por = true) ~props ~bounds m =
+  let por = por && not (List.exists (fun p -> p.Props.timing_sensitive) props) in
+  let check_state = Props.check_state props m in
+  let check_note = Props.check_note props m in
+  let visited = Hashtbl.create 4096 in
+  let expansions = ref 0 in
+  let revisits = ref 0 in
+  let skipped = ref 0 in
+  let truncated = ref false in
+  let jobs = ref 0 in
+  let max_response = Array.make (Machine.n_tasks m) 0 in
+  let violation = ref None in
+  (* Explicit DFS stack; each frame carries the reversed choice path,
+     structurally shared with its siblings. *)
+  let stack = ref [ (State.init m, [], 0) ] in
+  while !stack <> [] && !violation = None do
+    match !stack with
+    | [] -> ()
+    | (st, path, depth) :: rest ->
+      stack := rest;
+      if !expansions >= bounds.max_states then truncated := true
+      else begin
+        incr expansions;
+        let e =
+          Step.expand ~check:check_state ~check_note ~horizon:bounds.horizon m
+            st
+        in
+        List.iter
+          (fun (_, n) ->
+            match n with
+            | State.Job_done { idx; response } ->
+              incr jobs;
+              if response > max_response.(idx) then
+                max_response.(idx) <- response
+            | _ -> ())
+          e.notes;
+        match e.violation with
+        | Some (p, msg, at) ->
+          violation :=
+            Some
+              {
+                Counterexample.prop = p;
+                message = msg;
+                at;
+                horizon = bounds.horizon;
+                choices = List.rev path;
+              }
+        | None -> (
+          match e.next with
+          | `Leaf -> ()
+          | `Branch cs ->
+            let key = State.key m e.state in
+            if Hashtbl.mem visited key then incr revisits
+            else begin
+              Hashtbl.add visited key ();
+              if depth >= bounds.max_depth then truncated := true
+              else begin
+                let cs, sk =
+                  if por then Por.reduce m e.state cs else (cs, 0)
+                in
+                skipped := !skipped + sk;
+                List.iter
+                  (fun ch ->
+                    stack :=
+                      (Step.apply m e.state ch, ch :: path, depth + 1) :: !stack)
+                  cs
+              end
+            end)
+      end
+  done;
+  {
+    verdict =
+      (match !violation with None -> `Ok | Some cex -> `Violation cex);
+    expansions = !expansions;
+    distinct = Hashtbl.length visited;
+    revisits = !revisits;
+    por_skipped = !skipped;
+    truncated = !truncated;
+    jobs = !jobs;
+    max_response;
+  }

@@ -1,0 +1,20 @@
+let non_interacting (m : Machine.t) i = m.tasks.(i).pure_from.(0)
+
+let reduce m (_ : State.t) choices =
+  let ties, rest =
+    List.partition (function Step.Tie _ -> true | _ -> false) choices
+  in
+  match ties with
+  | [] | [ _ ] -> (choices, 0)
+  | _ ->
+    let pure, impure =
+      List.partition
+        (function Step.Tie i -> non_interacting m i | _ -> false)
+        ties
+    in
+    (match pure with
+    | [] | [ _ ] -> (choices, 0)
+    | keep :: drop ->
+      (* one representative order among mutually non-interacting tied
+         tasks; everything else still forks *)
+      (rest @ (keep :: impure), List.length drop))

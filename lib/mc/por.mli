@@ -1,0 +1,22 @@
+(** Partial-order reduction for dispatch ties.
+
+    The only reduction applied is provably safe for the
+    non-timing properties: when several tied candidates are {e fully
+    non-interacting} tasks — their whole program is [ICompute], so they
+    never touch a semaphore, wait queue, mailbox or state message —
+    dispatching them in any order produces the same busy intervals and
+    therefore the same behaviour of every other task; the orders differ
+    only in which of the tied tasks' program counters advance first.
+    No checked predicate except timing (deadline misses, response
+    times) can observe that difference, so one representative order
+    suffices.  Tied candidates that do interact are always all
+    explored.
+
+    The explorer disables the reduction automatically when a
+    timing-sensitive property is selected (see
+    {!Props.timing_sensitive}), and the differential tests run the
+    presets both ways and require identical verdicts. *)
+
+val reduce : Machine.t -> State.t -> Step.choice list -> Step.choice list * int
+(** [(kept, skipped)]: the reduced choice list and how many choices
+    were pruned.  Non-[Tie] choices pass through untouched. *)

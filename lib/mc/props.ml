@@ -1,0 +1,242 @@
+type t = {
+  name : string;
+  doc : string;
+  timing_sensitive : bool;
+  on_state : Machine.t -> State.t -> string option;
+  on_note : Machine.t -> at:int -> State.note -> string option;
+}
+
+let no_state _ _ = None
+let no_note _ ~at:_ _ = None
+
+(* --- deadlock -------------------------------------------------------- *)
+
+(* Follow the blocked-on chain: each task blocks on at most one
+   semaphore and a mutex has at most one holder, so the graph is
+   functional — walking it either terminates or closes a cycle. *)
+let find_cycle (st : State.t) =
+  let n = Array.length st.tasks in
+  let rec follow seen i steps =
+    if steps > n then None
+    else
+      match st.tasks.(i).mode with
+      | State.BSem s -> (
+        match st.sem_holder.(s) with
+        | -1 -> None
+        | h ->
+          if List.mem h seen then Some (List.rev seen)
+          else follow (seen @ [ h ]) h (steps + 1))
+      | _ -> None
+  in
+  let rec scan i =
+    if i >= n then None
+    else match follow [ i ] i 0 with Some c -> Some c | None -> scan (i + 1)
+  in
+  scan 0
+
+let deadlock =
+  {
+    name = "deadlock";
+    doc = "no circular wait among semaphore holders";
+    timing_sensitive = false;
+    on_state =
+      (fun m st ->
+        match find_cycle st with
+        | None -> None
+        | Some cycle ->
+          let names =
+            String.concat " -> "
+              (List.map (fun i -> m.tasks.(i).task_name) cycle)
+          in
+          Some (Printf.sprintf "circular wait: %s" names));
+    on_note = no_note;
+  }
+
+(* --- priority inheritance ------------------------------------------- *)
+
+let pi =
+  {
+    name = "pi";
+    doc = "effective priorities equal the inheritance fixpoint";
+    timing_sensitive = false;
+    on_state =
+      (fun m st ->
+        match find_cycle st with
+        | Some _ -> None (* fixpoint undefined; the deadlock prop owns this *)
+        | None ->
+          let rec spec i =
+            let t = st.tasks.(i) in
+            let held =
+              List.filter
+                (fun s -> st.sem_holder.(s) = i)
+                (List.sort_uniq compare t.held)
+            in
+            List.fold_left
+              (fun acc s ->
+                List.fold_left
+                  (fun (e, d) w ->
+                    let we, wd = spec w in
+                    (min e we, min d wd))
+                  acc (State.sem_waiters m st s))
+              (i, t.dl) held
+          in
+          let bad = ref None in
+          Array.iteri
+            (fun i (t : State.tstate) ->
+              if !bad = None && t.mode <> State.Idle then begin
+                let e, d = spec i in
+                if t.eff <> e || t.effdl <> d then
+                  bad :=
+                    Some
+                      (Printf.sprintf
+                         "%s: effective (rank %d, deadline %d) but inheritance \
+                          fixpoint gives (rank %d, deadline %d)"
+                         m.tasks.(i).task_name t.eff t.effdl e d)
+              end)
+            st.tasks;
+          !bad);
+    on_note = no_note;
+  }
+
+(* --- structural invariants ------------------------------------------ *)
+
+let invariants_state (m : Machine.t) (st : State.t) =
+  let fail = ref None in
+  let check cond msg = if !fail = None && not cond then fail := Some (msg ()) in
+  let runners =
+    Array.fold_left
+      (fun n (t : State.tstate) -> if t.mode = State.Run then n + 1 else n)
+      0 st.tasks
+  in
+  check (runners <= 1) (fun () ->
+      Printf.sprintf "%d tasks running at once" runners);
+  Array.iteri
+    (fun s v ->
+      check
+        (v >= 0 && v <= m.sem_initial.(s))
+        (fun () ->
+          Printf.sprintf "sem %d value %d outside [0,%d]" m.sem_ids.(s) v
+            m.sem_initial.(s));
+      check
+        (v = 0 || State.sem_waiters m st s = [])
+        (fun () ->
+          Printf.sprintf "sem %d available (value %d) yet has waiters"
+            m.sem_ids.(s) v);
+      match st.sem_holder.(s) with
+      | -1 -> ()
+      | h ->
+        check (m.sem_initial.(s) = 1) (fun () ->
+            Printf.sprintf "counting sem %d has a tracked holder" m.sem_ids.(s));
+        check (v = 0) (fun () ->
+            Printf.sprintf "sem %d held yet value %d" m.sem_ids.(s) v);
+        check
+          (List.mem s st.tasks.(h).held)
+          (fun () ->
+            Printf.sprintf "sem %d holder %s does not list it as held"
+              m.sem_ids.(s) m.tasks.(h).task_name);
+        check
+          (st.tasks.(h).mode <> State.BSem s)
+          (fun () ->
+            Printf.sprintf "sem %d holder %s blocked on its own sem"
+              m.sem_ids.(s) m.tasks.(h).task_name))
+    st.sem_val;
+  Array.iteri
+    (fun b occ ->
+      check
+        (occ >= 0 && occ <= m.mb_cap.(b))
+        (fun () ->
+          Printf.sprintf "mailbox %d occupancy %d outside [0,%d]" m.mb_ids.(b)
+            occ m.mb_cap.(b));
+      check
+        (State.mb_senders m st b = [] || occ = m.mb_cap.(b))
+        (fun () ->
+          Printf.sprintf "mailbox %d has blocked senders yet %d/%d slots"
+            m.mb_ids.(b) occ m.mb_cap.(b));
+      check
+        (State.mb_receivers m st b = [] || occ = 0)
+        (fun () ->
+          Printf.sprintf "mailbox %d has blocked receivers yet occupancy %d"
+            m.mb_ids.(b) occ))
+    st.mb_occ;
+  Array.iteri
+    (fun w n ->
+      check (n >= 0) (fun () ->
+          Printf.sprintf "wait queue %d pending count %d" m.wq_ids.(w) n))
+    st.wq_sig;
+  Array.iteri
+    (fun i (t : State.tstate) ->
+      let len = Array.length m.tasks.(i).code in
+      check
+        (t.pc >= 0 && t.pc <= len)
+        (fun () ->
+          Printf.sprintf "%s pc %d outside [0,%d]" m.tasks.(i).task_name t.pc
+            len);
+      check (t.rem >= 0) (fun () ->
+          Printf.sprintf "%s negative remaining burst" m.tasks.(i).task_name))
+    st.tasks;
+  !fail
+
+let invariants =
+  {
+    name = "invariants";
+    doc = "structural kernel-state invariants hold everywhere";
+    timing_sensitive = false;
+    on_state = invariants_state;
+    on_note =
+      (fun _ ~at:_ -> function
+        | State.Fault msg -> Some msg
+        | _ -> None);
+  }
+
+(* --- tear-freedom ---------------------------------------------------- *)
+
+let tear =
+  {
+    name = "tear";
+    doc = "no state-message read is torn by concurrent writes";
+    timing_sensitive = false;
+    on_state = no_state;
+    on_note =
+      (fun m ~at:_ -> function
+        | State.Torn { idx; sm; writes } ->
+          Some
+            (Printf.sprintf
+               "%s read state msg %d torn: %d writes completed mid-read \
+                (depth %d admits at most %d)"
+               m.tasks.(idx).task_name m.sm_ids.(sm) writes m.sm_depth.(sm)
+               (m.sm_depth.(sm) - 2))
+        | _ -> None);
+  }
+
+(* --- deadline safety -------------------------------------------------- *)
+
+let deadline =
+  {
+    name = "deadline";
+    doc = "no deadline miss up to the horizon";
+    timing_sensitive = true;
+    on_state = no_state;
+    on_note =
+      (fun m ~at -> function
+        | State.Miss { idx } ->
+          Some
+            (Printf.sprintf "%s missed its deadline at %dns"
+               m.tasks.(idx).task_name at)
+        | _ -> None);
+  }
+
+let all = [ deadlock; pi; invariants; tear; deadline ]
+let names = List.map (fun p -> p.name) all
+let by_name n = List.find_opt (fun p -> p.name = n) all
+
+let check_state props m st =
+  List.find_map
+    (fun p ->
+      match p.on_state m st with Some msg -> Some (p.name, msg) | None -> None)
+    props
+
+let check_note props m ~at n =
+  List.find_map
+    (fun p ->
+      match p.on_note m ~at n with Some msg -> Some (p.name, msg) | None -> None)
+    props

@@ -1,0 +1,214 @@
+type nr = At of int | Never | Choose of int * int
+
+type mode =
+  | Idle
+  | Ready
+  | Run
+  | BSem of int
+  | BWait of int
+  | BTimed of int * int
+  | BDelay of int
+  | BSend of int
+  | BRecv of int
+
+type tstate = {
+  mode : mode;
+  pc : int;
+  rem : int;
+  rel : int;
+  dl : int;
+  effdl : int;
+  eff : int;
+  inh : bool;
+  held : int list;
+  next_rel : nr;
+  pending : int list;
+  dl_check : int;
+  read_sm : int;
+  read_seq : int;
+}
+
+type t = {
+  now : int;
+  tasks : tstate array;
+  sem_val : int array;
+  sem_holder : int array;
+  wq_sig : int array;
+  mb_occ : int array;
+  sm_seq : int array;
+  irq_next : nr array;
+}
+
+type note =
+  | Job_done of { idx : int; response : int }
+  | Miss of { idx : int }
+  | Torn of { idx : int; sm : int; writes : int }
+  | Fault of string
+
+let init (m : Machine.t) =
+  let tasks =
+    Array.map
+      (fun (mt : Machine.mtask) ->
+        let next_rel =
+          match mt.release with
+          | Machine.Periodic -> At mt.phase
+          | Machine.Sporadic { min_ia; max_ia } ->
+            (* first arrival anywhere in [phase, phase + window slack],
+               or never *)
+            Choose (mt.phase, mt.phase + (max_ia - min_ia))
+        in
+        {
+          mode = Idle;
+          pc = 0;
+          rem = 0;
+          rel = 0;
+          (* the first job's deadline, so the declarative PI fixpoint
+             ([Props]) holds of the initial state too *)
+          dl = mt.phase + mt.deadline;
+          effdl = mt.phase + mt.deadline;
+          eff = mt.idx;
+          inh = false;
+          held = [];
+          next_rel;
+          pending = [];
+          dl_check = max_int;
+          read_sm = -1;
+          read_seq = 0;
+        })
+      m.tasks
+  in
+  {
+    now = 0;
+    tasks;
+    sem_val = Array.copy m.sem_initial;
+    sem_holder = Array.make (Array.length m.sem_ids) (-1);
+    wq_sig = Array.make (Array.length m.wq_ids) 0;
+    mb_occ = Array.make (Array.length m.mb_ids) 0;
+    sm_seq = Array.make (Array.length m.sm_ids) 0;
+    irq_next =
+      Array.map (fun (s : Machine.irq_src) -> Choose (s.min_ia, s.max_ia)) m.irqs;
+  }
+
+let dispatch_key (m : Machine.t) st i =
+  let t = st.tasks.(i) in
+  match m.sched with Machine.Fp -> (t.eff, i) | Machine.Edf -> (t.effdl, i)
+
+let blocked_on pred m st =
+  let out = ref [] in
+  Array.iteri (fun i t -> if pred t.mode then out := i :: !out) st.tasks;
+  List.sort (fun a b -> compare (dispatch_key m st a) (dispatch_key m st b)) !out
+
+let sem_waiters m st s = blocked_on (function BSem x -> x = s | _ -> false) m st
+
+let wq_waiters m st w =
+  blocked_on (function BWait x | BTimed (x, _) -> x = w | _ -> false) m st
+
+let mb_senders m st b = blocked_on (function BSend x -> x = b | _ -> false) m st
+
+let mb_receivers m st b =
+  blocked_on (function BRecv x -> x = b | _ -> false) m st
+
+(* Canonical encoding.  All absolute instants become offsets from
+   [now]; the clock survives only as its residue modulo the
+   hyperperiod; state-message sequence numbers survive only as the
+   per-reader write delta (capped at the depth — beyond that the read
+   is torn either way), since nothing else about an unbounded counter
+   affects the future.  Job release times are dropped entirely: they
+   feed only the response-time notes. *)
+
+let rel_t now t = if t = max_int then max_int else t - now
+
+let canon_nr now = function
+  | At t -> (0, t - now, 0)
+  | Never -> (1, 0, 0)
+  | Choose (lo, hi) -> (2, max lo now - now, max hi now - now)
+
+let canon_mode now = function
+  | Idle -> (0, 0, 0)
+  | Ready -> (1, 0, 0)
+  | Run -> (2, 0, 0)
+  | BSem s -> (3, s, 0)
+  | BWait w -> (4, w, 0)
+  | BTimed (w, t) -> (5, w, t - now)
+  | BDelay t -> (6, t - now, 0)
+  | BSend b -> (7, b, 0)
+  | BRecv b -> (8, b, 0)
+
+let key (m : Machine.t) st =
+  let now = st.now in
+  let task (i : int) (t : tstate) =
+    let read_delta =
+      if t.read_sm < 0 then -1
+      else min (st.sm_seq.(t.read_sm) - t.read_seq) m.sm_depth.(t.read_sm)
+    in
+    ( canon_mode now t.mode,
+      t.pc,
+      t.rem,
+      rel_t now t.dl,
+      rel_t now t.effdl,
+      t.eff,
+      t.inh,
+      t.held,
+      canon_nr now t.next_rel,
+      List.map (fun r -> r - now) t.pending,
+      rel_t now t.dl_check,
+      (t.read_sm, read_delta),
+      i )
+  in
+  let v =
+    ( now mod m.hyperperiod,
+      Array.to_list (Array.mapi task st.tasks),
+      Array.to_list st.sem_val,
+      Array.to_list st.sem_holder,
+      Array.to_list st.wq_sig,
+      Array.to_list st.mb_occ,
+      Array.to_list (Array.map (canon_nr now) st.irq_next) )
+  in
+  Marshal.to_string v []
+
+let pp_mode (m : Machine.t) fmt = function
+  | Idle -> Format.pp_print_string fmt "idle"
+  | Ready -> Format.pp_print_string fmt "ready"
+  | Run -> Format.pp_print_string fmt "run"
+  | BSem s -> Format.fprintf fmt "blocked:sem%d" m.sem_ids.(s)
+  | BWait w -> Format.fprintf fmt "blocked:wq%d" m.wq_ids.(w)
+  | BTimed (w, t) -> Format.fprintf fmt "blocked:wq%d(timeout@%d)" m.wq_ids.(w) t
+  | BDelay t -> Format.fprintf fmt "delay(until@%d)" t
+  | BSend b -> Format.fprintf fmt "blocked:mb%d(send)" m.mb_ids.(b)
+  | BRecv b -> Format.fprintf fmt "blocked:mb%d(recv)" m.mb_ids.(b)
+
+let pp (m : Machine.t) fmt st =
+  Format.fprintf fmt "@[<v>t=%dns@," st.now;
+  Array.iteri
+    (fun i (t : tstate) ->
+      Format.fprintf fmt "  %s: %a pc=%d rem=%d eff=%d%s%a@,"
+        m.tasks.(i).task_name (pp_mode m) t.mode t.pc t.rem t.eff
+        (if t.inh then "*" else "")
+        (fun fmt -> function
+          | [] -> ()
+          | held ->
+            Format.fprintf fmt " held=[%s]"
+              (String.concat ","
+                 (List.map (fun s -> string_of_int m.sem_ids.(s)) held)))
+        t.held)
+    st.tasks;
+  Array.iteri
+    (fun s v ->
+      Format.fprintf fmt "  sem%d: value=%d holder=%s@," m.sem_ids.(s) v
+        (match st.sem_holder.(s) with
+        | -1 -> "-"
+        | h -> m.tasks.(h).task_name))
+    st.sem_val;
+  Format.fprintf fmt "@]"
+
+let pp_note (m : Machine.t) fmt = function
+  | Job_done { idx; response } ->
+    Format.fprintf fmt "%s: job done, response %dns" m.tasks.(idx).task_name
+      response
+  | Miss { idx } ->
+    Format.fprintf fmt "%s: DEADLINE MISS" m.tasks.(idx).task_name
+  | Torn { idx; sm; writes } ->
+    Format.fprintf fmt
+      "%s: TORN READ of state msg %d (%d writes completed mid-read, depth %d)"
+      m.tasks.(idx).task_name m.sm_ids.(sm) writes m.sm_depth.(sm)
+  | Fault msg -> Format.fprintf fmt "FAULT: %s" msg

@@ -1,30 +1,49 @@
 open Emeralds
 
+type irq_source = {
+  irq : int;
+  min_interarrival : Model.Time.t;
+  max_interarrival : Model.Time.t;
+  signals : Types.waitq list;
+  writes : State_msg.t list;
+}
+
 type t = {
   name : string;
   taskset : Model.Taskset.t;
   programs : Model.Task.t -> Program.t;
+  irq_sources : irq_source list;
   irq_signals : Types.waitq list;
   irq_writes : State_msg.t list;
 }
 
 let us = Model.Time.us
+let ms = Model.Time.ms
+
+(* The lint-facing signal/write lists are the union over sources, so a
+   scenario declares each interrupt once. *)
+let with_sources ~name ~taskset ~programs sources =
+  {
+    name;
+    taskset;
+    programs;
+    irq_sources = sources;
+    irq_signals = List.concat_map (fun s -> s.signals) sources;
+    irq_writes = List.concat_map (fun s -> s.writes) sources;
+  }
 
 (* Pure computation: the Table 2 schedulability workload has no
    synchronisation story, so every job just burns its WCET. *)
 let table2 () =
-  {
-    name = "table2";
-    taskset = Presets.table2;
-    programs = (fun (task : Model.Task.t) -> [ Program.compute task.wcet ]);
-    irq_signals = [];
-    irq_writes = [];
-  }
+  with_sources ~name:"table2" ~taskset:Presets.table2
+    ~programs:(fun (task : Model.Task.t) -> [ Program.compute task.wcet ])
+    []
 
 (* The engine controller from examples/engine_control.ml: a crank IRQ
    publishes engine speed as a state message, the fuel/spark tasks
    share the fuel-map object under an EMERALDS semaphore, and knock
-   diagnostics waits for the spark window. *)
+   diagnostics waits for the spark window.  The crank window models
+   6000 rpm with speed wander. *)
 let engine () =
   let engine_speed = State_msg.create ~depth:3 ~words:2 in
   let fuel_map = Objects.sem ~kind:Types.Emeralds () in
@@ -45,13 +64,16 @@ let engine () =
       compute (us 2000) :: (wait spark_event :: critical fuel_map (us 2500))
     | _ -> [ compute task.wcet ]
   in
-  {
-    name = "engine";
-    taskset = Presets.engine_control;
-    programs;
-    irq_signals = [];
-    irq_writes = [ engine_speed ];
-  }
+  with_sources ~name:"engine" ~taskset:Presets.engine_control ~programs
+    [
+      {
+        irq = 7;
+        min_interarrival = ms 9;
+        max_interarrival = ms 11;
+        signals = [];
+        writes = [ engine_speed ];
+      };
+    ]
 
 (* Avionics: an air-data IRQ publishes sensor state for the fast
    control loops, navigation shares a filter state under a semaphore,
@@ -81,13 +103,16 @@ let avionics () =
     | 13 -> [ recv maint_log; compute (us 15000) ]
     | _ -> [ compute task.wcet ]
   in
-  {
-    name = "avionics";
-    taskset = Presets.avionics;
-    programs;
-    irq_signals = [];
-    irq_writes = [ air_data ];
-  }
+  with_sources ~name:"avionics" ~taskset:Presets.avionics ~programs
+    [
+      {
+        irq = 3;
+        min_interarrival = ms 20;
+        max_interarrival = ms 25;
+        signals = [];
+        writes = [ air_data ];
+      };
+    ]
 
 (* Voice terminal: the codec task owns the frame-clock state message
    (single writer, no IRQ involvement), shares the codec buffer with
@@ -111,13 +136,7 @@ let voice () =
     | 6 -> [ recv tx_queue; compute (us 5000) ]
     | _ -> [ compute task.wcet ]
   in
-  {
-    name = "voice";
-    taskset = Presets.voice;
-    programs;
-    irq_signals = [];
-    irq_writes = [];
-  }
+  with_sources ~name:"voice" ~taskset:Presets.voice ~programs []
 
 let scenarios =
   [
@@ -131,3 +150,34 @@ let make name =
   Option.map (fun mk -> mk ()) (List.assoc_opt name scenarios)
 
 let all () = List.map (fun (_, mk) -> mk ()) scenarios
+
+(* Opposite-order nesting with phases arranged so the circular wait is
+   reachable: tau2 takes B at t=0 and computes; tau1 preempts at 1 ms,
+   takes A, and blocks on B; tau2 resumes and blocks on A — deadlock
+   at 5 ms, well inside the 50 ms hyperperiod. *)
+let seeded_deadlock () =
+  let sem_a = Objects.sem () in
+  let sem_b = Objects.sem () in
+  let taskset =
+    Model.Taskset.of_list
+      [
+        Model.Task.make ~id:1 ~name:"hi" ~period:(ms 10) ~wcet:(ms 3)
+          ~phase:(ms 1) ();
+        Model.Task.make ~id:2 ~name:"lo" ~period:(ms 50) ~wcet:(ms 6) ();
+      ]
+  in
+  let programs (task : Model.Task.t) =
+    let open Program in
+    match task.id with
+    | 1 ->
+      [
+        acquire sem_a; compute (ms 1); acquire sem_b; release sem_b;
+        release sem_a;
+      ]
+    | _ ->
+      [
+        acquire sem_b; compute (ms 4); acquire sem_a; release sem_a;
+        release sem_b;
+      ]
+  in
+  with_sources ~name:"seeded-deadlock" ~taskset ~programs []

@@ -5,20 +5,39 @@
     over statically allocated kernel objects, plus the declared side
     effects of interrupt handlers.  That is exactly the input the
     static verifier ([lib/lint]) needs, and enough to create a kernel
-    and simulate.
+    and simulate — or to compile into the pure transition system the
+    bounded model checker ([lib/mc]) explores.
 
     [make] allocates fresh kernel objects on every call, so a scenario
     can be linted and simulated repeatedly without sharing mutable
     semaphore/mailbox state across runs. *)
 
+type irq_source = {
+  irq : int;
+  min_interarrival : Model.Time.t;
+      (** shortest gap between consecutive deliveries *)
+  max_interarrival : Model.Time.t;
+      (** longest gap before the source must fire again *)
+  signals : Emeralds.Types.waitq list;
+      (** wait queues one delivery signals *)
+  writes : Emeralds.State_msg.t list;
+      (** state messages one delivery publishes *)
+}
+(** A recurring environment interrupt with a declared inter-arrival
+    window.  The simulator picks concrete arrival times; the model
+    checker forks over the window ends. *)
+
 type t = {
   name : string;
   taskset : Model.Taskset.t;
   programs : Model.Task.t -> Emeralds.Program.t;
+  irq_sources : irq_source list;
+      (** recurring interrupts with inter-arrival windows *)
   irq_signals : Emeralds.Types.waitq list;
-      (** wait queues interrupt handlers signal *)
+      (** wait queues interrupt handlers signal (union over sources) *)
   irq_writes : Emeralds.State_msg.t list;
-      (** state messages interrupt handlers publish *)
+      (** state messages interrupt handlers publish (union over
+          sources) *)
 }
 
 val names : string list
@@ -30,3 +49,12 @@ val make : string -> t option
 
 val all : unit -> t list
 (** A fresh scenario per name, in {!names} order. *)
+
+val seeded_deadlock : unit -> t
+(** An intentionally buggy two-task scenario whose mutexes are nested
+    in opposite orders, with phases arranged so the circular wait is
+    reachable within one hyperperiod.  The lint deadlock check flags
+    it statically and the model checker must produce a witness trace —
+    the guard against a checker that silently passes everything.
+    Excluded from {!names} / {!all} so the shipped presets stay
+    lint-clean. *)

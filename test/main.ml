@@ -18,4 +18,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("lint", Test_lint.suite);
       ("fuzz", Test_fuzz.suite);
+      ("mc", Test_mc.suite);
     ]

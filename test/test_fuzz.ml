@@ -86,18 +86,29 @@ let gen_case =
   QCheck2.Gen.(
     let* n = int_range 2 5 in
     let* kind = oneofl [ Types.Standard; Types.Emeralds ] in
-    let* spec_idx = int_bound 3 in
+    let* spec_idx = int_bound 6 in
     let* costly = bool in
     let* tick = oneofl [ None; Some (ms 1); Some (us 700) ] in
     let* seed = int_range 1 10_000 in
     return (n, kind, spec_idx, costly, tick, seed))
 
+(* Every scheduler the kernel ships: the classic three plus CSD with
+   one, two and three DP queues (CSD-2/3/4) and the all-DP degenerate
+   split.  Partitions shrink to fit small task counts. *)
 let spec_of idx n =
-  match idx with
-  | 0 -> Sched.Edf
-  | 1 -> Sched.Rm
-  | 2 -> Sched.Rm_heap
-  | _ -> Sched.Csd [ max 1 (n / 2) ]
+  let spec =
+    match idx with
+    | 0 -> Sched.Edf
+    | 1 -> Sched.Rm
+    | 2 -> Sched.Rm_heap
+    | 3 -> Sched.Csd [ max 1 (n / 2) ] (* CSD-2 *)
+    | 4 -> Sched.Csd [ 1; 1 ] (* CSD-3 *)
+    | 5 -> if n >= 3 then Sched.Csd [ 1; 1; 1 ] else Sched.Csd [ 1; 1 ]
+      (* CSD-4 *)
+    | _ -> Sched.Csd [ n ] (* every task in one DP queue *)
+  in
+  Sched.validate_partition spec ~n_tasks:n;
+  spec
 
 (* --- trace well-formedness ------------------------------------------ *)
 
@@ -152,6 +163,27 @@ let run_case (n, kind, spec_idx, costly, tick, seed) =
       ~optimized_pi:(kind = Types.Emeralds) ()
   in
   let horizon = ms 150 in
+  (* random environment: an interrupt source that signals the shared
+     wait queue and publishes the state message, raised at random
+     instants; stray wait-queue signals from kernel context; sporadic
+     job triggers on a random task *)
+  Kernel.register_irq k ~irq:1 ~signals:[ objs.wq ] ~writes:[ objs.sm ]
+    ~handler:(fun () ->
+      Kernel.signal_waitq k objs.wq;
+      State_msg.write objs.sm [| 7; 8 |])
+    ();
+  for _ = 1 to Util.Rng.int rng 6 do
+    Kernel.raise_irq_at k ~at:(us (Util.Rng.int rng 150_000)) ~irq:1
+  done;
+  for _ = 1 to Util.Rng.int rng 4 do
+    Kernel.at k
+      ~at:(us (Util.Rng.int rng 150_000))
+      (fun () -> Kernel.signal_waitq k objs.wq)
+  done;
+  let sporadic_tid = 1 + Util.Rng.int rng n in
+  for _ = 1 to Util.Rng.int rng 3 do
+    Kernel.trigger_job_at k ~at:(us (Util.Rng.int rng 150_000)) ~tid:sporadic_tid
+  done;
   (* interleave structural checks with execution *)
   let rec probes t =
     if t < horizon then begin

@@ -1,0 +1,344 @@
+(* The bounded model checker: the lint <-> MC <-> RTA cross-validation
+   triangle, counterexample replay determinism, the state-message tear
+   bound, and the kernel-vs-checker differential on deterministic
+   schedules. *)
+
+let ms = Model.Time.ms
+let us = Model.Time.us
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let lint_errors (s : Workload.Scenario.t) =
+  let ctx =
+    Lint.Ctx.make ~irq_signals:s.irq_signals ~irq_writes:s.irq_writes
+      ~taskset:s.taskset ~programs:s.programs ()
+  in
+  Lint.Report.run ctx
+
+let has_error_check name diags =
+  List.exists
+    (fun (d : Lint.Diag.t) ->
+      d.severity = Lint.Diag.Error && d.check = name)
+    diags
+
+(* --- seeded deadlock: lint flags it, the checker witnesses it ------- *)
+
+let seeded_deadlock_witnessed () =
+  let s = Workload.Scenario.seeded_deadlock () in
+  check "lint flags the seeded lock-order cycle" true
+    (has_error_check "deadlock" (lint_errors s));
+  let m = Mc.Machine.of_scenario s in
+  let bounds = Mc.Explorer.default_bounds m in
+  let props = [ Mc.Props.deadlock ] in
+  let r = Mc.Explorer.check ~props ~bounds m in
+  match r.verdict with
+  | `Ok -> Alcotest.fail "checker missed the seeded deadlock"
+  | `Violation cex ->
+    check "violated property is deadlock" true (cex.prop = "deadlock");
+    (* the cycle is reachable on the deterministic schedule: both
+       tasks' ranks are unique and there are no arrival windows *)
+    check_int "witness needs no nondeterministic choices" 0
+      (List.length cex.choices);
+    check "deadlock strikes at 5ms" true (cex.at = ms 5);
+    let trace = Mc.Counterexample.replay m ~props cex in
+    check "replay trace mentions both semaphore blocks" true
+      (List.length
+         (List.filter
+            (fun (st : Sim.Trace.stamped) ->
+              match st.entry with Sim.Trace.Sem_blocked _ -> true | _ -> false)
+            (Sim.Trace.entries trace))
+      = 2)
+
+(* --- presets: lint-clean and deadlock-free within bounds ------------ *)
+
+let presets_agree () =
+  List.iter
+    (fun (s : Workload.Scenario.t) ->
+      check_int
+        (Printf.sprintf "%s is lint-clean" s.name)
+        0
+        (Lint.Diag.errors (lint_errors s));
+      let m = Mc.Machine.of_scenario s in
+      let bounds =
+        {
+          Mc.Explorer.horizon = min m.hyperperiod (ms 100);
+          max_states = 30_000;
+          max_depth = 2_000;
+        }
+      in
+      let props =
+        [ Mc.Props.deadlock; Mc.Props.pi; Mc.Props.invariants; Mc.Props.tear ]
+      in
+      let r = Mc.Explorer.check ~props ~bounds m in
+      (match r.verdict with
+      | `Ok -> ()
+      | `Violation cex ->
+        Alcotest.fail
+          (Printf.sprintf "%s: %s" s.name
+             (Mc.Counterexample.render m ~props cex)));
+      check
+        (Printf.sprintf "%s explored some states" s.name)
+        true (r.expansions > 0 && r.jobs > 0))
+    (Workload.Scenario.all ())
+
+(* --- partial-order reduction: same verdicts, fewer states ----------- *)
+
+let por_sound_on_ties () =
+  (* table2 under EDF has genuine dispatch ties between pure-compute
+     tasks (equal absolute deadlines), which is exactly what the
+     reduction merges *)
+  let s = Option.get (Workload.Scenario.make "table2") in
+  let m = Mc.Machine.of_scenario ~sched:Mc.Machine.Edf s in
+  let bounds =
+    { Mc.Explorer.horizon = ms 50; max_states = 50_000; max_depth = 5_000 }
+  in
+  let props = [ Mc.Props.deadlock; Mc.Props.invariants ] in
+  let with_por = Mc.Explorer.check ~por:true ~props ~bounds m in
+  let without = Mc.Explorer.check ~por:false ~props ~bounds m in
+  check "reduced run is clean" true (with_por.verdict = `Ok);
+  check "unreduced run is clean" true (without.verdict = `Ok);
+  check "reduction actually pruned tie choices" true
+    (with_por.por_skipped > 0);
+  check "reduction explored no more states than full run" true
+    (with_por.expansions <= without.expansions)
+
+(* --- RTA cross-check: observed responses within analytical bounds --- *)
+
+let rows_of (ts : Model.Taskset.t) =
+  Array.map
+    (fun (t : Model.Task.t) -> (t.period, t.deadline, t.wcet))
+    (Model.Taskset.tasks ts)
+
+let rta_dominates_mc () =
+  (* table2: pure computation, fixed priority, deterministic — the
+     checker observes the exact critical-instant responses and RTA
+     must bound every one of them *)
+  let s = Option.get (Workload.Scenario.make "table2") in
+  let m = Mc.Machine.of_scenario s in
+  let bounds =
+    { Mc.Explorer.horizon = ms 200; max_states = 50_000; max_depth = 5_000 }
+  in
+  let r = Mc.Explorer.check ~por:false ~props:[] ~bounds m in
+  check "table2 exploration complete" true (not r.truncated);
+  let rows = rows_of s.taskset in
+  Array.iteri
+    (fun i _ ->
+      match Analysis.Rta.response_time ~tasks:rows i with
+      | None -> ()
+      | Some bound ->
+        if r.max_response.(i) > bound then
+          Alcotest.fail
+            (Printf.sprintf
+               "table2 rank %d: observed response %dns exceeds RTA bound %dns"
+               i r.max_response.(i) bound))
+    rows;
+  (* the highest-priority task is never preempted: its observed
+     response must be exactly its WCET *)
+  check_int "rank 0 response = wcet" m.tasks.(0).wcet r.max_response.(0);
+  (* engine: semaphores and a nondeterministic crank IRQ; the blocking
+     terms extracted by the static verifier feed RTA, and the bound
+     must dominate everything the checker can provoke within the
+     horizon *)
+  let s = Option.get (Workload.Scenario.make "engine") in
+  let ctx =
+    Lint.Ctx.make ~irq_signals:s.irq_signals ~irq_writes:s.irq_writes
+      ~taskset:s.taskset ~programs:s.programs ()
+  in
+  let blocking = Lint.Blocking_terms.blocking_terms ctx in
+  let m = Mc.Machine.of_scenario s in
+  let bounds =
+    { Mc.Explorer.horizon = ms 40; max_states = 20_000; max_depth = 2_000 }
+  in
+  let r = Mc.Explorer.check ~por:false ~props:[] ~bounds m in
+  let rows = rows_of s.taskset in
+  Array.iteri
+    (fun i _ ->
+      match Analysis.Rta.response_time ~blocking ~tasks:rows i with
+      | None -> ()
+      | Some bound ->
+        if r.max_response.(i) > bound then
+          Alcotest.fail
+            (Printf.sprintf
+               "engine rank %d: observed response %dns exceeds RTA bound %dns \
+                (blocking %dns)"
+               i r.max_response.(i) bound blocking.(i)))
+    rows;
+  check "engine saw jobs complete" true (r.jobs > 0)
+
+(* --- the tear bound -------------------------------------------------- *)
+
+(* One reader at top priority with a 1 ms copy span; an interrupt
+   writer with a 300 us minimum inter-arrival.  Up to 3 writes can
+   complete inside one copy, so depth 3 (tolerating 1) must tear and
+   depth 6 = ceil(1000/300) + 2 (the paper's bound) must not. *)
+let tear_scenario ~depth =
+  let sm = Emeralds.State_msg.create ~depth ~words:4 in
+  let taskset =
+    Model.Taskset.of_list
+      [
+        Model.Task.make ~id:1 ~name:"reader" ~period:(ms 10) ~wcet:(ms 2) ();
+      ]
+  in
+  let programs (_ : Model.Task.t) =
+    [ Emeralds.Program.state_read sm; Emeralds.Program.compute (us 200) ]
+  in
+  Workload.Scenario.
+    {
+      name = Printf.sprintf "tear-depth-%d" depth;
+      taskset;
+      programs;
+      irq_sources =
+        [
+          {
+            irq = 1;
+            min_interarrival = us 300;
+            max_interarrival = us 500;
+            signals = [];
+            writes = [ sm ];
+          };
+        ];
+      irq_signals = [];
+      irq_writes = [ sm ];
+    }
+
+let tear_bound () =
+  let props = [ Mc.Props.tear ] in
+  let bounds m =
+    { Mc.Explorer.horizon = min m.Mc.Machine.hyperperiod (ms 2);
+      max_states = 20_000;
+      max_depth = 1_000;
+    }
+  in
+  (* depth 3 with a 1 ms copy: torn *)
+  let m = Mc.Machine.of_scenario ~read_span:(ms 1) (tear_scenario ~depth:3) in
+  let r = Mc.Explorer.check ~props ~bounds:(bounds m) m in
+  (match r.verdict with
+  | `Ok -> Alcotest.fail "depth 3 must admit a torn read"
+  | `Violation cex ->
+    check "violation is a tear" true (cex.prop = "tear");
+    check "tear witness needs IRQ timing choices" true
+      (List.length cex.choices > 0);
+    (* the witness must replay to the same violation, twice *)
+    let t1 = Mc.Counterexample.replay m ~props cex in
+    let t2 = Mc.Counterexample.replay m ~props cex in
+    check_int "replay is deterministic"
+      (List.length (Sim.Trace.entries t1))
+      (List.length (Sim.Trace.entries t2)));
+  (* the paper's depth bound: ceil(read/write) + 2 = 6 is safe *)
+  let m = Mc.Machine.of_scenario ~read_span:(ms 1) (tear_scenario ~depth:6) in
+  let r = Mc.Explorer.check ~props ~bounds:(bounds m) m in
+  check "paper-depth buffer is tear-free" true (r.verdict = `Ok);
+  check "tear-free verdict is not a truncation artifact" true
+    (not r.truncated);
+  (* atomic reads (span 0) cannot tear at any depth *)
+  let m = Mc.Machine.of_scenario (tear_scenario ~depth:2) in
+  let r = Mc.Explorer.check ~props ~bounds:(bounds m) m in
+  check "atomic reads never tear" true (r.verdict = `Ok)
+
+(* --- sporadic arrivals ---------------------------------------------- *)
+
+let sporadic_explored () =
+  let sem = Emeralds.Objects.sem () in
+  let taskset =
+    Model.Taskset.of_list
+      [
+        Model.Task.make ~id:1 ~name:"ctl" ~period:(ms 10) ~wcet:(ms 2) ();
+        Model.Task.make ~id:2 ~name:"burst" ~period:(ms 20) ~wcet:(ms 3) ();
+      ]
+  in
+  let programs (t : Model.Task.t) =
+    let open Emeralds.Program in
+    if t.id = 1 then compute (us 500) :: critical sem (us 800)
+    else critical sem (ms 2) @ [ compute (us 300) ]
+  in
+  let s =
+    Workload.Scenario.
+      {
+        name = "sporadic-demo";
+        taskset;
+        programs;
+        irq_sources = [];
+        irq_signals = [];
+        irq_writes = [];
+      }
+  in
+  let m =
+    Mc.Machine.of_scenario ~sporadic:[ (2, ms 5, ms 9) ] s
+  in
+  let bounds =
+    { Mc.Explorer.horizon = ms 30; max_states = 20_000; max_depth = 1_000 }
+  in
+  let props = [ Mc.Props.deadlock; Mc.Props.pi; Mc.Props.invariants ] in
+  let r = Mc.Explorer.check ~props ~bounds m in
+  check "sporadic exploration is clean" true (r.verdict = `Ok);
+  (* silence, earliest and latest arrivals all fork: more than one
+     deterministic segment must have been expanded *)
+  check "sporadic windows actually branch" true (r.expansions > 3)
+
+(* --- kernel vs checker on deterministic schedules ------------------- *)
+
+let kernel_differential () =
+  let s = Option.get (Workload.Scenario.make "table2") in
+  let horizon = ms 100 in
+  let k =
+    Emeralds.Kernel.create ~cost:Sim.Cost.zero ~spec:Emeralds.Sched.Rm
+      ~taskset:s.taskset ~programs:s.programs ()
+  in
+  Emeralds.Kernel.run k ~until:horizon;
+  let m = Mc.Machine.of_scenario s in
+  let bounds =
+    { Mc.Explorer.horizon = horizon; max_states = 50_000; max_depth = 5_000 }
+  in
+  let r = Mc.Explorer.check ~por:false ~props:[] ~bounds m in
+  List.iter
+    (fun (st : Emeralds.Kernel.task_stats) ->
+      match Mc.Machine.task_of_tid m st.tid with
+      | None -> Alcotest.fail "unknown tid in kernel stats"
+      | Some mt ->
+        check_int
+          (Printf.sprintf "task %d worst response: kernel = checker" st.tid)
+          st.max_response
+          r.max_response.(mt.idx))
+    (Emeralds.Kernel.stats k)
+
+let snapshot_determinism () =
+  let mk () =
+    let s = Option.get (Workload.Scenario.make "engine") in
+    Emeralds.Kernel.create ~cost:Sim.Cost.zero ~spec:Emeralds.Sched.Rm
+      ~taskset:s.taskset ~programs:s.programs ()
+  in
+  let k1 = mk () and k2 = mk () in
+  for _ = 1 to 400 do
+    ignore (Emeralds.Kernel.step k1);
+    ignore (Emeralds.Kernel.step k2)
+  done;
+  let s1 = Emeralds.Kernel.Snapshot.capture k1 in
+  let s2 = Emeralds.Kernel.Snapshot.capture k2 in
+  check "identical kernels stepped in lockstep snapshot equal" true
+    (Emeralds.Kernel.Snapshot.equal s1 s2);
+  check "equal snapshots hash equal" true
+    (Emeralds.Kernel.Snapshot.hash s1 = Emeralds.Kernel.Snapshot.hash s2);
+  match Emeralds.Kernel.Snapshot.thread s1 ~tid:1 with
+  | None -> Alcotest.fail "snapshot lost task 1"
+  | Some (mode, _, _, _, _) ->
+    check "task 1 mode is a known word" true
+      (List.mem mode [ "ready"; "running"; "dormant" ]
+      || String.length mode >= 8 && String.sub mode 0 8 = "blocked:")
+
+let suite =
+  [
+    Alcotest.test_case "seeded deadlock: lint and MC agree" `Quick
+      seeded_deadlock_witnessed;
+    Alcotest.test_case "presets: lint-clean and MC-clean" `Quick presets_agree;
+    Alcotest.test_case "POR keeps verdicts, prunes ties" `Quick
+      por_sound_on_ties;
+    Alcotest.test_case "RTA bounds dominate MC responses" `Quick
+      rta_dominates_mc;
+    Alcotest.test_case "state-message tear bound" `Quick tear_bound;
+    Alcotest.test_case "sporadic windows explored" `Quick sporadic_explored;
+    Alcotest.test_case "kernel = checker on deterministic runs" `Quick
+      kernel_differential;
+    Alcotest.test_case "kernel snapshots are deterministic" `Quick
+      snapshot_determinism;
+  ]
