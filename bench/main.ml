@@ -98,6 +98,13 @@ let state_msg_subject () =
     Emeralds.State_msg.write sm payload;
     ignore (Emeralds.State_msg.read sm)
 
+(* lib/absint: a whole-scenario abstract interpretation (fixpoint,
+   lint cross-check, footprint derivation) — the static cost that buys
+   the sound bounds. *)
+let absint_subject () =
+  let sc = Option.get (Workload.Scenario.make "engine") in
+  fun () -> ignore (Absint.Report.analyze sc)
+
 let tests =
   Test.make_grouped ~name:"emeralds"
     [
@@ -117,6 +124,8 @@ let tests =
         (Staged.stage (sem_scenario_subject ~fp:true ()));
       Test.make ~name:"ipc/state-msg-write-read-16w"
         (Staged.stage (state_msg_subject ()));
+      Test.make ~name:"absint/analyze-engine"
+        (Staged.stage (absint_subject ()));
       Test.make ~name:"cyclic/table-generation"
         (Staged.stage (fun () ->
              ignore

@@ -64,6 +64,16 @@ let file =
     & info [ "file" ] ~docv:"PATH"
         ~doc:"Load the task set from a spec file (see lib/workload/spec_file.mli).")
 
+(* Exit-code convention, shared by every subcommand: 0 = clean, 1 =
+   findings/violations in an otherwise valid run, 2 = bad invocation
+   (unknown name, unreadable file, conflicting arguments). *)
+let bad_invocation fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline msg;
+      exit 2)
+    fmt
+
 let taskset_of ~preset ~random_n ~file ~seed =
   match (preset, random_n, file) with
   | Some ts, None, None -> ts
@@ -72,11 +82,9 @@ let taskset_of ~preset ~random_n ~file ~seed =
   | None, None, Some path -> (
     match Workload.Spec_file.load path with
     | Ok ts -> ts
-    | Error msg ->
-      prerr_endline ("cannot load task set: " ^ msg);
-      exit 1)
+    | Error msg -> bad_invocation "cannot load task set: %s" msg)
   | None, None, None -> Workload.Presets.table2
-  | _ -> invalid_arg "give exactly one of --preset, --random, --file"
+  | _ -> bad_invocation "give exactly one of --preset, --random, --file"
 
 (* ------------------------------------------------------------------ *)
 (* experiment *)
@@ -121,18 +129,16 @@ let experiment_cmd =
     | key -> (
       match List.assoc_opt key experiments with
       | Some f -> print_endline (f ~seed ~workloads)
-      | None ->
-        prerr_endline ("unknown experiment: " ^ key);
-        exit 1)
+      | None -> bad_invocation "unknown experiment: %s" key)
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper")
     Term.(const run $ name_arg $ seed $ workloads)
 
 (* ------------------------------------------------------------------ *)
-(* analyze *)
+(* schedulability (off-line feasibility tables) *)
 
-let analyze_cmd =
+let schedulability_cmd =
   let run preset random_n file seed =
     let taskset = taskset_of ~preset ~random_n ~file ~seed in
     let cost = Sim.Cost.m68040 in
@@ -173,8 +179,190 @@ let analyze_cmd =
     | None -> Printf.printf "CSD-3: no feasible allocation\n"
   in
   Cmd.v
-    (Cmd.info "analyze" ~doc:"Off-line schedulability and breakdown analysis")
+    (Cmd.info "schedulability"
+       ~doc:"Off-line schedulability and breakdown analysis")
     Term.(const run $ preset $ random_n $ file $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* analyze (abstract interpretation) *)
+
+let demo_scenarios =
+  [
+    ("under-declared-demo", Workload.Scenario.under_declared_wcet);
+    ("over-budget-demo", Workload.Scenario.over_budget);
+    ("deadlock-demo", Workload.Scenario.seeded_deadlock);
+  ]
+
+let analyze_scenario_names =
+  Workload.Scenario.names @ List.map fst demo_scenarios
+
+let analyze_scenario_of name =
+  match List.assoc_opt name demo_scenarios with
+  | Some mk -> Some (mk ())
+  | None -> Workload.Scenario.make name
+
+let analyze_cmd =
+  let preset_name =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "preset" ] ~docv:"NAME"
+          ~doc:
+            "Scenario to analyze: table2, engine, avionics, voice, \
+             under-declared-demo, over-budget-demo or deadlock-demo \
+             (default: the four shipped presets).")
+  in
+  let cost_name =
+    Arg.(
+      value
+      & opt string "m68040"
+      & info [ "cost" ] ~docv:"MODEL"
+          ~doc:
+            "Cost model charged for kernel calls: m68040 (the paper's \
+             target) or zero (pure program time).")
+  in
+  let budget_bytes =
+    Arg.(
+      value
+      & opt int (snd Emeralds.Footprint.envelope)
+      & info [ "budget-bytes" ] ~docv:"N"
+          ~doc:
+            "Memory budget the derived footprint must fit (default: the \
+             paper's 128 KB device ceiling).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the analysis as JSON.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format: sarif (SARIF 2.1.0, one log for all \
+                scenarios).")
+  in
+  let rta =
+    Arg.(
+      value & flag
+      & info [ "rta" ]
+          ~doc:
+            "Also print response-time analysis fed with the derived \
+             per-job demand and the absint blocking terms (instead of \
+             declared WCETs and lint terms).")
+  in
+  let run preset_name cost_name budget_bytes json format rta =
+    (match format with
+    | None | Some "sarif" -> ()
+    | Some f -> bad_invocation "unknown format %S (expected: sarif)" f);
+    let cost =
+      match String.lowercase_ascii cost_name with
+      | "m68040" -> Sim.Cost.m68040
+      | "zero" -> Sim.Cost.zero
+      | s -> bad_invocation "unknown cost model %S (expected: m68040, zero)" s
+    in
+    let scenarios =
+      match preset_name with
+      | None -> Workload.Scenario.all ()
+      | Some n -> (
+        match analyze_scenario_of n with
+        | Some s -> [ s ]
+        | None ->
+          bad_invocation "unknown scenario %S (expected: %s)" n
+            (String.concat ", " analyze_scenario_names))
+    in
+    let had_errors = ref false in
+    let sarif_results = ref [] in
+    List.iter
+      (fun (s : Workload.Scenario.t) ->
+        let r = Absint.Report.analyze ~cost ~budget_bytes s in
+        if Absint.Report.errors r > 0 then had_errors := true;
+        if format = Some "sarif" then
+          sarif_results :=
+            !sarif_results
+            @ List.map
+                (fun (sr : Lint.Sarif.result) ->
+                  {
+                    sr with
+                    Lint.Sarif.logical =
+                      Some
+                        (s.name
+                        ^ match sr.logical with None -> "" | Some l -> ", " ^ l
+                        );
+                  })
+                (Lint.Sarif.of_diags r.diags)
+        else if json then print_endline (Absint.Report.to_json r)
+        else begin
+          Printf.printf "==== %s ====\n" s.name;
+          print_string (Absint.Report.render r);
+          if rta then begin
+            let blocking = Absint.Report.blocking_terms r in
+            let demand = Absint.Report.derived_demand r in
+            let rows =
+              Array.mapi
+                (fun i tb ->
+                  let t = tb.Absint.Report.task in
+                  ( t.Model.Task.period,
+                    t.Model.Task.deadline,
+                    match demand.(i) with
+                    | Some d -> d
+                    | None -> t.Model.Task.wcet ))
+                r.tasks
+            in
+            Printf.printf
+              "\nRTA with derived demand and absint blocking terms:\n";
+            Array.iteri
+              (fun i tb ->
+                let t = tb.Absint.Report.task in
+                let higher_unbounded =
+                  Array.exists (fun j -> demand.(j) = None)
+                    (Array.init (i + 1) Fun.id)
+                in
+                if higher_unbounded then
+                  Printf.printf
+                    "  %-8s demand unbounded (untimed wait): no RTA bound\n"
+                    t.Model.Task.name
+                else
+                  match
+                    Analysis.Rta.response_time ~blocking ~tasks:rows i
+                  with
+                  | None ->
+                    Printf.printf "  %-8s demand %8.1fus  RTA: unbounded\n"
+                      t.Model.Task.name
+                      (Model.Time.to_us_f (match demand.(i) with
+                                           | Some d -> d
+                                           | None -> 0))
+                  | Some bound ->
+                    Printf.printf
+                      "  %-8s demand %8.1fus  B %6.1fus  response %8.1fus  \
+                       deadline %8.1fus  %s\n"
+                      t.Model.Task.name
+                      (Model.Time.to_us_f (match demand.(i) with
+                                           | Some d -> d
+                                           | None -> 0))
+                      (Model.Time.to_us_f blocking.(i))
+                      (Model.Time.to_us_f bound)
+                      (Model.Time.to_us_f t.Model.Task.deadline)
+                      (if bound <= t.Model.Task.deadline then "ok"
+                       else "MISSED")
+              )
+              r.tasks
+          end
+        end)
+      scenarios;
+    if format = Some "sarif" then
+      print_endline
+        (Lint.Sarif.render ~tool_name:"emeralds-absint" !sarif_results);
+    if !had_errors then exit 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Abstract interpretation: sound per-task demand intervals, \
+          semaphore hold times, interrupt-latency bound, and derived \
+          memory footprint with a budget check")
+    Term.(
+      const run $ preset_name $ cost_name $ budget_bytes $ json $ format
+      $ rta)
 
 (* ------------------------------------------------------------------ *)
 (* simulate *)
@@ -623,10 +811,38 @@ let check_cmd =
 (* footprint *)
 
 let footprint_cmd =
-  let run () = print_string (Emeralds.Footprint.report Emeralds.Footprint.default_config) in
+  let preset_name =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "preset" ] ~docv:"NAME"
+          ~doc:
+            "Report the footprint derived from a scenario's programs \
+             instead of the representative default configuration.")
+  in
+  let run preset_name =
+    let config =
+      match preset_name with
+      | None -> Emeralds.Footprint.default_config
+      | Some n -> (
+        match analyze_scenario_of n with
+        | Some s -> (Absint.Report.analyze s).Absint.Report.config
+        | None ->
+          bad_invocation "unknown scenario %S (expected: %s)" n
+            (String.concat ", " analyze_scenario_names))
+    in
+    print_string (Emeralds.Footprint.report config);
+    Printf.printf "TOTAL code + RAM: %d bytes (envelope %d-%d): %s\n"
+      (Emeralds.Footprint.total_bytes config)
+      (fst Emeralds.Footprint.envelope)
+      (snd Emeralds.Footprint.envelope)
+      (if Emeralds.Footprint.within_envelope config then "within envelope"
+       else "OVER");
+    if not (Emeralds.Footprint.within_envelope config) then exit 1
+  in
   Cmd.v
     (Cmd.info "footprint" ~doc:"Kernel code-size budget and RAM model")
-    Term.(const run $ const ())
+    Term.(const run $ preset_name)
 
 let () =
   let info =
@@ -637,6 +853,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            experiment_cmd; analyze_cmd; simulate_cmd; sensitivity_cmd;
-            lint_cmd; check_cmd; footprint_cmd;
+            experiment_cmd; schedulability_cmd; analyze_cmd; simulate_cmd;
+            sensitivity_cmd; lint_cmd; check_cmd; footprint_cmd;
           ]))

@@ -90,6 +90,23 @@ let () =
     exit 1
   end;
 
+  (* Derive the static memory footprint for this workload (the scenario
+     preset mirrors the objects allocated above) and hold it against the
+     paper's 32-128 KB device envelope before running. *)
+  let ab =
+    Absint.Report.analyze (Option.get (Workload.Scenario.make "engine"))
+  in
+  Printf.printf
+    "derived footprint: %d bytes code + %d bytes RAM = %d bytes \
+     (envelope %d-%d): %s\n"
+    ab.code_bytes ab.ram_bytes ab.total_bytes Absint.Memory.envelope_lo
+    ab.budget_bytes
+    (if ab.total_bytes <= ab.budget_bytes then "ok" else "OVER BUDGET");
+  if ab.total_bytes > ab.budget_bytes then begin
+    print_endline "footprint over budget: refusing to run";
+    exit 1
+  end;
+
   let rec schedule_crank t =
     if t <= Model.Time.sec 2 then begin
       Kernel.raise_irq_at k ~at:t ~irq:crank_irq;

@@ -1,0 +1,95 @@
+open Emeralds
+
+type env = {
+  cost : Sim.Cost.t;
+  mb_words : int -> int;
+  acquire_wait : int -> Itv.t;
+}
+
+type hold = { sem : Types.sem; span : Itv.t; acquire_pc : int }
+
+type summary = {
+  exec : Itv.t;
+  suspend : Itv.t;
+  holds : hold list;
+  nesting : int;
+  atomic : int;
+  unbounded_held_pcs : int list;
+}
+
+type open_section = {
+  o_sem : Types.sem;
+  o_pc : int;
+  mutable o_span : Itv.t;
+}
+
+let interpret env (program : Types.instr array) =
+  let exec = ref Itv.zero in
+  let suspend = ref Itv.zero in
+  let open_sections = ref [] in
+  let holds = ref [] in
+  let nesting = ref 0 in
+  let atomic = ref 0 in
+  let unbounded_held = ref [] in
+  let close (s : Types.sem) =
+    (* innermost matching acquisition, as the kernel unwinds them *)
+    let rec split acc = function
+      | [] -> None
+      | sec :: rest when sec.o_sem.Types.sem_id = s.Types.sem_id ->
+        Some (sec, List.rev_append acc rest)
+      | sec :: rest -> split (sec :: acc) rest
+    in
+    match split [] !open_sections with
+    | Some (sec, rest) ->
+      holds := { sem = sec.o_sem; span = sec.o_span; acquire_pc = sec.o_pc } :: !holds;
+      open_sections := rest
+    | None -> () (* unmatched release: lock balance reports it *)
+  in
+  Array.iteri
+    (fun pc instr ->
+      let c = Instr_cost.of_instr ~cost:env.cost ~mb_words:env.mb_words instr in
+      (* time that elapses for the job at this instruction, seen from an
+         enclosing critical section: charged demand, plus the wait —
+         where an acquire's wait is bounded by the semaphore's worst
+         hold elsewhere rather than by its (locally unbounded) text *)
+      let elapsed =
+        match instr with
+        | Types.Acquire s -> Itv.add c.demand (env.acquire_wait s.Types.sem_id)
+        | _ -> Itv.add c.demand c.suspend
+      in
+      List.iter
+        (fun sec -> sec.o_span <- Itv.add sec.o_span elapsed)
+        !open_sections;
+      if
+        !open_sections <> []
+        && (not (Itv.is_bounded c.suspend))
+        && not (match instr with Types.Acquire _ -> true | _ -> false)
+      then unbounded_held := pc :: !unbounded_held;
+      exec := Itv.add !exec c.demand;
+      (match instr with
+      | Types.Acquire _ -> () (* blocking term territory, not suspension *)
+      | _ -> suspend := Itv.add !suspend c.suspend);
+      atomic := max !atomic c.atomic;
+      let frames =
+        List.length !open_sections
+        + (if Program.is_blocking instr then 1 else 0)
+      in
+      nesting := max !nesting frames;
+      match instr with
+      | Types.Acquire s ->
+        open_sections :=
+          { o_sem = s; o_pc = pc; o_span = Itv.zero } :: !open_sections;
+        nesting := max !nesting (List.length !open_sections)
+      | Types.Release s -> close s
+      | _ -> ())
+    program;
+  (* sections never released run to the end of the job *)
+  List.iter (fun sec -> close sec.o_sem) !open_sections;
+  {
+    exec = !exec;
+    suspend = !suspend;
+    holds = List.rev !holds;
+    nesting = !nesting;
+    atomic = !atomic;
+    unbounded_held_pcs = List.rev !unbounded_held;
+  }

@@ -1,0 +1,54 @@
+(** The abstract interpreter over one task program.
+
+    Task programs are loop-free instruction arrays, so abstract
+    execution is a single forward pass: the abstract state carries the
+    accumulated demand and suspension intervals, the stack of open
+    critical sections (each accumulating the interval of everything
+    that elapses while its semaphore is held), the lock/wait nesting
+    depth, and the longest non-preemptible kernel window seen.
+
+    Two quantities need whole-scenario knowledge and are supplied
+    through {!env}:
+
+    - [mb_words]: the largest payload any task sends to a mailbox
+      (bounds the receiver's copy charge);
+    - [acquire_wait]: a sound bound on the time a task can spend
+      blocked in [Acquire] of a given semaphore — the semaphore's
+      worst hold time anywhere else.  Inside an open section, an inner
+      acquire contributes that wait to the *outer* hold; {!Report}
+      iterates interpretation to the fixpoint of this mutual
+      dependency (widening to [Inf] if a cyclic lock order keeps it
+      growing).  Outside any section, acquire waits are *excluded*
+      from [suspend]: they are exactly what the priority-inheritance
+      blocking term [B_i] accounts for, and counting them twice would
+      make the RTA feed pessimistic rather than sound. *)
+
+type env = {
+  cost : Sim.Cost.t;
+  mb_words : int -> int;  (** mailbox id -> max payload words sent *)
+  acquire_wait : int -> Itv.t;
+      (** sem id -> bound on blocked-in-acquire time *)
+}
+
+type hold = {
+  sem : Emeralds.Types.sem;
+  span : Itv.t;  (** time held: demand + bounded suspension inside *)
+  acquire_pc : int;
+}
+
+type summary = {
+  exec : Itv.t;  (** per-job CPU demand [bcet, wcet] *)
+  suspend : Itv.t;
+      (** self-suspension (delays, timed and untimed waits, IPC
+          blocking); [Inf] upper end when some wait has no local
+          bound *)
+  holds : hold list;  (** one per critical section, program order *)
+  nesting : int;
+      (** max simultaneous lock/wait frames — sizes the stack *)
+  atomic : int;  (** longest non-preemptible kernel window, ns *)
+  unbounded_held_pcs : int list;
+      (** pcs where the job can block unboundedly while holding a
+          semaphore (those holds have [Inf] spans) *)
+}
+
+val interpret : env -> Emeralds.Types.instr array -> summary

@@ -1,0 +1,66 @@
+open Emeralds
+
+type t = { demand : Itv.t; suspend : Itv.t; atomic : int }
+
+let locally_unbounded = function
+  | Types.Acquire _ | Types.Wait _ | Types.Send _ | Types.Recv _ -> true
+  | Types.Compute _ | Types.Release _ | Types.Timed_wait _ | Types.Signal _
+  | Types.Broadcast _ | Types.State_write _ | Types.State_read _
+  | Types.Delay _ ->
+    false
+
+let of_instr ~(cost : Sim.Cost.t) ~mb_words (instr : Types.instr) =
+  let kernel demand suspend =
+    (* every charge of a kernel call runs with interrupts deferred *)
+    let atomic = match demand.Itv.hi with Itv.Fin h -> h | Itv.Inf -> 0 in
+    { demand; suspend; atomic }
+  in
+  match instr with
+  | Types.Compute w -> { demand = Itv.const w; suspend = Itv.zero; atomic = 0 }
+  | Types.Acquire _ ->
+    kernel
+      (Itv.const (cost.syscall_entry + cost.sem_admin))
+      (Itv.unbounded_from 0)
+  | Types.Release _ ->
+    kernel (Itv.const (cost.syscall_entry + cost.sem_admin)) Itv.zero
+  | Types.Wait _ ->
+    (* a pending signal grants immediately; otherwise the wait is
+       bounded only by whoever signals *)
+    kernel (Itv.const cost.syscall_entry) (Itv.unbounded_from 0)
+  | Types.Timed_wait (_, d) ->
+    (* the timer is armed only on the blocking path *)
+    kernel
+      (Itv.range cost.syscall_entry (cost.syscall_entry + cost.timer_service))
+      (Itv.range 0 (max 0 d))
+  | Types.Signal _ | Types.Broadcast _ ->
+    kernel (Itv.const cost.syscall_entry) Itv.zero
+  | Types.Send (_, data) ->
+    kernel
+      (Itv.const
+         (cost.syscall_entry
+         + Sim.Cost.mailbox_copy cost ~words:(Array.length data)))
+      (Itv.unbounded_from 0)
+  | Types.Recv mb ->
+    (* the kernel's total recv charge is mailbox_copy of whatever a
+       sender enqueued; sender-side handoff skips the copy, leaving
+       only the admin charge *)
+    kernel
+      (Itv.range
+         (cost.syscall_entry + cost.mailbox_base)
+         (cost.syscall_entry
+         + Sim.Cost.mailbox_copy cost ~words:(mb_words mb.Types.mb_id)))
+      (Itv.unbounded_from 0)
+  | Types.State_write (sm, _) ->
+    kernel
+      (Itv.const
+         (cost.syscall_entry
+         + Sim.Cost.state_write cost ~words:(State_msg.words sm)))
+      Itv.zero
+  | Types.State_read sm ->
+    kernel
+      (Itv.const
+         (cost.syscall_entry
+         + Sim.Cost.state_read cost ~words:(State_msg.words sm)))
+      Itv.zero
+  | Types.Delay d ->
+    kernel (Itv.const cost.timer_service) (Itv.const (max 0 d))

@@ -1,0 +1,44 @@
+(** Abstract per-instruction costs.
+
+    The transfer functions' leaves: for each [Types.instr] kind, the
+    interval of CPU demand the kernel charges the executing job, the
+    interval of time the job may spend blocked, and the longest
+    non-preemptible kernel window the call opens.  The charges mirror
+    [Kernel.run_instrs] exactly — syscall entry on every call,
+    [sem_admin] per acquire/release, the per-word mailbox and
+    state-message copy models, [timer_service] for the clock services —
+    so with the same [Sim.Cost.t] the simulator uses, the demand
+    interval is a sound envelope of what the kernel actually charges.
+
+    Blocking waits whose duration no local timeout bounds ([Acquire],
+    [Wait], [Send] on a full mailbox, [Recv] on an empty one) have
+    suspension upper bound [Itv.Inf]; for acquires specifically the
+    caller supplies the globally derived wait bound (the semaphore's
+    worst hold time elsewhere) — that substitution is the nested-hold
+    fixpoint {!Exec} iterates. *)
+
+type t = {
+  demand : Itv.t;
+      (** CPU time charged to the job for this instruction (kernel
+          charges plus compute time). *)
+  suspend : Itv.t;
+      (** Time the job may spend blocked at this instruction, as far as
+          the instruction's own text bounds it. *)
+  atomic : int;
+      (** Upper bound on the non-preemptible (interrupts-deferred)
+          kernel window the call opens, ns: the kernel charges of
+          [demand]'s upper end, excluding preemptible compute. *)
+}
+
+val of_instr :
+  cost:Sim.Cost.t ->
+  mb_words:(int -> int) ->
+  Emeralds.Types.instr ->
+  t
+(** [mb_words] resolves a mailbox id to the largest payload (in words)
+    any task sends to it — receivers are charged a copy of whatever
+    arrives, which only whole-scenario knowledge bounds. *)
+
+val locally_unbounded : Emeralds.Types.instr -> bool
+(** The instruction can block without any local bound on the wait
+    ([Acquire], [Wait], [Send], [Recv]). *)

@@ -1,0 +1,61 @@
+(** The abstract domain: intervals over extended non-negative time.
+
+    Every quantity the analyzer ([lib/absint]) derives — per-task
+    execution demand, bounded self-suspension, per-semaphore hold
+    times — is an interval [\[lo, hi\]] of nanoseconds whose upper end
+    may be [Inf] (statically unbounded, e.g. a [Wait] no timeout
+    limits).  Programs are loop-free instruction arrays, so the
+    transfer functions are just [add] along the single path; [join] is
+    the convex hull (used to merge alternative outcomes such as
+    "pending signal: no wait" vs "block until the timeout", and to
+    aggregate holds across tasks); [widen] jumps a still-growing upper
+    bound to [Inf] — the convergence hammer for the nested-acquire
+    fixpoint, which cyclic lock orders would otherwise keep
+    inflating. *)
+
+type bound = Fin of int | Inf
+
+type t = { lo : int; hi : bound }
+
+val zero : t
+(** [\[0, 0\]]. *)
+
+val const : int -> t
+(** [\[c, c\]] (clamped at 0 from below — negative durations do not
+    exist in the concrete semantics). *)
+
+val range : int -> int -> t
+(** [\[lo, hi\]].  @raise Invalid_argument if [hi < lo]. *)
+
+val unbounded_from : int -> t
+(** [\[lo, Inf)]. *)
+
+val add : t -> t -> t
+(** Pointwise sum; [Inf] absorbs. *)
+
+val join : t -> t -> t
+(** Convex hull: [\[min lo, max hi\]]. *)
+
+val widen : t -> t -> t
+(** [widen old next]: keep stable ends, send a still-rising upper
+    bound to [Inf] and a still-falling lower bound to [0]. *)
+
+val equal : t -> t -> bool
+
+val is_bounded : t -> bool
+(** [hi <> Inf]. *)
+
+val hi_int : t -> int option
+(** The upper bound when finite. *)
+
+val dominates : t -> int -> bool
+(** [dominates itv n]: the upper bound covers the concrete value [n]
+    ([Inf] covers everything) — the soundness comparator every
+    cross-validation check uses. *)
+
+val bound_to_string : bound -> string
+val to_string : t -> string
+
+val pp_us : Format.formatter -> t -> unit
+(** Render as microseconds (the paper's unit), e.g. ["[300.0, 1214.9]us"]
+    or ["[0.0, inf)us"]. *)

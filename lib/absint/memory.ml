@@ -1,0 +1,70 @@
+open Emeralds
+
+let stack_base_bytes = 512
+let stack_frame_bytes = 128
+let envelope_lo = fst Footprint.envelope
+let budget_default = snd Footprint.envelope
+
+module Iset = Set.Make (Int)
+module Imap = Map.Make (Int)
+
+let derive ~nesting (sc : Workload.Scenario.t) =
+  let tasks = Model.Taskset.tasks sc.taskset in
+  let sems = ref Iset.empty in
+  let waitqs = ref Iset.empty in
+  (* mailbox id -> (capacity, max payload words seen in a send) *)
+  let mailboxes = ref Imap.empty in
+  (* state-message id -> (depth, words) *)
+  let states = ref Imap.empty in
+  let clock_users = ref 0 in
+  let note_mb (mb : Types.mailbox) words =
+    mailboxes :=
+      Imap.update mb.mb_id
+        (function
+          | None -> Some (mb.mb_capacity, max 1 words)
+          | Some (cap, w) -> Some (cap, max w words))
+        !mailboxes
+  in
+  let note_sm sm =
+    states := Imap.add (State_msg.id sm) (State_msg.depth sm, State_msg.words sm) !states
+  in
+  Array.iter
+    (fun task ->
+      let uses_clock = ref false in
+      List.iter
+        (fun instr ->
+          match instr with
+          | Types.Compute _ -> ()
+          | Types.Acquire s | Types.Release s ->
+            sems := Iset.add s.Types.sem_id !sems
+          | Types.Wait wq | Types.Signal wq | Types.Broadcast wq ->
+            waitqs := Iset.add wq.Types.wq_id !waitqs
+          | Types.Timed_wait (wq, _) ->
+            waitqs := Iset.add wq.Types.wq_id !waitqs;
+            uses_clock := true
+          | Types.Send (mb, data) -> note_mb mb (Array.length data)
+          | Types.Recv mb -> note_mb mb 0
+          | Types.State_write (sm, _) | Types.State_read sm -> note_sm sm
+          | Types.Delay _ -> uses_clock := true)
+        (sc.programs task);
+      if !uses_clock then incr clock_users)
+    tasks;
+  List.iter
+    (fun wq -> waitqs := Iset.add wq.Types.wq_id !waitqs)
+    sc.irq_signals;
+  List.iter note_sm sc.irq_writes;
+  let max_nesting =
+    Array.to_list tasks
+    |> List.mapi (fun rank _ -> nesting rank)
+    |> List.fold_left max 0
+  in
+  {
+    Footprint.threads = Array.length tasks;
+    stack_bytes_per_thread =
+      stack_base_bytes + (stack_frame_bytes * max_nesting);
+    semaphores = Iset.cardinal !sems;
+    condvars = Iset.cardinal !waitqs;
+    mailboxes = List.map snd (Imap.bindings !mailboxes);
+    state_messages = List.map snd (Imap.bindings !states);
+    timers = 1 + !clock_users;
+  }

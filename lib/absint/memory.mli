@@ -1,0 +1,37 @@
+(** Footprint derivation: from scenario text to a [Footprint.config].
+
+    The hand-declared [Footprint.default_config] trusts the designer;
+    this derives the configuration the kernel would actually allocate
+    for a scenario, by walking the same program text the interpreter
+    walks: one thread (TCB + stack) per task, every semaphore, wait
+    queue, mailbox and state message any program or interrupt handler
+    references, and one timer per clock-service user plus the release
+    clock.  Stacks are sized from the interpreter's lock/wait nesting
+    depth — each nested frame (a held semaphore or a blocking kernel
+    call) costs one activation record on the thread's stack.
+
+    The budget check compares kernel code plus derived RAM against the
+    paper's small-memory envelope: EMERALDS targets devices with
+    32–128 KB of memory (§1/§3), so [budget_default] is the 128 KB
+    ceiling and anything above [envelope_lo] already deserves a
+    note. *)
+
+val stack_base_bytes : int
+(** Stack bytes for a flat (nesting-free) thread. *)
+
+val stack_frame_bytes : int
+(** Additional stack bytes per lock/wait nesting level. *)
+
+val envelope_lo : int
+(** 32 KB — the small end of the paper's device range. *)
+
+val budget_default : int
+(** 128 KB — the large end; the default [analyze] budget. *)
+
+val derive :
+  nesting:(int -> int) ->
+  Workload.Scenario.t ->
+  Emeralds.Footprint.config
+(** [nesting rank] is the interpreter's nesting depth for the task at
+    RM rank [rank] (see {!Exec.summary}); the uniform per-thread stack
+    is sized for the deepest task. *)

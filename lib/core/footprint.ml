@@ -73,6 +73,13 @@ let ram_bytes config =
 let total_ram_bytes config =
   List.fold_left (fun acc (_, b) -> acc + b) 0 (ram_bytes config)
 
+let envelope = (32_768, 131_072)
+let total_bytes config = total_code_bytes + total_ram_bytes config
+
+let within_envelope config =
+  let _, hi = envelope in
+  total_bytes config <= hi
+
 let report config =
   let t = Util.Tablefmt.create ~headers:[ "item"; "bytes" ] in
   List.iter

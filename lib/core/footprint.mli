@@ -31,6 +31,18 @@ val ram_bytes : config -> (string * int) list
 
 val total_ram_bytes : config -> int
 
+val envelope : int * int
+(** The paper's device memory range, bytes: 32–128 KB total on-chip
+    (§2).  The upper end is the default budget the analyzer
+    ([lib/absint]) checks derived configurations against. *)
+
+val total_bytes : config -> int
+(** Kernel code plus configured kernel-object RAM — the quantity
+    compared against {!envelope}. *)
+
+val within_envelope : config -> bool
+(** [total_bytes config] fits under the envelope's 128 KB ceiling. *)
+
 val report : config -> string
 (** Rendered footprint table: code budget plus RAM for the given
     configuration. *)

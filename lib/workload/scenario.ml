@@ -151,6 +151,47 @@ let make name =
 
 let all () = List.map (fun (_, mk) -> mk ()) scenarios
 
+(* A WCET lie: tau2 declares 1 ms but its program computes 3 ms.  The
+   abstract interpreter's demand bound exceeds the declaration, which
+   every schedulability result downstream silently trusts — exactly
+   the failure `analyze` exists to catch. *)
+let under_declared_wcet () =
+  let taskset =
+    Model.Taskset.of_list
+      [
+        Model.Task.make ~id:1 ~name:"honest" ~period:(ms 10) ~wcet:(ms 2) ();
+        Model.Task.make ~id:2 ~name:"liar" ~period:(ms 20) ~wcet:(ms 1) ();
+      ]
+  in
+  let programs (task : Model.Task.t) =
+    let open Program in
+    match task.id with
+    | 2 -> [ compute (ms 3) ]
+    | _ -> [ compute task.wcet ]
+  in
+  with_sources ~name:"under-declared-demo" ~taskset ~programs []
+
+(* A configuration the paper's devices cannot host: one task publishes
+   a 64-deep, 600-word state message — 64 x 600 x 4 bytes of buffer
+   alone — blowing through the 128 KB envelope once kernel code and
+   the other objects are added. *)
+let over_budget () =
+  let bulk = State_msg.create ~depth:64 ~words:600 in
+  let taskset =
+    Model.Taskset.of_list
+      [
+        Model.Task.make ~id:1 ~name:"logger" ~period:(ms 20) ~wcet:(ms 4) ();
+        Model.Task.make ~id:2 ~name:"reader" ~period:(ms 40) ~wcet:(ms 2) ();
+      ]
+  in
+  let programs (task : Model.Task.t) =
+    let open Program in
+    match task.id with
+    | 1 -> [ compute (ms 2); state_write bulk (words 600) ]
+    | _ -> [ state_read bulk; compute (ms 1) ]
+  in
+  with_sources ~name:"over-budget-demo" ~taskset ~programs []
+
 (* Opposite-order nesting with phases arranged so the circular wait is
    reachable: tau2 takes B at t=0 and computes; tau1 preempts at 1 ms,
    takes A, and blocks on B; tau2 resumes and blocks on A — deadlock

@@ -50,6 +50,20 @@ val make : string -> t option
 val all : unit -> t list
 (** A fresh scenario per name, in {!names} order. *)
 
+val under_declared_wcet : unit -> t
+(** A two-task demo whose second task declares a 1 ms WCET but
+    computes 3 ms: the abstract interpreter ([lib/absint]) must derive
+    a demand bound above the declaration and fail [analyze] with a
+    [wcet-declaration] error.  Excluded from {!names} / {!all}; the
+    CLI exposes it as the ["under-declared-demo"] preset of
+    [analyze]. *)
+
+val over_budget : unit -> t
+(** A demo whose derived kernel-object footprint (a 64-deep, 600-word
+    state message) exceeds the paper's 128 KB device envelope:
+    [analyze] must fail it with a [budget] error.  Excluded from
+    {!names} / {!all}; the CLI exposes it as ["over-budget-demo"]. *)
+
 val seeded_deadlock : unit -> t
 (** An intentionally buggy two-task scenario whose mutexes are nested
     in opposite orders, with phases arranged so the circular wait is

@@ -17,6 +17,7 @@ let () =
       ("experiments", Test_experiments.suite);
       ("extensions", Test_extensions.suite);
       ("lint", Test_lint.suite);
+      ("absint", Test_absint.suite);
       ("fuzz", Test_fuzz.suite);
       ("mc", Test_mc.suite);
     ]

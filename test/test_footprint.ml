@@ -40,9 +40,27 @@ let test_report_renders () =
   check bool "mentions the code total" true (contains report "TOTAL kernel code");
   check bool "mentions RAM" true (contains report "TOTAL kernel-object RAM")
 
+(* the default config and every preset's *derived* config must both fit
+   the paper's device envelope — this is the CI tripwire against RAM
+   model or scenario changes silently blowing the budget *)
+let test_envelope () =
+  check bool "default config fits the envelope" true
+    (Emeralds.Footprint.within_envelope Emeralds.Footprint.default_config);
+  List.iter
+    (fun (sc : Workload.Scenario.t) ->
+      let r = Absint.Report.analyze sc in
+      check bool (sc.name ^ " derived config fits the envelope") true
+        (Emeralds.Footprint.within_envelope r.config);
+      check int
+        (sc.name ^ " total matches code + RAM")
+        (Emeralds.Footprint.total_bytes r.config)
+        r.total_bytes)
+    (Workload.Scenario.all ())
+
 let suite =
   [
     test_case "code budget" `Quick test_code_budget;
     test_case "RAM model" `Quick test_ram_model;
     test_case "report rendering" `Quick test_report_renders;
+    test_case "presets fit the memory envelope" `Quick test_envelope;
   ]

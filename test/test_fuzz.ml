@@ -323,10 +323,87 @@ let prop_injected_cycle =
           d.severity = Lint.Diag.Error && d.check = "deadlock")
         (Lint.Report.run ctx))
 
+(* --- absint cross-checks --------------------------------------------- *)
+
+(* The abstract interpreter's bounds are sound for whatever the kernel
+   actually does with random programs: under zero kernel cost every
+   observed per-job execution time sits under the derived WCET bound,
+   and the derived footprint accounts for every kernel object the
+   trace shows in use. *)
+let run_absint_sound (n, kind, _spec_idx, _costly, tick, seed) =
+  let rng = Util.Rng.create ~seed in
+  let objs = fresh_objects kind in
+  let taskset =
+    Model.Taskset.of_list
+      (List.init n (fun i ->
+           let period =
+             Util.Rng.choose rng [| ms 10; ms 20; ms 25; ms 40; ms 50 |]
+           in
+           Model.Task.make ~id:(i + 1) ~period ~wcet:(ms 2) ()))
+  in
+  let gen = QCheck2.Gen.generate1 ~rand:(Random.State.make [| seed |]) in
+  let programs =
+    Array.of_list (List.init n (fun _ -> gen (gen_program objs)))
+  in
+  let programs_fn (task : Model.Task.t) = programs.(task.id - 1) in
+  let sc =
+    {
+      Workload.Scenario.name = "fuzz";
+      taskset;
+      programs = programs_fn;
+      irq_sources = [];
+      irq_signals = [];
+      irq_writes = [];
+    }
+  in
+  let r = Absint.Report.analyze ~cost:Sim.Cost.zero sc in
+  let rank_of_tid tid =
+    let tasks = Model.Taskset.tasks taskset in
+    let rec find i = if tasks.(i).Model.Task.id = tid then i else find (i + 1) in
+    find 0
+  in
+  let k =
+    Kernel.create ~cost:Sim.Cost.zero ~spec:Sched.Rm ~taskset ?tick
+      ~programs:programs_fn ()
+  in
+  Kernel.run k ~until:(ms 150);
+  let entries = Sim.Trace.entries (Kernel.trace k) in
+  let wcet_sound =
+    List.for_all
+      (fun (tid, t) ->
+        Absint.Itv.dominates
+          r.tasks.(rank_of_tid tid).Absint.Report.summary.exec t)
+      (Test_absint.observed_job_times entries)
+  in
+  (* objects the trace shows in use, vs the derived configuration *)
+  let sems = Hashtbl.create 4
+  and mbs = Hashtbl.create 4
+  and sms = Hashtbl.create 4 in
+  List.iter
+    (fun (st : Sim.Trace.stamped) ->
+      match st.entry with
+      | Sim.Trace.Sem_acquired { sem; _ } -> Hashtbl.replace sems sem ()
+      | Sim.Trace.Msg_sent { mailbox; _ } -> Hashtbl.replace mbs mailbox ()
+      | Sim.Trace.State_written { state; _ } -> Hashtbl.replace sms state ()
+      | _ -> ())
+    entries;
+  let footprint_covers =
+    Hashtbl.length sems <= r.config.Footprint.semaphores
+    && Hashtbl.length mbs <= List.length r.config.Footprint.mailboxes
+    && Hashtbl.length sms <= List.length r.config.Footprint.state_messages
+    && Model.Taskset.size taskset = r.config.Footprint.threads
+  in
+  wcet_sound && footprint_covers
+
+let prop_absint_sound =
+  qtest ~count:80
+    "absint WCET and footprint bounds cover random executions" gen_case
+    run_absint_sound
+
 let suite =
   [
     prop_kernel_fuzz; prop_busy_conservation; prop_lint_clean_runs;
-    prop_injected_cycle;
+    prop_injected_cycle; prop_absint_sound;
   ]
 
 

@@ -268,7 +268,33 @@ let test_hints_edges () =
   let p = Array.of_list (condition_wait wq s) in
   check (option int) "condition_wait hints the re-acquire"
     (Some s.Types.sem_id)
-    (sem_ids (derive_hints p)).(1)
+    (sem_ids (derive_hints p)).(1);
+  (* a timed wait hints just like an untimed one: the timeout path
+     re-joins at the same next acquire *)
+  let p = [| timed_wait wq (us 250); acquire s; release s |] in
+  check (option int) "timed_wait followed by acquire"
+    (Some s.Types.sem_id)
+    (sem_ids (derive_hints p)).(0);
+  (* broadcast never blocks, so it neither gets a hint nor blocks one
+     from propagating past it *)
+  let p = [| wait wq; broadcast wq; compute (us 5) |] in
+  let hints = sem_ids (derive_hints p) in
+  check (option int) "broadcast with nothing blocking after: no hint" None
+    hints.(0);
+  check (option int) "broadcast itself is not a blocking position" None
+    hints.(1);
+  let p = [| wait wq; broadcast wq; acquire s; release s |] in
+  check (option int) "the hint propagates through a broadcast"
+    (Some s.Types.sem_id)
+    (sem_ids (derive_hints p)).(0);
+  (* a blocking call before condition_wait sees the wait, not the
+     re-acquire beyond it; the wait itself still hints the re-acquire *)
+  let p = Array.of_list (delay (us 20) :: condition_wait wq s) in
+  let hints = sem_ids (derive_hints p) in
+  check (option int) "condition_wait's wait shields earlier hints" None
+    hints.(0);
+  check (option int) "while the wait still hints its own re-acquire"
+    (Some s.Types.sem_id) hints.(2)
 
 (* ------------------------------------------------------------------ *)
 (* blocking-term extraction *)
