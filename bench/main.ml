@@ -13,7 +13,10 @@
       full after the micro-benchmarks.
 
    Run with: dune exec bench/main.exe
-   Pass --quick to skip the breakdown sweep's full workload count. *)
+   Pass --quick to skip the breakdown sweep's full workload count,
+   --seed N to re-seed every stochastic subject (random task sets, the
+   breakdown sweep) reproducibly, --json PATH for a machine-readable
+   per-benchmark dump. *)
 
 open Bechamel
 open Toolkit
@@ -64,20 +67,18 @@ let figure2_subject () =
   Emeralds.Kernel.run k ~until:(Model.Time.ms 100)
 
 (* Figures 3-5: one breakdown-utilization search (CSD-3, 20 tasks). *)
-let breakdown_subject () =
+let breakdown_subject ~seed () =
   let taskset =
-    Workload.Generator.random_taskset
-      ~rng:(Util.Rng.create ~seed:11)
-      ~n:20 ()
+    Workload.Generator.random_taskset ~rng:(Util.Rng.create ~seed) ~n:20 ()
   in
   fun () ->
     ignore (Analysis.Breakdown.of_csd ~cost:Sim.Cost.m68040 ~queues:3 taskset)
 
 (* Table 3: a CSD-3 schedulability test. *)
-let csd_test_subject () =
+let csd_test_subject ~seed () =
   let taskset =
     Workload.Generator.random_taskset
-      ~rng:(Util.Rng.create ~seed:12)
+      ~rng:(Util.Rng.create ~seed:(seed + 1))
       ~n:20 ~target_u:0.8 ()
   in
   fun () ->
@@ -105,7 +106,32 @@ let absint_subject () =
   let sc = Option.get (Workload.Scenario.make "engine") in
   fun () -> ignore (Absint.Report.analyze sc)
 
-let tests =
+(* Enforcement overhead: the Figure 2 simulation with per-task budgets
+   installed.  With budgets equal to the declared WCETs no exhaustion
+   event ever arms (an exact-budget job cannot cross), so the delta
+   against figure2/rm-sim-100ms is the pure dispatch-path bookkeeping
+   — the budget-timer arm check at every compute start plus the
+   consumption accounting at every preemption.  With budgets at 90%,
+   every job arms and fires the budget-exhaustion event, timing the
+   full arm/fire/handle path. *)
+let enforced_subject ~pct () =
+ fun () ->
+  let k =
+    Emeralds.Kernel.create ~keep_trace:false ~cost:Sim.Cost.zero
+      ~spec:Emeralds.Sched.Rm ~taskset:Workload.Presets.table2 ()
+  in
+  Emeralds.Kernel.set_enforcement k
+    (Some
+       {
+         Emeralds.Kernel.budget_of =
+           (fun t -> Some (t.Model.Task.wcet * pct / 100));
+         policy = Emeralds.Kernel.Notify_only;
+         miss = Emeralds.Kernel.Miss_record;
+         shed_one_in = None;
+       });
+  Emeralds.Kernel.run k ~until:(Model.Time.ms 100)
+
+let tests ~seed =
   Test.make_grouped ~name:"emeralds"
     [
       Test.make ~name:"table1/edf-select-n32" (Staged.stage (edf_queue_subject ()));
@@ -114,10 +140,14 @@ let tests =
       Test.make ~name:"table1/heap-block-unblock-n32"
         (Staged.stage (heap_queue_subject ()));
       Test.make ~name:"figure2/rm-sim-100ms" (Staged.stage (figure2_subject ()));
+      Test.make ~name:"fault/rm-sim-enforced-100ms"
+        (Staged.stage (enforced_subject ~pct:100 ()));
+      Test.make ~name:"fault/rm-sim-overrun-100ms"
+        (Staged.stage (enforced_subject ~pct:90 ()));
       Test.make ~name:"figures3to5/breakdown-csd3-n20"
-        (Staged.stage (breakdown_subject ()));
+        (Staged.stage (breakdown_subject ~seed ()));
       Test.make ~name:"table3/csd3-feasibility-n20"
-        (Staged.stage (csd_test_subject ()));
+        (Staged.stage (csd_test_subject ~seed ()));
       Test.make ~name:"figure11/sem-scenario-dp"
         (Staged.stage (sem_scenario_subject ~fp:false ()));
       Test.make ~name:"figure12/sem-scenario-fp"
@@ -144,11 +174,11 @@ let tests =
 (* ------------------------------------------------------------------ *)
 (* Runner *)
 
-let run_benchmarks ~json_path () =
+let run_benchmarks ~seed ~json_path () =
   let cfg =
     Benchmark.cfg ~limit:1000 ~stabilize:true ~quota:(Time.second 0.25) ()
   in
-  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (tests ~seed) in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -198,12 +228,12 @@ let run_benchmarks ~json_path () =
 (* ------------------------------------------------------------------ *)
 (* Experiment tables *)
 
-let run_experiments ~workloads =
+let run_experiments ~seed ~workloads =
   let sections =
     [
       Experiments.Exp_table1.run ();
       Experiments.Exp_figure2.run ();
-      Experiments.Exp_figures3_5.run ~workloads ();
+      Experiments.Exp_figures3_5.run ~seed ~workloads ();
       Experiments.Exp_table3.run ();
       Experiments.Exp_sem.run ();
       Experiments.Exp_ipc.run ();
@@ -219,14 +249,29 @@ let run_experiments ~workloads =
     sections
 
 let () =
-  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let argv = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" argv in
   let json_path =
     let rec find = function
       | "--json" :: path :: _ -> Some path
       | _ :: tl -> find tl
       | [] -> None
     in
-    find (Array.to_list Sys.argv)
+    find argv
   in
-  run_benchmarks ~json_path ();
-  run_experiments ~workloads:(if quick then 8 else 30)
+  let seed =
+    (* default 11: the fixed seed the breakdown subject always used *)
+    let rec find = function
+      | "--seed" :: v :: _ -> (
+        match int_of_string_opt v with
+        | Some s -> s
+        | None ->
+          prerr_endline "bad --seed (expected an integer)";
+          exit 2)
+      | _ :: tl -> find tl
+      | [] -> 11
+    in
+    find argv
+  in
+  run_benchmarks ~seed ~json_path ();
+  run_experiments ~seed ~workloads:(if quick then 8 else 30)

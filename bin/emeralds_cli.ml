@@ -633,8 +633,18 @@ let check_cmd =
             "Cross-check: print observed worst-case responses next to the \
              RTA bounds fed with the lint-extracted blocking terms.")
   in
+  let search_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Shuffle the exploration order of each branch's children \
+             (reproducibly). The verdict is order-independent; the search \
+             path and the reported counterexample are not.")
+  in
   let run preset_name sched horizon_ms max_states max_depth props_arg no_por
-      read_span_us sporadic json format rta =
+      read_span_us sporadic json format rta search_seed =
     (match format with
     | None | Some "sarif" -> ()
     | Some f ->
@@ -705,7 +715,9 @@ let check_cmd =
         max_depth;
       }
     in
-    let r = Mc.Explorer.check ~por:(not no_por) ~props ~bounds m in
+    let r =
+      Mc.Explorer.check ~por:(not no_por) ?seed:search_seed ~props ~bounds m
+    in
     let ok = r.verdict = `Ok in
     if format = Some "sarif" then begin
       let results =
@@ -805,7 +817,203 @@ let check_cmd =
           reads, deadline safety — with replayable counterexamples")
     Term.(
       const run $ preset_name $ sched $ horizon_ms $ max_states $ max_depth
-      $ props_arg $ no_por $ read_span_us $ sporadic $ json $ format $ rta)
+      $ props_arg $ no_por $ read_span_us $ sporadic $ json $ format $ rta
+      $ search_seed)
+
+(* ------------------------------------------------------------------ *)
+(* inject (fault injection + enforcement report) *)
+
+let inject_cmd =
+  let preset_name =
+    Arg.(
+      value
+      & opt string "overrun-demo"
+      & info [ "preset" ] ~docv:"NAME"
+          ~doc:
+            "Scenario to inject into: table2, engine, avionics, voice (clean \
+             presets, empty default plan), overrun-demo (WCET-overrun \
+             seeded-fault demo) or storm-demo (IRQ storm / lost signal / \
+             sporadic burst demo).")
+  in
+  let plan_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"SPEC"
+          ~doc:
+            "Fault plan (replaces the preset's default plan), e.g. \
+             'wcet-scale:tid=2,pct=400;jitter:tid=1,amp=500us'. See \
+             lib/fault/plan.mli for the full syntax.")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt string "notify"
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Budget-overrun policy: notify, kill, skip-next, or demote:N \
+             (lower the job's priority by N ranks).")
+  in
+  let miss_policy =
+    Arg.(
+      value
+      & opt string "record"
+      & info [ "miss-policy" ] ~docv:"POLICY"
+          ~doc:"Deadline-miss policy: record, kill, or shed-next.")
+  in
+  let shed_one_in =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shed-one-in" ] ~docv:"K"
+          ~doc:
+            "Skip-over overload shedding: a release that finds the previous \
+             job still active may be dropped, at most one in every K \
+             releases of that task.")
+  in
+  let sched =
+    Arg.(
+      value
+      & opt sched_conv Emeralds.Sched.Rm
+      & info [ "sched" ] ~docv:"SCHED"
+          ~doc:"Scheduler: edf, rm, rm-heap, csd2/csd3/csd4 or csd:S1,S2,...")
+  in
+  let horizon_ms =
+    Arg.(
+      value & opt int 200
+      & info [ "horizon-ms" ] ~doc:"Simulation horizon in milliseconds.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: sarif.")
+  in
+  (* The storm demo's default plan must name the wait queue the scenario
+     allocated, so it is built against the instance rather than parsed
+     from a constant. *)
+  let default_plan (scenario : Workload.Scenario.t) = function
+    | "overrun-demo" ->
+      [ Fault.Plan.Wcet_scale { tid = 2; pct = 400; from_job = 1 } ]
+    | "storm-demo" ->
+      let wq =
+        match scenario.irq_signals with
+        | wq :: _ -> wq.Emeralds.Types.wq_id
+        | [] -> 0
+      in
+      [
+        Fault.Plan.Irq_storm
+          {
+            irq = 9;
+            at = Model.Time.ms 20;
+            count = 40;
+            spacing = Model.Time.us 100;
+          };
+        Fault.Plan.Lost_signal { wq; one_in = 3 };
+        Fault.Plan.Sporadic_burst
+          {
+            tid = 3;
+            at = Model.Time.ms 50;
+            count = 5;
+            spacing = Model.Time.us 500;
+          };
+      ]
+    | _ -> []
+  in
+  let run preset_name plan_arg policy miss_policy shed_one_in sched horizon_ms
+      seed json format =
+    (match format with
+    | None | Some "sarif" -> ()
+    | Some f -> bad_invocation "unknown format %S (expected: sarif)" f);
+    let scenario =
+      match preset_name with
+      | "overrun-demo" -> Workload.Scenario.overrun_demo ()
+      | "storm-demo" -> Workload.Scenario.storm_demo ()
+      | n -> (
+        match Workload.Scenario.make n with
+        | Some s -> s
+        | None ->
+          bad_invocation
+            "unknown scenario %S (expected: %s, overrun-demo, storm-demo)" n
+            (String.concat ", " Workload.Scenario.names))
+    in
+    let plan =
+      match plan_arg with
+      | None -> default_plan scenario preset_name
+      | Some spec -> (
+        match Fault.Plan.parse spec with
+        | Ok p -> p
+        | Error e -> bad_invocation "bad --plan: %s" e)
+    in
+    let policy =
+      match String.lowercase_ascii policy with
+      | "notify" -> Emeralds.Kernel.Notify_only
+      | "kill" -> Emeralds.Kernel.Kill_job
+      | "skip-next" -> Emeralds.Kernel.Skip_next
+      | p when String.length p > 7 && String.sub p 0 7 = "demote:" -> (
+        match int_of_string_opt (String.sub p 7 (String.length p - 7)) with
+        | Some n when n > 0 -> Emeralds.Kernel.Demote n
+        | _ -> bad_invocation "bad --policy %S (demote:N needs N >= 1)" policy)
+      | _ ->
+        bad_invocation
+          "unknown --policy %S (expected: notify, kill, skip-next, demote:N)"
+          policy
+    in
+    let miss =
+      match String.lowercase_ascii miss_policy with
+      | "record" -> Emeralds.Kernel.Miss_record
+      | "kill" -> Emeralds.Kernel.Miss_kill
+      | "shed-next" -> Emeralds.Kernel.Miss_shed_next
+      | _ ->
+        bad_invocation
+          "unknown --miss-policy %S (expected: record, kill, shed-next)"
+          miss_policy
+    in
+    (match shed_one_in with
+    | Some k when k <= 0 -> bad_invocation "--shed-one-in must be positive"
+    | _ -> ());
+    let cfg =
+      {
+        Fault.Inject.scenario;
+        spec = sched;
+        cost = Sim.Cost.m68040;
+        horizon = Model.Time.ms horizon_ms;
+        seed;
+        tick = None;
+        enforcement =
+          Some
+            {
+              Emeralds.Kernel.budget_of = Fault.Inject.declared_budgets;
+              policy;
+              miss;
+              shed_one_in;
+            };
+        plan;
+        keep_trace = true;
+      }
+    in
+    let report = Fault.Report.run cfg in
+    if format = Some "sarif" then
+      print_endline
+        (Lint.Sarif.render ~tool_name:"emeralds-inject"
+           (Fault.Report.to_sarif report))
+    else if json then print_endline (Fault.Report.to_json report)
+    else print_string (Fault.Report.render report);
+    if Fault.Report.violations report then exit 1
+  in
+  Cmd.v
+    (Cmd.info "inject"
+       ~doc:
+         "Replay a scenario under a fault plan (WCET overruns, release \
+          jitter, IRQ storms, lost signals, sporadic bursts, clock drift) \
+          with runtime budget enforcement, and report detection latency, \
+          shedding, and which static predictions the faults falsified")
+    Term.(
+      const run $ preset_name $ plan_arg $ policy $ miss_policy $ shed_one_in
+      $ sched $ horizon_ms $ seed $ json $ format)
 
 (* ------------------------------------------------------------------ *)
 (* footprint *)
@@ -854,5 +1062,5 @@ let () =
        (Cmd.group info
           [
             experiment_cmd; schedulability_cmd; analyze_cmd; simulate_cmd;
-            sensitivity_cmd; lint_cmd; check_cmd; footprint_cmd;
+            sensitivity_cmd; lint_cmd; check_cmd; inject_cmd; footprint_cmd;
           ]))

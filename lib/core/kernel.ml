@@ -19,6 +19,48 @@ type burst = {
   completion : Sim.Engine.handle;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Budget enforcement (the robustness layer: what the kernel does when
+   a job violates the declared WCET or arrival model the static
+   analyses assumed). *)
+
+type overrun_policy =
+  | Kill_job      (* abort the offending job, release its mutexes *)
+  | Skip_next     (* abort, and also shed the task's next release *)
+  | Demote of int (* finish at a priority lowered by this many ranks *)
+  | Notify_only   (* record the overrun, let the job run on *)
+
+type miss_policy =
+  | Miss_record    (* pre-PR behaviour: a trace statistic only *)
+  | Miss_kill      (* abort the late job (deferred while it is blocked) *)
+  | Miss_shed_next (* shed the task's next release *)
+
+type enforcement = {
+  budget_of : Model.Task.t -> Model.Time.t option;
+      (* per-job execution budget; [None] = unenforced task *)
+  policy : overrun_policy;
+  miss : miss_policy;
+  shed_one_in : int option;
+      (* skip-over overload shedding: when a release finds the previous
+         job still active, drop it — but at most one in every [k]
+         releases of that task *)
+}
+
+type enf_state = {
+  mutable used : Model.Time.t; (* budget consumed by the current job *)
+  mutable probe : Sim.Engine.handle option; (* armed budget-exhaustion event *)
+  mutable probe_job : int;
+  mutable overrun_flagged : bool; (* at most one overrun event per job *)
+  mutable skip_next : bool;
+  mutable since_shed : int; (* releases run since the last shed *)
+  mutable kill_pending : bool; (* miss-kill deferred until next dispatched *)
+  mutable demoted : bool;
+  mutable overruns : int;
+  mutable kills : int;
+  mutable sheds : int;
+  mutable first_detection : Model.Time.t option;
+}
+
 type t = {
   engine : Sim.Engine.t;
   cost : Sim.Cost.t;
@@ -36,17 +78,57 @@ type t = {
   mutable stopped : bool;
   tick : Model.Time.t option; (* None = event-precise timers (EMERALDS) *)
   irq_handlers : (int, irq_entry) Hashtbl.t;
+  (* enforcement: [None] leaves every code path below bit-identical to
+     the unenforced kernel (the fuzz differential depends on this) *)
+  mutable enforcement : enforcement option;
+  enf : (int, enf_state) Hashtbl.t; (* per-tid, created lazily *)
+  (* fault hooks, installed by [lib/fault]; all default to inert *)
+  mutable fault_demand :
+    (tid:int -> job:int -> Model.Time.t -> Model.Time.t) option;
+  mutable fault_jitter : (tid:int -> job:int -> Model.Time.t) option;
+  mutable fault_drop_signal : (wq_id:int -> bool) option;
+  mutable drift_ppm : int; (* tick-clock drift, parts per million *)
 }
 
 let now k = Sim.Engine.now k.engine
 let engine k = k.engine
 
 (* A periodic-tick kernel only notices timer expirations at tick
-   boundaries; EMERALDS programs its timer for exact instants. *)
+   boundaries; EMERALDS programs its timer for exact instants.  A
+   drifting tick clock (fault hook) stretches or shrinks the effective
+   tick; event-precise kernels have no tick to drift. *)
 let quantize k t =
   match k.tick with
   | None -> t
-  | Some q -> Util.Intmath.ceil_div t q * q
+  | Some q ->
+    let q =
+      if k.drift_ppm = 0 then q
+      else max 1 (q + (q * k.drift_ppm / 1_000_000))
+    in
+    Util.Intmath.ceil_div t q * q
+
+let enf_state k (tcb : tcb) =
+  match Hashtbl.find_opt k.enf tcb.tid with
+  | Some st -> st
+  | None ->
+    let st =
+      {
+        used = 0;
+        probe = None;
+        probe_job = 0;
+        overrun_flagged = false;
+        skip_next = false;
+        since_shed = max_int / 2; (* no shed yet: the first one is free *)
+        kill_pending = false;
+        demoted = false;
+        overruns = 0;
+        kills = 0;
+        sheds = 0;
+        first_detection = None;
+      }
+    in
+    Hashtbl.add k.enf tcb.tid st;
+    st
 let trace k = k.tr
 let stopped k = k.stopped
 
@@ -104,6 +186,18 @@ let interrupt_burst k =
     in
     b.owner.remaining <- b.owner.remaining - executed;
     Sim.Trace.add_busy k.tr executed;
+    (match k.enforcement with
+    | None -> ()
+    | Some _ ->
+      (* bank the executed time against the job's budget and disarm the
+         budget probe — it is re-armed when the burst next resumes *)
+      let st = enf_state k b.owner in
+      st.used <- Model.Time.add st.used executed;
+      (match st.probe with
+      | Some h ->
+        ignore (Sim.Engine.cancel k.engine h);
+        st.probe <- None
+      | None -> ()));
     if b.owner.remaining > 0 then ignore (Sim.Engine.cancel k.engine b.completion);
     k.burst <- None
 
@@ -337,12 +431,21 @@ let complete_blocking_call k tcb hint =
 (* Wait queues and signals *)
 
 let do_signal k wq =
-  match take_first_waiter wq.wq_waiters with
-  | Some w ->
-    let hint = w.hints.(w.pc) in
-    w.pc <- w.pc + 1;
-    complete_blocking_call k w hint
-  | None -> wq.pending_signals <- wq.pending_signals + 1
+  let dropped =
+    match k.fault_drop_signal with
+    | None -> false
+    | Some f -> f ~wq_id:wq.wq_id
+  in
+  if dropped then
+    Sim.Trace.emit k.tr ~at:(now k)
+      (Note (Printf.sprintf "signal lost on waitq%d (fault)" wq.wq_id))
+  else
+    match take_first_waiter wq.wq_waiters with
+    | Some w ->
+      let hint = w.hints.(w.pc) in
+      w.pc <- w.pc + 1;
+      complete_blocking_call k w hint
+    | None -> wq.pending_signals <- wq.pending_signals + 1
 
 let do_broadcast k wq =
   let rec drain () =
@@ -437,27 +540,68 @@ let mb_recv k tcb mb =
 (* ------------------------------------------------------------------ *)
 (* Job lifecycle *)
 
-let schedule_deadline_check k tcb ~job ~deadline =
+let rec schedule_deadline_check k tcb ~job ~deadline =
   let check () =
     if (not k.stopped) && tcb.completed_job < job then begin
       tcb.misses <- tcb.misses + 1;
       Sim.Trace.emit k.tr ~at:(now k) (Deadline_miss { tid = tcb.tid; job; lateness = 0 });
+      (match k.enforcement with
+      | None -> ()
+      | Some e -> (
+        let st = enf_state k tcb in
+        if st.first_detection = None then st.first_detection <- Some (now k);
+        match e.miss with
+        | Miss_record -> ()
+        | Miss_shed_next -> st.skip_next <- true
+        | Miss_kill ->
+          (kernel_event k (fun () ->
+               charge k "timer" k.cost.timer_service;
+               if tcb.completed_job < job && tcb.job_no = job then
+                 if is_ready tcb then kill_job k tcb
+                 else
+                   (* a blocked late job cannot be unlinked from its
+                      wait list here; it dies when next dispatched *)
+                   st.kill_pending <- true))
+            ()));
       if k.stop_on_miss then k.stopped <- true
     end
   in
   (* Probe 1 ns after the deadline so a job completing exactly at its
-     deadline (same-instant events) counts as meeting it. *)
-  let check_at = deadline + 1 in
-  if check_at < now k then check ()
-  else ignore (Sim.Engine.schedule k.engine ~at:check_at check)
+     deadline (same-instant events) counts as meeting it.  A release
+     admitted past its own deadline (a stale pending release drained
+     after an overrun) probes now rather than synchronously: the miss
+     policy may kill the job and start the next one, which must not
+     re-enter the admit/begin chain that is still on the stack. *)
+  let check_at = Model.Time.max (now k) (deadline + 1) in
+  ignore (Sim.Engine.schedule k.engine ~at:check_at check)
 
-let begin_job k tcb ~job ~release =
+and begin_job k tcb ~job ~release =
   tcb.job_no <- job;
   tcb.release_time <- release;
   tcb.pc <- 0;
   tcb.remaining <- 0;
   tcb.abs_deadline <- release + tcb.task.deadline;
   if not tcb.inherited then tcb.eff_deadline <- tcb.abs_deadline;
+  (match k.enforcement with
+  | None -> ()
+  | Some _ ->
+    let st = enf_state k tcb in
+    st.used <- 0;
+    st.overrun_flagged <- false;
+    st.kill_pending <- false;
+    (match st.probe with
+    | Some h ->
+      ignore (Sim.Engine.cancel k.engine h);
+      st.probe <- None
+    | None -> ());
+    if st.demoted then begin
+      st.demoted <- false;
+      if not tcb.inherited then begin
+        tcb.eff_prio <- tcb.base_prio;
+        tcb.eff_deadline <- tcb.abs_deadline;
+        charge k "sched.demote" (k.sched.s_reprioritize tcb)
+      end
+    end);
   Sim.Trace.emit k.tr ~at:(now k)
     (Job_release { tid = tcb.tid; job; deadline = tcb.abs_deadline });
   schedule_deadline_check k tcb ~job ~deadline:tcb.abs_deadline
@@ -465,8 +609,9 @@ let begin_job k tcb ~job ~release =
 (* ------------------------------------------------------------------ *)
 (* The interpreter *)
 
-let rec run_instrs k tcb =
+and run_instrs k tcb =
   if k.stopped then ()
+  else if consume_kill_pending k tcb then ()
   else if tcb.pc >= Array.length tcb.program then job_complete k tcb
   else
     let step () =
@@ -475,6 +620,15 @@ let rec run_instrs k tcb =
     in
     match tcb.program.(tcb.pc) with
     | Compute w ->
+      (* WCET-overrun fault: perturb the demand, but only when the
+         instruction first starts (a resumed burst keeps its residue) *)
+      let w =
+        if tcb.remaining > 0 then w
+        else
+          match k.fault_demand with
+          | None -> w
+          | Some f -> f ~tid:tcb.tid ~job:tcb.job_no w
+      in
       if w <= 0 then step ()
       else begin
         if tcb.remaining <= 0 then tcb.remaining <- w;
@@ -605,7 +759,131 @@ and start_compute k tcb =
       ~at:(started + tcb.remaining)
       (kernel_event k (fun () -> on_compute_done k tcb))
   in
-  k.burst <- Some { owner = tcb; started; completion }
+  k.burst <- Some { owner = tcb; started; completion };
+  match k.enforcement with
+  | None -> ()
+  | Some e -> arm_budget_probe k e tcb ~started
+
+(* Arm the budget-exhaustion event for the burst just started — only
+   when this burst would actually cross the budget, so exact-budget
+   runs schedule nothing extra.  The probe is a raw engine event: it
+   enters kernel context (and charges time) only on a real overrun,
+   which keeps unfaulted traces bit-identical.  The virtual cost of
+   arming is folded into the dispatch path (DESIGN.md §9); the bench
+   suite measures its host-native cost. *)
+and arm_budget_probe k e tcb ~started =
+  match e.budget_of tcb.task with
+  | None -> ()
+  | Some budget ->
+    let st = enf_state k tcb in
+    if not st.overrun_flagged then begin
+      let slack = Model.Time.max 0 (budget - st.used) in
+      if slack < tcb.remaining then begin
+        (* fire 1 ns past the crossing instant so using exactly the
+           budget is not an overrun; tick kernels defer detection to
+           the next tick boundary *)
+        let fire_at =
+          Model.Time.max (now k) (quantize k (started + slack + 1))
+        in
+        st.probe_job <- tcb.job_no;
+        st.probe <-
+          Some
+            (Sim.Engine.schedule k.engine ~at:fire_at (fun () ->
+                 budget_probe k tcb))
+      end
+    end
+
+and budget_probe k tcb =
+  match k.enforcement with
+  | None -> ()
+  | Some e ->
+    let st = enf_state k tcb in
+    st.probe <- None;
+    if
+      (not k.stopped)
+      && st.probe_job = tcb.job_no
+      && tcb.completed_job < tcb.job_no
+      && not st.overrun_flagged
+    then
+      match e.budget_of tcb.task with
+      | None -> ()
+      | Some budget ->
+        let used_now =
+          match k.burst with
+          | Some b when b.owner == tcb ->
+            Model.Time.add st.used
+              (Util.Intmath.clamp ~lo:0 ~hi:b.owner.remaining
+                 (now k - b.started))
+          | Some _ | None -> st.used
+        in
+        if used_now > budget then
+          (kernel_event k (fun () -> handle_overrun k e tcb ~budget)) ()
+
+and handle_overrun k e tcb ~budget =
+  (* [kernel_event] has interrupted the burst, so [st.used] is final *)
+  let st = enf_state k tcb in
+  st.overrun_flagged <- true;
+  st.overruns <- st.overruns + 1;
+  if st.first_detection = None then st.first_detection <- Some (now k);
+  charge k "timer" k.cost.timer_service;
+  Sim.Trace.emit k.tr ~at:(now k)
+    (Budget_overrun { tid = tcb.tid; job = tcb.job_no; used = st.used; budget });
+  match e.policy with
+  | Notify_only -> ()
+  | Demote by -> apply_demotion k tcb ~by
+  | Kill_job -> kill_job k tcb
+  | Skip_next ->
+    st.skip_next <- true;
+    kill_job k tcb
+
+(* Demotion defers to priority inheritance: while the thread holds an
+   inherited priority, lowering it would re-introduce exactly the
+   inversion PI exists to prevent, so the demotion is skipped (and a
+   later PI restore resets the fields to base — the PI protocol owns
+   them).  Cleared at the next release. *)
+and apply_demotion k tcb ~by =
+  if not tcb.inherited then begin
+    let st = enf_state k tcb in
+    st.demoted <- true;
+    tcb.eff_prio <- tcb.base_prio + by;
+    tcb.eff_deadline <- tcb.abs_deadline + (by * tcb.task.period);
+    charge k "sched.demote" (k.sched.s_reprioritize tcb)
+  end
+
+(* Abort the current job: drop its held mutexes (releasing them runs
+   the normal handoff protocol, so no waiter is stranded), mark the job
+   number consumed so the pending deadline probe stays quiet, and go
+   dormant — or start the next queued release.  Stats count kills
+   separately from completions.  Caller guarantees the thread is Ready
+   or Running. *)
+and kill_job k tcb =
+  let st = enf_state k tcb in
+  st.kills <- st.kills + 1;
+  Sim.Trace.emit k.tr ~at:(now k) (Job_killed { tid = tcb.tid; job = tcb.job_no });
+  List.iter (fun s -> sem_release k tcb s) tcb.held_sems;
+  leave_approachers tcb;
+  tcb.remaining <- 0;
+  tcb.pc <- Array.length tcb.program;
+  tcb.completed_job <- tcb.job_no;
+  if Queue.is_empty tcb.pending_releases then
+    block_thread k tcb ~reason:"killed" ~dormant:true
+  else begin
+    let job, release = Queue.pop tcb.pending_releases in
+    begin_job k tcb ~job ~release;
+    if tcb.state = Running then run_instrs k tcb
+  end
+
+and consume_kill_pending k tcb =
+  match k.enforcement with
+  | None -> false
+  | Some _ ->
+    let st = enf_state k tcb in
+    if st.kill_pending then begin
+      st.kill_pending <- false;
+      kill_job k tcb;
+      true
+    end
+    else false
 
 and on_compute_done k tcb =
   (* [kernel_event]'s burst accounting already banked the work. *)
@@ -702,22 +980,72 @@ and start_thread k tcb =
 (* ------------------------------------------------------------------ *)
 (* Releases *)
 
+(* Admit one arrival — periodic release or sporadic trigger — through
+   the enforcement policy: a pending skip-next sheds it, and an arrival
+   that finds the previous job still active (overload) may be shed,
+   at most one in every [shed_one_in] arrivals of the task. *)
+let admit_release k tcb ~job ~sporadic =
+  let disposition =
+    match k.enforcement with
+    | None -> `Run
+    | Some e ->
+      let st = enf_state k tcb in
+      if st.skip_next then begin
+        st.skip_next <- false;
+        `Shed "skip-next"
+      end
+      else if tcb.state <> Dormant then (
+        (* the previous job is still active: overload *)
+        match e.shed_one_in with
+        | Some kk when st.since_shed >= kk -> `Shed "overload"
+        | Some _ | None ->
+          st.since_shed <- st.since_shed + 1;
+          `Run)
+      else begin
+        st.since_shed <- st.since_shed + 1;
+        `Run
+      end
+  in
+  match disposition with
+  | `Shed reason ->
+    let st = enf_state k tcb in
+    st.sheds <- st.sheds + 1;
+    st.since_shed <- 0;
+    (* shedding is the overload *detection* acting: stamp it *)
+    if st.first_detection = None then st.first_detection <- Some (now k);
+    Sim.Trace.emit k.tr ~at:(now k) (Job_shed { tid = tcb.tid; job; reason })
+  | `Run ->
+    if tcb.state = Dormant then begin
+      begin_job k tcb ~job ~release:(now k);
+      unblock_thread k tcb
+    end
+    else begin
+      Queue.push (job, now k) tcb.pending_releases;
+      Sim.Trace.emit k.tr ~at:(now k)
+        (Note
+           (if sporadic then
+              Printf.sprintf "tau%d sporadic arrival while busy" tcb.tid
+            else
+              Printf.sprintf "tau%d release %d while job %d active" tcb.tid
+                job tcb.job_no))
+    end
+
 let rec release_event k tcb ~job () =
-  (if tcb.state = Dormant then begin
-     begin_job k tcb ~job ~release:(now k);
-     unblock_thread k tcb
-   end
-   else begin
-     Queue.push (job, now k) tcb.pending_releases;
-     Sim.Trace.emit k.tr ~at:(now k)
-       (Note (Printf.sprintf "tau%d release %d while job %d active" tcb.tid job tcb.job_no))
-   end);
+  admit_release k tcb ~job ~sporadic:false;
   schedule_release k tcb ~job:(job + 1)
 
 (* Release j of a task fires at phase + (j-1) * period, overruns
-   notwithstanding (periodic tasks keep their nominal spacing). *)
+   notwithstanding (periodic tasks keep their nominal spacing).  The
+   release-jitter fault perturbs individual releases around the
+   nominal instant, clamped so a delayed chain never schedules into
+   the past. *)
 and schedule_release k tcb ~job =
   let at = quantize k (tcb.task.phase + ((job - 1) * tcb.task.period)) in
+  let at =
+    match k.fault_jitter with
+    | None -> at
+    | Some f -> Model.Time.max (now k) (at + f ~tid:tcb.tid ~job)
+  in
   ignore
     (Sim.Engine.schedule k.engine ~at (kernel_event k (release_event k tcb ~job)))
 
@@ -802,6 +1130,12 @@ let create ?(keep_trace = true) ?(stop_on_miss = false) ?(optimized_pi = true)
       stopped = false;
       tick;
       irq_handlers = Hashtbl.create 8;
+      enforcement = None;
+      enf = Hashtbl.create 8;
+      fault_demand = None;
+      fault_jitter = None;
+      fault_drop_signal = None;
+      drift_ppm = 0;
     }
   in
   sched.s_attach tcbs;
@@ -930,6 +1264,57 @@ let total_misses k =
   Array.fold_left (fun acc (tcb : tcb) -> acc + tcb.misses) 0 k.tcbs
 
 (* ------------------------------------------------------------------ *)
+(* Enforcement and fault configuration *)
+
+let set_enforcement k e =
+  (match e with
+  | Some { shed_one_in = Some kk; _ } when kk <= 0 ->
+    invalid_arg "Kernel.set_enforcement: shed_one_in must be positive"
+  | Some { policy = Demote by; _ } when by <= 0 ->
+    invalid_arg "Kernel.set_enforcement: Demote must lower the priority"
+  | Some _ | None -> ());
+  k.enforcement <- e
+
+let set_demand_fault k f = k.fault_demand <- f
+let set_release_jitter k f = k.fault_jitter <- f
+let set_signal_drop k f = k.fault_drop_signal <- f
+let set_drift_ppm k ppm = k.drift_ppm <- ppm
+
+type enf_stats = {
+  e_tid : int;
+  e_overruns : int;
+  e_kills : int;
+  e_sheds : int;
+  e_budget_used : Model.Time.t; (* current/last job *)
+  e_first_detection : Model.Time.t option;
+}
+
+let enforcement_stats k =
+  Array.to_list
+    (Array.map
+       (fun (tcb : tcb) ->
+         match Hashtbl.find_opt k.enf tcb.tid with
+         | None ->
+           {
+             e_tid = tcb.tid;
+             e_overruns = 0;
+             e_kills = 0;
+             e_sheds = 0;
+             e_budget_used = 0;
+             e_first_detection = None;
+           }
+         | Some st ->
+           {
+             e_tid = tcb.tid;
+             e_overruns = st.overruns;
+             e_kills = st.kills;
+             e_sheds = st.sheds;
+             e_budget_used = st.used;
+             e_first_detection = st.first_detection;
+           })
+       k.tcbs)
+
+(* ------------------------------------------------------------------ *)
 (* Environment hooks *)
 
 let register_irq k ~irq ?(signals = []) ?(writes = []) ~handler () =
@@ -961,14 +1346,6 @@ let trigger_job_at k ~at:time ~tid =
   let tcb = tcb k ~tid in
   let body () =
     let job = tcb.job_no + Queue.length tcb.pending_releases + 1 in
-    if tcb.state = Dormant then begin
-      begin_job k tcb ~job ~release:(now k);
-      unblock_thread k tcb
-    end
-    else begin
-      Queue.push (job, now k) tcb.pending_releases;
-      Sim.Trace.emit k.tr ~at:(now k)
-        (Note (Printf.sprintf "tau%d sporadic arrival while busy" tcb.tid))
-    end
+    admit_release k tcb ~job ~sporadic:true
   in
   ignore (Sim.Engine.schedule k.engine ~at:time (kernel_event k body))

@@ -172,3 +172,88 @@ val trigger_job_at : t -> at:Model.Time.t -> tid:int -> unit
     for tasks whose [phase] lies beyond the simulation horizon, so the
     periodic release chain stays quiet; [period] then acts as the
     sporadic minimum interarrival for analysis purposes. *)
+
+(** {1 Budget enforcement}
+
+    The robustness layer: what the kernel does when a job violates the
+    declared WCET or arrival model the static analyses assumed.  With
+    no enforcement installed (the default) every path below is inert
+    and the kernel's behaviour — including its trace, event counts and
+    virtual-time charges — is bit-identical to the unenforced kernel;
+    the fuzz differential in [test_fuzz] checks exactly this. *)
+
+type overrun_policy =
+  | Kill_job      (** abort the offending job, releasing its mutexes *)
+  | Skip_next     (** abort, and also shed the task's next release *)
+  | Demote of int
+      (** finish the job at a priority lowered by this many ranks (for
+          deadline-ordered queues the EDF key is postponed by that many
+          periods); skipped while the thread holds an inherited
+          priority, cleared at its next release *)
+  | Notify_only   (** record the overrun, let the job run on *)
+
+type miss_policy =
+  | Miss_record    (** pre-enforcement behaviour: a trace statistic *)
+  | Miss_kill
+      (** abort the late job; deferred until its next dispatch while it
+          is blocked (a blocked thread cannot be unlinked from its wait
+          list safely) *)
+  | Miss_shed_next (** shed the task's next release *)
+
+type enforcement = {
+  budget_of : Model.Task.t -> Model.Time.t option;
+      (** per-job execution budget; [None] leaves the task unenforced *)
+  policy : overrun_policy;
+  miss : miss_policy;
+  shed_one_in : int option;
+      (** skip-over overload shedding: a release that finds the
+          previous job still active may be dropped, at most one in
+          every [k] releases of that task *)
+}
+
+val set_enforcement : t -> enforcement option -> unit
+(** Install (or clear) the enforcement configuration.  Budgets are
+    watched by an exhaustion event armed when a compute burst that
+    could cross the budget starts; detection granularity is 1 ns for
+    event-precise kernels and one tick for tick kernels (an overrun
+    that begins and ends within one tick goes unnoticed — the price of
+    tick-driven enforcement).  Call before [run].
+    @raise Invalid_argument if [shed_one_in] is non-positive or a
+    [Demote] rank is non-positive. *)
+
+(** Per-task enforcement outcome. *)
+type enf_stats = {
+  e_tid : int;
+  e_overruns : int;
+  e_kills : int;
+  e_sheds : int;
+  e_budget_used : Model.Time.t; (** consumed by the current/last job *)
+  e_first_detection : Model.Time.t option;
+      (** instant of the first overrun or deadline-miss detection *)
+}
+
+val enforcement_stats : t -> enf_stats list
+
+(** {1 Fault hooks}
+
+    Installed by [lib/fault] to perturb the kernel's inputs; all
+    default to inert.  Each hook receives enough identity to implement
+    deterministic, seeded plans. *)
+
+val set_demand_fault :
+  t -> (tid:int -> job:int -> Model.Time.t -> Model.Time.t) option -> unit
+(** Rewrite a [Compute] demand as the instruction starts (WCET
+    overrun: scale or add); resumed bursts keep their residue. *)
+
+val set_release_jitter :
+  t -> (tid:int -> job:int -> Model.Time.t) option -> unit
+(** Offset a periodic release from its nominal instant (may be
+    negative; clamped so no release is scheduled in the past). *)
+
+val set_signal_drop : t -> (wq_id:int -> bool) option -> unit
+(** Return [true] to lose a wait-queue signal (covers kernel [Signal]
+    instructions and IRQ-handler signals alike). *)
+
+val set_drift_ppm : t -> int -> unit
+(** Stretch (positive) or shrink (negative) the tick clock by parts
+    per million; no effect on event-precise kernels. *)

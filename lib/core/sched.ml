@@ -171,6 +171,16 @@ let multiq_restore m ~holder =
         end
   end
 
+(* Demotion re-order: the DP queues are unsorted, so updated fields
+   suffice; the FP queue needs the standard O(n) re-sort (a demotion is
+   rare — it is not on the paper's optimized PI path). *)
+let multiq_reprioritize m tcb =
+  match queue_class_of m tcb with
+  | Dp _ -> m.cost.pi_step
+  | Fp ->
+    let scanned = Readyq.Rm_queue.reposition m.fp tcb in
+    Sim.Cost.pi_fp_standard m.cost ~scanned
+
 let make_multiq ~name ~sizes ~parse_queues ~cost ~optimized_pi =
   let ndp = List.length sizes in
   let m =
@@ -191,6 +201,7 @@ let make_multiq ~name ~sizes ~parse_queues ~cost ~optimized_pi =
     s_select = multiq_select m;
     s_inherit = (fun ~holder ~waiter -> multiq_inherit m ~holder ~waiter);
     s_restore = (fun ~holder -> multiq_restore m ~holder);
+    s_reprioritize = multiq_reprioritize m;
     s_queue_class = queue_class_of m;
     s_check =
       (fun () ->
@@ -234,6 +245,11 @@ let make_heap ~cost =
           let n = max 1 (Readyq.Heap_queue.length h) in
           Sim.Cost.heap_tb cost ~n + Sim.Cost.heap_tu cost ~n
         end);
+    s_reprioritize =
+      (fun tcb ->
+        Readyq.Heap_queue.rekey h tcb;
+        let n = max 1 (Readyq.Heap_queue.length h) in
+        Sim.Cost.heap_tb cost ~n + Sim.Cost.heap_tu cost ~n);
     s_queue_class = (fun _ -> Fp);
     s_check = (fun () -> Readyq.Heap_queue.check h);
   }

@@ -115,6 +115,9 @@ and sched = {
   s_select : unit -> tcb option * Model.Time.t;
   s_inherit : holder:tcb -> waiter:tcb -> Model.Time.t;
   s_restore : holder:tcb -> Model.Time.t;
+  s_reprioritize : tcb -> Model.Time.t;
+      (* the kernel changed [eff_prio]/[eff_deadline] outside the PI
+         protocol (overrun demotion): re-establish queue order *)
   s_queue_class : tcb -> queue_class;
   s_check : unit -> unit; (* assert internal invariants; for tests *)
 }

@@ -1,0 +1,54 @@
+(** Compile a fault plan onto a kernel and run it.
+
+    An injection run builds a kernel from a {!Workload.Scenario.t}
+    exactly the way the simulator does — programs attached, one IRQ
+    handler per declared source signalling/publishing what the source
+    declares, arrivals drawn seeded from each source's inter-arrival
+    window — then compiles the plan onto it: demand, jitter,
+    signal-loss and drift faults through the kernel's fault hooks
+    ([Kernel.set_demand_fault] etc.), storms / drops / sporadic bursts
+    at the environment level ([raise_irq_at], withheld arrivals,
+    [trigger_job_at]).  The empty plan installs no hook and withholds
+    nothing, so the run is bit-identical to an unfaulted simulation.
+
+    Every instant a fault actually perturbed the run is recorded as an
+    activation; detection latency is measured from the first one. *)
+
+type config = {
+  scenario : Workload.Scenario.t;
+  spec : Emeralds.Sched.spec;
+  cost : Sim.Cost.t;
+  horizon : Model.Time.t;
+  seed : int;  (** drives IRQ arrival draws and jitter faults *)
+  tick : Model.Time.t option;  (** as [Kernel.create]; drift needs it *)
+  enforcement : Emeralds.Kernel.enforcement option;
+  plan : Plan.t;
+  keep_trace : bool;
+}
+
+val default_config :
+  scenario:Workload.Scenario.t ->
+  ?spec:Emeralds.Sched.spec ->
+  ?cost:Sim.Cost.t ->
+  ?horizon:Model.Time.t ->
+  ?seed:int ->
+  ?enforcement:Emeralds.Kernel.enforcement ->
+  ?plan:Plan.t ->
+  unit ->
+  config
+(** RM scheduling, m68040 costs, 200 ms horizon, seed 7, event-precise
+    (no tick), no enforcement, empty plan, trace kept. *)
+
+val declared_budgets : Model.Task.t -> Model.Time.t option
+(** The natural budget function: every task's declared WCET. *)
+
+type outcome = {
+  kernel : Emeralds.Kernel.t;  (** after running to the horizon *)
+  activations : (Model.Time.t * string) list;
+      (** chronological instants at which a fault perturbed the run,
+          with a short description each *)
+}
+
+val run : config -> outcome
+
+val first_activation : outcome -> Model.Time.t option

@@ -1,0 +1,72 @@
+(** The resilience report: replay a scenario under a matrix of fault
+    plans and score what the enforcement layer saw.
+
+    Each plan becomes one cell: how many deadline misses, budget
+    overruns, kills and sheds the run produced, how long after the
+    first fault activation the kernel first *detected* anything
+    (budget-exhaustion or deadline-miss policy firing), whether the
+    trace stayed identical to the unfaulted baseline — and which
+    static predictions the faults falsified.  Falsification is judged
+    against the same analyses the rest of the toolchain trusts: the
+    response-time bounds of {!Analysis.Rta} (fed with
+    [Lint.Blocking_terms]) and the per-job demand bounds of
+    {!Absint.Report}.  A fault plan that makes an analytically
+    "schedulable" task miss, or a job consume more than its derived
+    demand bound, has falsified exactly the prediction a deployed
+    system would have been certified on. *)
+
+type prediction = {
+  p_source : string;  (** ["rta"] or ["absint"] *)
+  p_task : int;  (** task id the prediction was about *)
+  p_claim : string;  (** what the analysis predicted *)
+  p_observed : string;  (** what the injected run actually did *)
+}
+
+type cell = {
+  c_label : string;
+  c_plan : Plan.t;
+  c_misses : int;
+  c_overruns : int;
+  c_kills : int;
+  c_sheds : int;
+  c_jobs : int;  (** jobs completed across all tasks *)
+  c_first_activation : Model.Time.t option;
+  c_first_detection : Model.Time.t option;
+      (** first budget-overrun or miss-policy detection, from
+          [Kernel.enforcement_stats] *)
+  c_detection_latency : Model.Time.t option;
+      (** detection minus activation, when both exist *)
+  c_matches_baseline : bool;
+      (** trace entries, busy time and context switches all equal the
+          unfaulted, enforcement-free baseline *)
+  c_falsified : prediction list;
+}
+
+type t = {
+  r_scenario : string;
+  r_sched : string;
+  r_seed : int;
+  r_horizon : Model.Time.t;
+  r_cells : cell list;
+      (** first cell is always the empty plan (label ["no-fault"]) run
+          with enforcement installed — the differential guard *)
+}
+
+val run : ?plans:(string * Plan.t) list -> Inject.config -> t
+(** Replay [cfg.scenario] under the plan matrix.  [plans] defaults to
+    the single entry [cfg.plan] (skipped when empty); the baseline and
+    the empty-plan cell are always included.  Runs force [keep_trace]
+    regardless of [cfg.keep_trace] (the baseline comparison needs
+    entries). *)
+
+val violations : t -> bool
+(** Any cell with misses, overruns, kills or sheds — the CLI's exit-1
+    condition. *)
+
+val render : t -> string
+
+val to_json : t -> string
+
+val to_sarif : t -> Lint.Sarif.result list
+(** One result per detected-fault cell (warning), per falsified
+    prediction (error), and per clean cell (note). *)

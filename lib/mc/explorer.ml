@@ -14,8 +14,22 @@ type result = {
   max_response : int array;
 }
 
-let check ?(por = true) ~props ~bounds m =
+let check ?(por = true) ?seed ~props ~bounds m =
   let por = por && not (List.exists (fun p -> p.Props.timing_sensitive) props) in
+  (* With a seed, each branch's children are pushed in a shuffled order:
+     the visited set makes the explored state space identical, but
+     counterexample search order — and which of several violating
+     traces is found first — varies reproducibly with the seed. *)
+  let shuffle =
+    match seed with
+    | None -> fun cs -> cs
+    | Some s ->
+      let rng = Util.Rng.create ~seed:s in
+      fun cs ->
+        let a = Array.of_list cs in
+        Util.Rng.shuffle rng a;
+        Array.to_list a
+  in
   let check_state = Props.check_state props m in
   let check_note = Props.check_note props m in
   let visited = Hashtbl.create 4096 in
@@ -74,6 +88,7 @@ let check ?(por = true) ~props ~bounds m =
                 let cs, sk =
                   if por then Por.reduce m e.state cs else (cs, 0)
                 in
+                let cs = shuffle cs in
                 skipped := !skipped + sk;
                 List.iter
                   (fun ch ->

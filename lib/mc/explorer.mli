@@ -35,8 +35,21 @@ type result = {
 }
 
 val check :
-  ?por:bool -> props:Props.t list -> bounds:bounds -> Machine.t -> result
+  ?por:bool ->
+  ?seed:int ->
+  props:Props.t list ->
+  bounds:bounds ->
+  Machine.t ->
+  result
 (** Explore.  [por] (default true) enables the tie reduction; it is
     forced off whenever a selected property is
     {!Props.timing_sensitive}, since the reduction deliberately drops
-    schedules that differ only in timing. *)
+    schedules that differ only in timing.
+
+    [seed] shuffles the order in which each branch's children are
+    explored (default: the machine's deterministic enumeration order).
+    The visited-set pruning makes the explored state space — and the
+    verdict — independent of the order; what varies reproducibly is
+    the search path, hence which of several violating traces is
+    reported and how many expansions a violating run needs before
+    finding it. *)

@@ -56,3 +56,9 @@ let run_until t horizon =
   t.clock <- Model.Time.max t.clock horizon
 
 let run t = while step t do () done
+
+let run_bounded t ~max_events =
+  if max_events < 0 then invalid_arg "Engine.run_bounded: negative budget";
+  let fired = ref 0 in
+  while !fired < max_events && step t do incr fired done;
+  Util.Pqueue.is_empty t.queue

@@ -48,3 +48,11 @@ val run_until : t -> Model.Time.t -> unit
 val run : t -> unit
 (** Fire events until none remain.  Diverges on a self-perpetuating
     event pattern, so prefer [run_until] for kernel simulations. *)
+
+val run_bounded : t -> max_events:int -> bool
+(** Fire events until none remain or [max_events] have fired,
+    whichever comes first.  [true] when the queue drained — the safe
+    harness around [run] for tests and examples, where a
+    self-perpetuating event pattern (e.g. a fault plan that keeps
+    rescheduling itself) must fail the bound instead of hanging.
+    @raise Invalid_argument if [max_events < 0]. *)

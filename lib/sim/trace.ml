@@ -22,6 +22,14 @@ type entry =
   | State_read of { tid : int; state : int; seq : int }
   | Interrupt of { irq : int }
   | Overhead of { category : string; cost : Model.Time.t }
+  | Budget_overrun of {
+      tid : int;
+      job : int;
+      used : Model.Time.t;
+      budget : Model.Time.t;
+    }
+  | Job_killed of { tid : int; job : int }
+  | Job_shed of { tid : int; job : int; reason : string }
   | Note of string
 
 type stamped = { at : Model.Time.t; entry : entry }
@@ -35,6 +43,9 @@ type t = {
   mutable overhead : Model.Time.t;
   by_category : (string, Model.Time.t ref) Hashtbl.t;
   mutable first_miss : stamped option;
+  mutable overruns : int;
+  mutable kills : int;
+  mutable sheds : int;
   mutable busy : Model.Time.t;
   (* [last_outgoing_ready] is set by the kernel marking whether the
      thread being switched out was still ready (a preemption). *)
@@ -51,6 +62,9 @@ let create ?(keep_entries = true) () =
     overhead = 0;
     by_category = Hashtbl.create 16;
     first_miss = None;
+    overruns = 0;
+    kills = 0;
+    sheds = 0;
     busy = 0;
     last_outgoing_ready = false;
   }
@@ -75,6 +89,9 @@ let emit t ~at entry =
         c
     in
     cell := Model.Time.add !cell cost
+  | Budget_overrun _ -> t.overruns <- t.overruns + 1
+  | Job_killed _ -> t.kills <- t.kills + 1
+  | Job_shed _ -> t.sheds <- t.sheds + 1
   | Job_release _ | Job_complete _ | Thread_block _ | Thread_unblock _
   | Sem_acquired _ | Sem_blocked _ | Sem_released _ | Priority_inherit _
   | Priority_restore _ | Msg_sent _ | Msg_received _ | State_written _
@@ -93,6 +110,9 @@ let overhead_by_category t =
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let first_miss t = t.first_miss
+let budget_overruns t = t.overruns
+let jobs_killed t = t.kills
+let jobs_shed t = t.sheds
 let busy_time t = t.busy
 let add_busy t d = t.busy <- Model.Time.add t.busy d
 
@@ -140,10 +160,17 @@ let pp_entry ppf = function
   | Interrupt { irq } -> Format.fprintf ppf "interrupt irq%d" irq
   | Overhead { category; cost } ->
     Format.fprintf ppf "overhead  %s %a" category Model.Time.pp cost
+  | Budget_overrun { tid; job; used; budget } ->
+    Format.fprintf ppf "OVERRUN   tau%d#%d (used %a of %a)" tid job
+      Model.Time.pp used Model.Time.pp budget
+  | Job_killed { tid; job } -> Format.fprintf ppf "KILL      tau%d#%d" tid job
+  | Job_shed { tid; job; reason } ->
+    Format.fprintf ppf "SHED      tau%d#%d (%s)" tid job reason
   | Note s -> Format.fprintf ppf "note      %s" s
 
 let timeline_relevant = function
-  | Job_release _ | Job_complete _ | Deadline_miss _ | Context_switch _ ->
+  | Job_release _ | Job_complete _ | Deadline_miss _ | Context_switch _
+  | Budget_overrun _ | Job_killed _ | Job_shed _ ->
     true
   | Thread_block _ | Thread_unblock _ | Sem_acquired _ | Sem_blocked _
   | Sem_released _ | Priority_inherit _ | Priority_restore _ | Msg_sent _
@@ -192,6 +219,11 @@ let csv_fields = function
   | Interrupt { irq } -> ("irq", -1, Printf.sprintf "irq=%d" irq)
   | Overhead { category; cost } ->
     ("overhead", -1, Printf.sprintf "%s=%d" category cost)
+  | Budget_overrun { tid; job; used; budget } ->
+    ("overrun", tid, Printf.sprintf "job=%d used=%d budget=%d" job used budget)
+  | Job_killed { tid; job } -> ("kill", tid, Printf.sprintf "job=%d" job)
+  | Job_shed { tid; job; reason } ->
+    ("shed", tid, Printf.sprintf "job=%d reason=%s" job reason)
   | Note s -> ("note", -1, s)
 
 let to_csv t =

@@ -29,6 +29,16 @@ type entry =
   | State_read of { tid : int; state : int; seq : int }
   | Interrupt of { irq : int }
   | Overhead of { category : string; cost : Model.Time.t }
+  | Budget_overrun of {
+      tid : int;
+      job : int;
+      used : Model.Time.t;
+      budget : Model.Time.t;
+    }  (** Enforcement: a job exceeded its execution budget. *)
+  | Job_killed of { tid : int; job : int }
+      (** Enforcement: a job was aborted by an overrun or miss policy. *)
+  | Job_shed of { tid : int; job : int; reason : string }
+      (** Enforcement: a release was dropped (skip-over shedding). *)
   | Note of string
 
 type stamped = { at : Model.Time.t; entry : entry }
@@ -55,6 +65,15 @@ val overhead_by_category : t -> (string * Model.Time.t) list
 (** Sorted by category name. *)
 
 val first_miss : t -> stamped option
+
+val budget_overruns : t -> int
+(** Number of [Budget_overrun] entries emitted. *)
+
+val jobs_killed : t -> int
+(** Number of [Job_killed] entries emitted. *)
+
+val jobs_shed : t -> int
+(** Number of [Job_shed] entries emitted. *)
 
 val busy_time : t -> Model.Time.t
 (** Total time threads spent computing (excludes overhead and idle);

@@ -222,3 +222,58 @@ let seeded_deadlock () =
       ]
   in
   with_sources ~name:"seeded-deadlock" ~taskset ~programs []
+
+(* A comfortably RM-schedulable pure-compute set (U = 0.56; the RTA
+   bounds sit well inside every deadline), the canvas for the
+   WCET-overrun fault plan: unfaulted it runs clean, while the
+   [overrun-demo] inject preset scales tau2's demand 4x — enough that
+   the budget watcher must fire and the analytical response-time bounds
+   for tau2/tau3 are falsified by observed misses. *)
+let overrun_demo () =
+  let taskset =
+    Model.Taskset.of_list
+      [
+        Model.Task.make ~id:1 ~name:"ctrl" ~period:(ms 10) ~wcet:(ms 2) ();
+        Model.Task.make ~id:2 ~name:"filter" ~period:(ms 20) ~wcet:(ms 4) ();
+        Model.Task.make ~id:3 ~name:"logger" ~period:(ms 50) ~wcet:(ms 8) ();
+      ]
+  in
+  let programs (task : Model.Task.t) = [ Program.compute task.wcet ] in
+  with_sources ~name:"overrun-demo" ~taskset ~programs []
+
+(* An IRQ-driven sampler plus a sporadic server, the canvas for the
+   arrival-model faults (IRQ storm, lost wait-queue signal, sporadic
+   burst beyond the declared minimum interarrival).  The sampler waits
+   on the sample event each job; the IRQ source delivers it every
+   4-5 ms, faster than the 10 ms period, so pending signals keep the
+   unfaulted run clean.  tau3's phase lies beyond any simulation
+   horizon: its jobs arrive only via [Kernel.trigger_job_at] — the
+   sporadic arrivals §5 motivates — with [period] as the declared
+   minimum interarrival the burst fault then violates. *)
+let storm_demo () =
+  let sample_ready = Objects.waitq () in
+  let taskset =
+    Model.Taskset.of_list
+      [
+        Model.Task.make ~id:1 ~name:"sampler" ~period:(ms 10) ~wcet:(ms 1) ();
+        Model.Task.make ~id:2 ~name:"worker" ~period:(ms 15) ~wcet:(ms 3) ();
+        Model.Task.make ~id:3 ~name:"sporadic" ~period:(ms 20) ~wcet:(ms 5)
+          ~phase:(ms 100_000) ();
+      ]
+  in
+  let programs (task : Model.Task.t) =
+    let open Program in
+    match task.id with
+    | 1 -> [ wait sample_ready; compute (ms 1) ]
+    | _ -> [ compute task.wcet ]
+  in
+  with_sources ~name:"storm-demo" ~taskset ~programs
+    [
+      {
+        irq = 9;
+        min_interarrival = ms 4;
+        max_interarrival = ms 5;
+        signals = [ sample_ready ];
+        writes = [];
+      };
+    ]

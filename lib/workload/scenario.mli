@@ -72,3 +72,19 @@ val seeded_deadlock : unit -> t
     the guard against a checker that silently passes everything.
     Excluded from {!names} / {!all} so the shipped presets stay
     lint-clean. *)
+
+val overrun_demo : unit -> t
+(** A pure-compute, comfortably RM-schedulable three-task set (U =
+    0.56) that runs clean unfaulted — the canvas for the WCET-overrun
+    fault plan.  The CLI's ["overrun-demo"] inject preset scales tau2's
+    demand 4x, which budget enforcement must detect and which falsifies
+    the static response-time bounds.  Excluded from {!names} /
+    {!all}. *)
+
+val storm_demo : unit -> t
+(** An IRQ-driven sampler (waits a sample event delivered every 4-5 ms
+    by irq 9), a periodic worker, and a sporadic task whose phase lies
+    beyond the horizon (released only by [Kernel.trigger_job_at]) —
+    the canvas for the arrival-model faults: IRQ storm, lost
+    wait-queue signal, and sporadic bursts beyond the declared 20 ms
+    minimum interarrival.  Excluded from {!names} / {!all}. *)

@@ -18,6 +18,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("lint", Test_lint.suite);
       ("absint", Test_absint.suite);
+      ("fault", Test_fault.suite);
       ("fuzz", Test_fuzz.suite);
       ("mc", Test_mc.suite);
     ]

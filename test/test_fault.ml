@@ -1,0 +1,280 @@
+(* Fault-injection harness: plan DSL round-trip, the empty-plan
+   differential (enforcement installed but never exercised must be
+   bit-identical to the pre-enforcement kernel), overrun policies,
+   skip-over overload shedding, and the resilience report. *)
+
+open Alcotest
+
+let ms = Model.Time.ms
+let us = Model.Time.us
+
+(* ------------------------------------------------------------------ *)
+(* Plan DSL *)
+
+let full_plan : Fault.Plan.t =
+  [
+    Wcet_scale { tid = 2; pct = 400; from_job = 1 };
+    Wcet_add { tid = 1; extra = ms 3; from_job = 2 };
+    Release_jitter { tid = 1; amplitude = us 500 };
+    Irq_storm { irq = 9; at = ms 20; count = 40; spacing = us 100 };
+    Irq_drop { irq = 9; one_in = 3 };
+    Lost_signal { wq = 0; one_in = 4 };
+    Sporadic_burst { tid = 3; at = ms 50; count = 3; spacing = ms 1 };
+    Clock_drift { ppm = 500 };
+  ]
+
+let test_plan_roundtrip () =
+  match Fault.Plan.parse (Fault.Plan.render full_plan) with
+  | Ok p -> check bool "parse (render p) = p" true (p = full_plan)
+  | Error e -> fail ("round-trip failed: " ^ e)
+
+let test_plan_parse () =
+  check bool "empty string is the empty plan" true
+    (Fault.Plan.parse "" = Ok Fault.Plan.empty);
+  check bool "from defaults to job 1" true
+    (Fault.Plan.parse "wcet-scale:tid=2,pct=400"
+    = Ok [ Wcet_scale { tid = 2; pct = 400; from_job = 1 } ]);
+  check bool "bare integers are nanoseconds" true
+    (Fault.Plan.parse "jitter:tid=1,amp=750"
+    = Ok [ Release_jitter { tid = 1; amplitude = 750 } ]);
+  let rejected s =
+    match Fault.Plan.parse s with Ok _ -> false | Error _ -> true
+  in
+  check bool "unknown kind rejected" true (rejected "bogus:tid=1");
+  check bool "one-in below 2 rejected" true (rejected "irq-drop:irq=9,one-in=1");
+  check bool "bad duration rejected" true (rejected "wcet-add:tid=1,extra=3kg");
+  check bool "missing key rejected" true (rejected "wcet-scale:tid=2");
+  check bool "negative pct rejected" true (rejected "wcet-scale:tid=2,pct=-50")
+
+(* ------------------------------------------------------------------ *)
+(* Empty-plan differential *)
+
+(* The acceptance differential: with the empty plan, a kernel with
+   budgets installed (declared WCETs, notify-only) must produce exactly
+   the trace of the plain pre-enforcement kernel — same entries, busy
+   time and context switches. *)
+let enforcement_on : Emeralds.Kernel.enforcement =
+  {
+    Emeralds.Kernel.budget_of = Fault.Inject.declared_budgets;
+    policy = Emeralds.Kernel.Notify_only;
+    miss = Emeralds.Kernel.Miss_record;
+    shed_one_in = None;
+  }
+
+let test_empty_plan_differential () =
+  let sc = Workload.Scenario.overrun_demo () in
+  let cfg =
+    Fault.Inject.default_config ~scenario:sc ~enforcement:enforcement_on ()
+  in
+  let out = Fault.Inject.run cfg in
+  check (list (pair int string)) "no activations" [] out.activations;
+  (* the same simulation, hand-built without any enforcement *)
+  let plain =
+    Emeralds.Kernel.create ~cost:cfg.cost ~spec:cfg.spec
+      ~taskset:sc.Workload.Scenario.taskset ~programs:sc.Workload.Scenario.programs
+      ()
+  in
+  Emeralds.Kernel.run plain ~until:cfg.horizon;
+  let sig_of k =
+    let tr = Emeralds.Kernel.trace k in
+    ( Sim.Trace.entries tr,
+      Sim.Trace.busy_time tr,
+      Sim.Trace.context_switches tr )
+  in
+  check bool "trace bit-identical to pre-enforcement kernel" true
+    (sig_of out.kernel = sig_of plain)
+
+(* ------------------------------------------------------------------ *)
+(* Overrun policies *)
+
+let overrun_plan : Fault.Plan.t =
+  [ Wcet_scale { tid = 2; pct = 400; from_job = 1 } ]
+
+let run_demo ~policy ?(miss = Emeralds.Kernel.Miss_record) ?shed_one_in () =
+  let sc = Workload.Scenario.overrun_demo () in
+  let cfg =
+    Fault.Inject.default_config ~scenario:sc ~plan:overrun_plan
+      ~enforcement:
+        {
+          Emeralds.Kernel.budget_of = Fault.Inject.declared_budgets;
+          policy;
+          miss;
+          shed_one_in;
+        }
+      ()
+  in
+  Fault.Inject.run cfg
+
+let enf_stat out tid =
+  List.find
+    (fun (s : Emeralds.Kernel.enf_stats) -> s.e_tid = tid)
+    (Emeralds.Kernel.enforcement_stats out.Fault.Inject.kernel)
+
+let test_policy_notify () =
+  let out = run_demo ~policy:Emeralds.Kernel.Notify_only () in
+  let s = enf_stat out 2 in
+  check bool "overruns detected" true (s.e_overruns > 0);
+  check int "notify kills nothing" 0 s.e_kills;
+  check bool "detection instant recorded" true (s.e_first_detection <> None)
+
+let test_policy_kill () =
+  let out = run_demo ~policy:Emeralds.Kernel.Kill_job () in
+  let s = enf_stat out 2 in
+  check bool "offending jobs killed" true (s.e_kills > 0);
+  (* killing the hog protects the lower-priority task *)
+  let misses_of out tid =
+    (List.find
+       (fun (s : Emeralds.Kernel.task_stats) -> s.tid = tid)
+       (Emeralds.Kernel.stats out.Fault.Inject.kernel))
+      .misses
+  in
+  let notify = run_demo ~policy:Emeralds.Kernel.Notify_only () in
+  check bool "tau3 protected vs notify-only" true
+    (misses_of out 3 <= misses_of notify 3)
+
+let test_policy_skip_next () =
+  let out = run_demo ~policy:Emeralds.Kernel.Skip_next () in
+  let s = enf_stat out 2 in
+  check bool "kills recorded" true (s.e_kills > 0);
+  check bool "next releases shed" true (s.e_sheds > 0)
+
+let test_miss_kill () =
+  let out =
+    run_demo ~policy:Emeralds.Kernel.Notify_only ~miss:Emeralds.Kernel.Miss_kill
+      ()
+  in
+  let s = enf_stat out 2 in
+  check bool "late jobs killed by the miss policy" true (s.e_kills > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Skip-over shedding bound *)
+
+(* A permanently overloaded task (program demands 1.5 periods every
+   job) with one-in-3 shedding: the skip-over guarantee is at most one
+   shed in any 3 consecutive arrivals. *)
+let test_shed_ratio () =
+  let t = Model.Task.make ~id:1 ~period:(ms 10) ~wcet:(ms 10) () in
+  let k =
+    Emeralds.Kernel.create ~cost:Sim.Cost.zero ~spec:Emeralds.Sched.Rm
+      ~taskset:(Model.Taskset.of_list [ t ])
+      ~programs:(fun _ -> [ Emeralds.Program.compute (ms 15) ])
+      ()
+  in
+  Emeralds.Kernel.set_enforcement k
+    (Some
+       {
+         Emeralds.Kernel.budget_of = (fun _ -> None);
+         policy = Emeralds.Kernel.Notify_only;
+         miss = Emeralds.Kernel.Miss_record;
+         shed_one_in = Some 3;
+       });
+  Emeralds.Kernel.run k ~until:(ms 100);
+  let s =
+    List.find
+      (fun (s : Emeralds.Kernel.enf_stats) -> s.e_tid = 1)
+      (Emeralds.Kernel.enforcement_stats k)
+  in
+  (* 10 arrivals in 100 ms: at most ceil(10/3) sheds, and overload is
+     permanent so the shedder does fire *)
+  check bool "shedder fires under permanent overload" true (s.e_sheds > 0);
+  check bool "at most one in three arrivals shed" true (s.e_sheds <= 4);
+  (* the trace records every shed *)
+  let shed_entries =
+    List.length
+      (List.filter
+         (fun (st : Sim.Trace.stamped) ->
+           match st.entry with Sim.Trace.Job_shed _ -> true | _ -> false)
+         (Sim.Trace.entries (Emeralds.Kernel.trace k)))
+  in
+  check int "trace sheds match stats" s.e_sheds shed_entries
+
+let test_shedding_degrades_gracefully () =
+  let sc () = Workload.Scenario.storm_demo () in
+  let burst : Fault.Plan.t =
+    [ Sporadic_burst { tid = 3; at = ms 50; count = 5; spacing = us 500 } ]
+  in
+  let run ?shed_one_in () =
+    let cfg =
+      Fault.Inject.default_config ~scenario:(sc ()) ~plan:burst
+        ~enforcement:
+          {
+            Emeralds.Kernel.budget_of = Fault.Inject.declared_budgets;
+            policy = Emeralds.Kernel.Notify_only;
+            miss = Emeralds.Kernel.Miss_record;
+            shed_one_in;
+          }
+        ()
+    in
+    Fault.Inject.run cfg
+  in
+  let misses out = Emeralds.Kernel.total_misses out.Fault.Inject.kernel in
+  let unshed = run () in
+  let shed = run ~shed_one_in:2 () in
+  let sheds =
+    List.fold_left
+      (fun acc (s : Emeralds.Kernel.enf_stats) -> acc + s.e_sheds)
+      0
+      (Emeralds.Kernel.enforcement_stats shed.Fault.Inject.kernel)
+  in
+  check bool "burst beyond minimum interarrival misses deadlines" true
+    (misses unshed > 0);
+  check bool "shedding engaged" true (sheds > 0);
+  check bool "shedding reduces misses" true (misses shed < misses unshed)
+
+(* ------------------------------------------------------------------ *)
+(* Resilience report *)
+
+let test_report_clean () =
+  let sc = Workload.Scenario.overrun_demo () in
+  let cfg =
+    Fault.Inject.default_config ~scenario:sc ~enforcement:enforcement_on ()
+  in
+  let r = Fault.Report.run cfg in
+  check bool "no violations on the clean demo" false (Fault.Report.violations r);
+  match r.r_cells with
+  | cell :: _ ->
+    check string "first cell is the differential guard" "no-fault" cell.c_label;
+    check int "no misses" 0 cell.c_misses;
+    check bool "trace matches the enforcement-free baseline" true
+      cell.c_matches_baseline
+  | [] -> fail "report has no cells"
+
+let test_report_detects_and_falsifies () =
+  let sc = Workload.Scenario.overrun_demo () in
+  let cfg =
+    Fault.Inject.default_config ~scenario:sc ~plan:overrun_plan
+      ~enforcement:enforcement_on ()
+  in
+  let r = Fault.Report.run cfg in
+  check bool "violations reported" true (Fault.Report.violations r);
+  let cell =
+    List.find (fun (c : Fault.Report.cell) -> c.c_label <> "no-fault") r.r_cells
+  in
+  check bool "faulted cell diverges from baseline" false cell.c_matches_baseline;
+  check bool "overruns counted" true (cell.c_overruns > 0);
+  (match cell.c_detection_latency with
+  | Some l -> check bool "detection latency non-negative" true (l >= 0)
+  | None -> fail "detection latency missing");
+  check bool "a static prediction was falsified" true (cell.c_falsified <> []);
+  check bool "rta or absint named as source" true
+    (List.for_all
+       (fun (p : Fault.Report.prediction) ->
+         p.p_source = "rta" || p.p_source = "absint")
+       cell.c_falsified)
+
+let suite =
+  [
+    test_case "plan: render/parse round-trip" `Quick test_plan_roundtrip;
+    test_case "plan: parse cases" `Quick test_plan_parse;
+    test_case "empty plan differential" `Quick test_empty_plan_differential;
+    test_case "policy: notify-only" `Quick test_policy_notify;
+    test_case "policy: kill-job" `Quick test_policy_kill;
+    test_case "policy: skip-next" `Quick test_policy_skip_next;
+    test_case "policy: miss-kill" `Quick test_miss_kill;
+    test_case "shed: skip-over bound" `Quick test_shed_ratio;
+    test_case "shed: graceful degradation" `Quick
+      test_shedding_degrades_gracefully;
+    test_case "report: clean demo" `Quick test_report_clean;
+    test_case "report: detection and falsification" `Quick
+      test_report_detects_and_falsifies;
+  ]

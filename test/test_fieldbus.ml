@@ -21,7 +21,7 @@ let test_transmission_time () =
   Fieldbus.Bus.subscribe bus ~node:1 (fun _ ->
       delivered := Some (Sim.Engine.now engine));
   Fieldbus.Bus.send bus (frame ~id:1 ~src:0 [| 5 |]);
-  Sim.Engine.run engine;
+  check bool "queue drained" true (Sim.Engine.run_bounded engine ~max_events:100_000);
   check (option int) "79us frame" (Some (us 79)) !delivered;
   check int "busy time" (us 79) (Fieldbus.Bus.bus_busy_time bus)
 
@@ -37,7 +37,7 @@ let test_priority_arbitration () =
     (Sim.Engine.schedule engine ~at:(us 10) (fun () ->
          Fieldbus.Bus.send bus (frame ~id:3 ~src:1 [| 2 |]);
          Fieldbus.Bus.send bus (frame ~id:1 ~src:2 [| 3 |])));
-  Sim.Engine.run engine;
+  check bool "queue drained" true (Sim.Engine.run_bounded engine ~max_events:100_000);
   check (list int) "arbitration order" [ 5; 1; 3 ] (List.rev !order);
   check int "three frames" 3 (Fieldbus.Bus.frames_sent bus)
 
@@ -47,7 +47,7 @@ let test_no_self_delivery () =
   Fieldbus.Bus.subscribe bus ~node:0 (fun _ -> incr got);
   Fieldbus.Bus.subscribe bus ~node:1 (fun _ -> incr got);
   Fieldbus.Bus.send bus (frame ~id:1 ~src:0 [| 1 |]);
-  Sim.Engine.run engine;
+  check bool "queue drained" true (Sim.Engine.run_bounded engine ~max_events:100_000);
   check int "only the other node hears it" 1 !got
 
 let test_arbitration_delay_tracking () =
@@ -55,7 +55,7 @@ let test_arbitration_delay_tracking () =
   Fieldbus.Bus.subscribe bus ~node:1 (fun _ -> ());
   Fieldbus.Bus.send bus (frame ~id:2 ~src:0 [| 1 |]);
   Fieldbus.Bus.send bus (frame ~id:4 ~src:0 [| 2 |]);
-  Sim.Engine.run engine;
+  check bool "queue drained" true (Sim.Engine.run_bounded engine ~max_events:100_000);
   (* second frame waited for the first one's 79us *)
   check int "max arbitration delay" (us 79)
     (Fieldbus.Bus.max_arbitration_delay bus);
@@ -88,7 +88,7 @@ let test_saturation () =
   for i = 1 to 1000 do
     Fieldbus.Bus.send bus (frame ~id:(i mod 32) ~src:0 [| i |])
   done;
-  Sim.Engine.run engine;
+  check bool "queue drained" true (Sim.Engine.run_bounded engine ~max_events:100_000);
   check int "all delivered" 1000 (Fieldbus.Bus.frames_sent bus);
   check int "none pending" 0 (Fieldbus.Bus.pending bus);
   check bool "bus time accounted" true

@@ -141,7 +141,13 @@ let well_formed_trace entries horizon =
 
 (* --- the property ---------------------------------------------------- *)
 
-let run_case (n, kind, spec_idx, costly, tick, seed) =
+(* Build and run one random case.  Everything — task set, programs,
+   environment events — derives deterministically from the case tuple,
+   so calling this twice (fresh kernel objects each time) replays the
+   same simulation; [make_enforcement], fed the generated programs,
+   lets the differential and enforcement properties install budgets on
+   an otherwise identical kernel. *)
+let run_one ?make_enforcement (n, kind, spec_idx, costly, tick, seed) =
   let rng = Util.Rng.create ~seed in
   let objs = fresh_objects kind in
   let taskset =
@@ -162,6 +168,9 @@ let run_case (n, kind, spec_idx, costly, tick, seed) =
       ~programs:(fun task -> programs.(task.id - 1))
       ~optimized_pi:(kind = Types.Emeralds) ()
   in
+  (match make_enforcement with
+  | None -> ()
+  | Some f -> Kernel.set_enforcement k (Some (f programs)));
   let horizon = ms 150 in
   (* random environment: an interrupt source that signals the shared
      wait queue and publishes the state message, raised at random
@@ -194,6 +203,10 @@ let run_case (n, kind, spec_idx, costly, tick, seed) =
   probes (ms 1);
   Kernel.run k ~until:horizon;
   Kernel.check_invariants k;
+  (k, horizon)
+
+let run_case case =
+  let k, horizon = run_one case in
   let tr = Kernel.trace k in
   Sim.Trace.busy_time tr <= horizon
   && well_formed_trace (Sim.Trace.entries tr) horizon
@@ -400,10 +413,143 @@ let prop_absint_sound =
     "absint WCET and footprint bounds cover random executions" gen_case
     run_absint_sound
 
+(* --- enforcement cross-checks ---------------------------------------- *)
+
+(* Kernel objects get globally fresh ids, so two replays of the same
+   case produce traces identical up to a renaming of sem/mailbox/state
+   ids; canonicalize by first occurrence before comparing.  Notes
+   interpolate the same ids into free text ("tau4 held back awaiting
+   sem844"), so mask any digit run following an object prefix. *)
+let mask_note s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let is_digit c = c >= '0' && c <= '9' in
+  let prefixes = [ "sem"; "waitq"; "mbox"; "state" ] in
+  let i = ref 0 in
+  while !i < n do
+    let matched =
+      List.find_opt
+        (fun p ->
+          let lp = String.length p in
+          !i + lp < n && String.sub s !i lp = p && is_digit s.[!i + lp])
+        prefixes
+    in
+    (match matched with
+    | Some p ->
+      Buffer.add_string b p;
+      Buffer.add_char b '#';
+      i := !i + String.length p;
+      while !i < n && is_digit s.[!i] do
+        incr i
+      done
+    | None ->
+      Buffer.add_char b s.[!i];
+      incr i)
+  done;
+  Buffer.contents b
+
+let normalize_ids entries =
+  let tbl : (string * int, int) Hashtbl.t = Hashtbl.create 8 in
+  let canon kind id =
+    match Hashtbl.find_opt tbl (kind, id) with
+    | Some c -> c
+    | None ->
+      let c = Hashtbl.length tbl in
+      Hashtbl.add tbl (kind, id) c;
+      c
+  in
+  List.map
+    (fun (s : Sim.Trace.stamped) ->
+      let entry =
+        match s.entry with
+        | Sim.Trace.Sem_acquired { tid; sem } ->
+          Sim.Trace.Sem_acquired { tid; sem = canon "sem" sem }
+        | Sem_blocked { tid; sem } -> Sem_blocked { tid; sem = canon "sem" sem }
+        | Sem_released { tid; sem } ->
+          Sem_released { tid; sem = canon "sem" sem }
+        | Msg_sent { tid; mailbox; words } ->
+          Msg_sent { tid; mailbox = canon "mb" mailbox; words }
+        | Msg_received { tid; mailbox; words; queued_for } ->
+          Msg_received { tid; mailbox = canon "mb" mailbox; words; queued_for }
+        | State_written { tid; state; seq } ->
+          State_written { tid; state = canon "sm" state; seq }
+        | State_read { tid; state; seq } ->
+          State_read { tid; state = canon "sm" state; seq }
+        | Note s -> Note (mask_note s)
+        | e -> e
+      in
+      { s with entry })
+    entries
+
+let trace_signature k =
+  let tr = Kernel.trace k in
+  ( normalize_ids (Sim.Trace.entries tr),
+    Sim.Trace.busy_time tr,
+    Sim.Trace.context_switches tr )
+
+let total_compute program =
+  List.fold_left
+    (fun acc -> function Types.Compute d -> acc + d | _ -> acc)
+    0 program
+
+(* The harness-wide differential: budgets that can never be exhausted
+   (each task's budget = its program's whole compute demand) with
+   notify-only policies must be invisible — same entries, busy time
+   and switches as the plain pre-enforcement kernel. *)
+let prop_enforcement_differential =
+  qtest ~count:60 "unexercised enforcement is trace-invisible" gen_case
+    (fun case ->
+      let plain, _ = run_one case in
+      let enforced, _ =
+        run_one
+          ~make_enforcement:(fun programs ->
+            {
+              Kernel.budget_of =
+                (fun t -> Some (total_compute programs.(t.id - 1)));
+              policy = Kernel.Notify_only;
+              miss = Kernel.Miss_record;
+              shed_one_in = None;
+            })
+          case
+      in
+      trace_signature plain = trace_signature enforced)
+
+(* Aggressive enforcement — tight budgets, kill policies, skip-over
+   shedding — must never corrupt the kernel: invariants hold, the
+   trace stays well-formed, and no job consumes more than its budget
+   plus one detection quantum. *)
+let prop_enforcement_fuzz =
+  qtest ~count:60 "kill/shed enforcement never breaks kernel invariants"
+    gen_case
+    (fun ((_, _, _, _, tick, _) as case) ->
+      let budget = us 1200 in
+      let k, horizon =
+        run_one
+          ~make_enforcement:(fun _ ->
+            {
+              Kernel.budget_of = (fun _ -> Some budget);
+              policy = Kernel.Kill_job;
+              miss = Kernel.Miss_kill;
+              shed_one_in = Some 2;
+            })
+          case
+      in
+      let quantum = Option.value tick ~default:0 in
+      let tr = Kernel.trace k in
+      let b1 = Sim.Trace.busy_time tr <= horizon in
+      let b2 = well_formed_trace (Sim.Trace.entries tr) horizon in
+      let b3 =
+        List.for_all
+          (fun (s : Kernel.enf_stats) ->
+            s.e_budget_used <= budget + quantum + 1)
+          (Kernel.enforcement_stats k)
+      in
+      b1 && b2 && b3)
+
 let suite =
   [
     prop_kernel_fuzz; prop_busy_conservation; prop_lint_clean_runs;
-    prop_injected_cycle; prop_absint_sound;
+    prop_injected_cycle; prop_absint_sound; prop_enforcement_differential;
+    prop_enforcement_fuzz;
   ]
-
 

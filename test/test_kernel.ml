@@ -71,6 +71,35 @@ let test_stop_on_miss () =
   check bool "stopped early" true (Kernel.stopped k);
   check int "exactly one miss recorded" 1 (Kernel.total_misses k)
 
+(* Two tasks whose first jobs both blow the same deadline instant: the
+   miss probes fire at the same virtual time, in release (FIFO) order.
+   [stop_on_miss] freezes the kernel inside the first probe, so only
+   that miss is recorded, and [first_miss] names the earlier-released
+   task. *)
+let test_simultaneous_miss_tie () =
+  let ts = taskset [ task ~deadline:(ms 2) 1 10 1; task ~deadline:(ms 2) 2 10 1 ] in
+  let programs _ = [ Program.compute (ms 5) ] in
+  let stopped = run ~programs ~spec:Sched.Rm ~stop_on_miss:true ts ~until:(ms 10) in
+  let tr = Kernel.trace stopped in
+  check int "only the first same-instant miss recorded" 1
+    (Sim.Trace.deadline_misses tr);
+  (match Sim.Trace.first_miss tr with
+  | Some { at; entry = Sim.Trace.Deadline_miss { tid; _ } } ->
+    check int "probe fires just past the deadline" (ms 2 + 1) at;
+    check int "FIFO tie goes to the earlier release" 1 tid
+  | Some _ | None -> fail "first_miss missing");
+  (* without the stop, both same-instant misses count and first_miss
+     still names the earlier release *)
+  let free = run ~programs ~spec:Sched.Rm ts ~until:(ms 10) in
+  let tr = Kernel.trace free in
+  check bool "both misses recorded without the stop" true
+    (Sim.Trace.deadline_misses tr >= 2);
+  match Sim.Trace.first_miss tr with
+  | Some { at; entry = Sim.Trace.Deadline_miss { tid; _ } } ->
+    check int "same probe instant" (ms 2 + 1) at;
+    check int "same FIFO winner" 1 tid
+  | Some _ | None -> fail "first_miss missing"
+
 let test_overrun_backlog () =
   (* A single task whose job takes longer than its period: releases
      queue up and are served back-to-back, each missing. *)
@@ -304,6 +333,7 @@ let suite =
     test_case "preemption accounting" `Quick test_preemption;
     test_case "deadline miss detection" `Quick test_deadline_miss_detection;
     test_case "stop on miss" `Quick test_stop_on_miss;
+    test_case "simultaneous miss tie" `Quick test_simultaneous_miss_tie;
     test_case "overrun backlog" `Quick test_overrun_backlog;
     test_case "idle gaps" `Quick test_idle_gaps;
     test_case "Table 2 policies" `Quick test_table2_policies;

@@ -15,7 +15,7 @@ let test_engine_order () =
   ignore (Sim.Engine.schedule e ~at:(ms 3) (note "c"));
   ignore (Sim.Engine.schedule e ~at:(ms 1) (note "a"));
   ignore (Sim.Engine.schedule e ~at:(ms 2) (note "b"));
-  Sim.Engine.run e;
+  check bool "queue drained" true (Sim.Engine.run_bounded e ~max_events:1_000);
   check (list string) "time order" [ "a"; "b"; "c" ] (List.rev !log);
   check int "clock at last event" (ms 3) (Sim.Engine.now e)
 
@@ -25,7 +25,7 @@ let test_engine_fifo_ties () =
   for i = 1 to 5 do
     ignore (Sim.Engine.schedule e ~at:(ms 1) (fun () -> log := i :: !log))
   done;
-  Sim.Engine.run e;
+  check bool "queue drained" true (Sim.Engine.run_bounded e ~max_events:1_000);
   check (list int) "same-time events in schedule order" [ 1; 2; 3; 4; 5 ]
     (List.rev !log)
 
@@ -35,7 +35,7 @@ let test_engine_cancel () =
   let h = Sim.Engine.schedule e ~at:(ms 1) (fun () -> fired := true) in
   check bool "cancel succeeds" true (Sim.Engine.cancel e h);
   check bool "cancel twice fails" false (Sim.Engine.cancel e h);
-  Sim.Engine.run e;
+  check bool "queue drained" true (Sim.Engine.run_bounded e ~max_events:1_000);
   check bool "cancelled event did not fire" false !fired
 
 let test_engine_run_until () =
@@ -62,14 +62,34 @@ let test_engine_schedule_during_event () =
          ignore
            (Sim.Engine.schedule e ~at:(ms 1) (fun () ->
                 log := "inner-same-time" :: !log))));
-  Sim.Engine.run e;
+  check bool "queue drained" true (Sim.Engine.run_bounded e ~max_events:1_000);
   check (list string) "nested same-time event fires" [ "outer"; "inner-same-time" ]
     (List.rev !log)
+
+let test_engine_run_bounded () =
+  (* a self-perpetuating event pattern must fail the bound, not hang *)
+  let e = Sim.Engine.create () in
+  let fired = ref 0 in
+  let rec forever t =
+    ignore
+      (Sim.Engine.schedule e ~at:t (fun () ->
+           incr fired;
+           forever (t + ms 1)))
+  in
+  forever 0;
+  check bool "bound reached before the queue drains" false
+    (Sim.Engine.run_bounded e ~max_events:25);
+  check int "exactly max_events fired" 25 !fired;
+  check bool "negative bound rejected" true
+    (try
+       ignore (Sim.Engine.run_bounded e ~max_events:(-1));
+       false
+     with Invalid_argument _ -> true)
 
 let test_engine_past_rejected () =
   let e = Sim.Engine.create () in
   ignore (Sim.Engine.schedule e ~at:(ms 2) (fun () -> ()));
-  Sim.Engine.run e;
+  check bool "queue drained" true (Sim.Engine.run_bounded e ~max_events:1_000);
   check bool "scheduling in the past raises" true
     (try
        ignore (Sim.Engine.schedule e ~at:(ms 1) (fun () -> ()));
@@ -165,6 +185,7 @@ let suite =
     test_case "engine: cancel" `Quick test_engine_cancel;
     test_case "engine: run_until" `Quick test_engine_run_until;
     test_case "engine: nested scheduling" `Quick test_engine_schedule_during_event;
+    test_case "engine: run_bounded" `Quick test_engine_run_bounded;
     test_case "engine: past rejected" `Quick test_engine_past_rejected;
     test_case "trace: counters" `Quick test_trace_counters;
     test_case "trace: counters-only mode" `Quick test_trace_no_entries_mode;
