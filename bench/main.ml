@@ -16,7 +16,9 @@
    Pass --quick to skip the breakdown sweep's full workload count,
    --seed N to re-seed every stochastic subject (random task sets, the
    breakdown sweep) reproducibly, --json PATH for a machine-readable
-   per-benchmark dump. *)
+   per-benchmark dump, --check PATH to compare against a committed
+   baseline (exits 1 when any subject runs >25% slower; skips the
+   experiment tables). *)
 
 open Bechamel
 open Toolkit
@@ -131,6 +133,37 @@ let enforced_subject ~pct () =
        });
   Emeralds.Kernel.run k ~until:(Model.Time.ms 100)
 
+(* Observability overhead, against figure2/rm-sim-100ms as the
+   probes-disabled baseline (that subject has no subscribers, so every
+   emission takes the probe hub's one-compare fast path).  The metrics
+   subject streams every event into histograms; the flightrec subject
+   additionally keeps a 32 KB armed ring. *)
+let obs_metrics_subject () =
+ fun () ->
+  let k =
+    Emeralds.Kernel.create ~keep_trace:false ~cost:Sim.Cost.zero
+      ~spec:Emeralds.Sched.Rm ~taskset:Workload.Presets.table2 ()
+  in
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.attach m (Emeralds.Kernel.probe k);
+  Emeralds.Kernel.run k ~until:(Model.Time.ms 100)
+
+let obs_flightrec_subject () =
+ fun () ->
+  let k =
+    Emeralds.Kernel.create ~keep_trace:false ~cost:Sim.Cost.zero
+      ~spec:Emeralds.Sched.Rm ~taskset:Workload.Presets.table2 ()
+  in
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.attach m (Emeralds.Kernel.probe k);
+  let fr =
+    Obs.Flightrec.create ~bytes:32_768
+      ~triggers:[ Obs.Flightrec.On_miss; On_overrun; On_kill ]
+      ()
+  in
+  Obs.Flightrec.attach fr (Emeralds.Kernel.probe k);
+  Emeralds.Kernel.run k ~until:(Model.Time.ms 100)
+
 let tests ~seed =
   Test.make_grouped ~name:"emeralds"
     [
@@ -140,6 +173,10 @@ let tests ~seed =
       Test.make ~name:"table1/heap-block-unblock-n32"
         (Staged.stage (heap_queue_subject ()));
       Test.make ~name:"figure2/rm-sim-100ms" (Staged.stage (figure2_subject ()));
+      Test.make ~name:"obs/rm-sim-metrics-100ms"
+        (Staged.stage (obs_metrics_subject ()));
+      Test.make ~name:"obs/rm-sim-flightrec-100ms"
+        (Staged.stage (obs_flightrec_subject ()));
       Test.make ~name:"fault/rm-sim-enforced-100ms"
         (Staged.stage (enforced_subject ~pct:100 ()));
       Test.make ~name:"fault/rm-sim-overrun-100ms"
@@ -183,47 +220,136 @@ let run_benchmarks ~seed ~json_path () =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
-  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> Some e
+          | Some [] | None -> None
+        in
+        (name, ns, Analyze.OLS.r_square ols) :: acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
   let t = Util.Tablefmt.create ~headers:[ "benchmark"; "ns/run"; "r2" ] in
   List.iter
-    (fun (name, ols) ->
+    (fun (name, ns, r2) ->
       let ns =
-        match Analyze.OLS.estimates ols with
-        | Some (e :: _) -> Printf.sprintf "%.0f" e
-        | Some [] | None -> "-"
+        match ns with Some e -> Printf.sprintf "%.0f" e | None -> "-"
       in
       let r2 =
-        match Analyze.OLS.r_square ols with
-        | Some r -> Printf.sprintf "%.4f" r
-        | None -> "-"
+        match r2 with Some r -> Printf.sprintf "%.4f" r | None -> "-"
       in
       Util.Tablefmt.add_row t [ name; ns; r2 ])
     rows;
   print_endline "host micro-benchmarks (one per table/figure):";
   print_string (Util.Tablefmt.render t);
   print_newline ();
-  match json_path with
+  (match json_path with
   | None -> ()
   | Some path ->
     (* machine-readable per-benchmark ns/op for CI artifacts *)
-    let item (name, ols) =
+    let item (name, ns, r2) =
       let ns =
-        match Analyze.OLS.estimates ols with
-        | Some (e :: _) -> Printf.sprintf "%.1f" e
-        | Some [] | None -> "null"
+        match ns with Some e -> Printf.sprintf "%.1f" e | None -> "null"
       in
       let r2 =
-        match Analyze.OLS.r_square ols with
-        | Some r -> Printf.sprintf "%.4f" r
-        | None -> "null"
+        match r2 with Some r -> Printf.sprintf "%.4f" r | None -> "null"
       in
       Printf.sprintf {|{"name":%S,"ns_per_op":%s,"r_square":%s}|} name ns r2
     in
     Out_channel.with_open_text path (fun oc ->
         Out_channel.output_string oc
           ("[" ^ String.concat "," (List.map item rows) ^ "]\n"));
-    Printf.printf "benchmark JSON written to %s\n\n" path
+    Printf.printf "benchmark JSON written to %s\n\n" path);
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Baseline regression check *)
+
+(* Parser for the JSON this harness itself writes (a flat array of
+   non-nested objects) — the toolchain has no JSON library, so the
+   scanner leans on that shape rather than parsing general JSON. *)
+let parse_baseline path =
+  let text =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error e ->
+      prerr_endline ("cannot read baseline: " ^ e);
+      exit 2
+  in
+  let find_sub s pat from =
+    let n = String.length s and m = String.length pat in
+    let rec go i =
+      if i + m > n then None
+      else if String.sub s i m = pat then Some (i + m)
+      else go (i + 1)
+    in
+    go from
+  in
+  let items = ref [] in
+  let pos = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match find_sub text "{\"name\":\"" !pos with
+    | None -> continue := false
+    | Some name_start -> (
+      match String.index_from_opt text name_start '"' with
+      | None -> continue := false
+      | Some name_end -> (
+        let name = String.sub text name_start (name_end - name_start) in
+        match find_sub text "\"ns_per_op\":" name_end with
+        | None -> continue := false
+        | Some v_start ->
+          let v_end = ref v_start in
+          while
+            !v_end < String.length text
+            && text.[!v_end] <> ','
+            && text.[!v_end] <> '}'
+          do
+            incr v_end
+          done;
+          let v = String.trim (String.sub text v_start (!v_end - v_start)) in
+          items := (name, float_of_string_opt v) :: !items;
+          pos := !v_end))
+  done;
+  List.rev !items
+
+let regression_threshold = 1.25 (* >25% slower than baseline fails *)
+
+let check_against ~baseline_path rows =
+  let base = parse_baseline baseline_path in
+  if base = [] then begin
+    Printf.eprintf "baseline %s holds no benchmark entries\n" baseline_path;
+    exit 2
+  end;
+  let regressions = ref [] in
+  Printf.printf "regression check vs %s (threshold +%.0f%%):\n" baseline_path
+    ((regression_threshold -. 1.) *. 100.);
+  List.iter
+    (fun (name, ns, _) ->
+      match (ns, List.assoc_opt name base) with
+      | Some cur, Some (Some b) when b > 0. ->
+        let pct = ((cur /. b) -. 1.) *. 100. in
+        let flag = cur > b *. regression_threshold in
+        Printf.printf "  %-34s %10.1f -> %10.1f ns/op  %+6.1f%%%s\n" name b
+          cur pct
+          (if flag then "  REGRESSION" else "");
+        if flag then regressions := name :: !regressions
+      | Some _, Some (Some _) ->
+        (* non-positive baseline value: unusable, treat as missing *)
+        Printf.printf "  %-34s (no baseline entry, skipped)\n" name
+      | _, (None | Some None) ->
+        Printf.printf "  %-34s (no baseline entry, skipped)\n" name
+      | None, _ -> Printf.printf "  %-34s (no estimate, skipped)\n" name)
+    rows;
+  if !regressions <> [] then begin
+    Printf.printf "FAIL: %d benchmark(s) regressed >%.0f%%\n"
+      (List.length !regressions)
+      ((regression_threshold -. 1.) *. 100.);
+    exit 1
+  end
+  else print_endline "OK: no benchmark regressed beyond the threshold"
 
 (* ------------------------------------------------------------------ *)
 (* Experiment tables *)
@@ -259,6 +385,14 @@ let () =
     in
     find argv
   in
+  let check_path =
+    let rec find = function
+      | "--check" :: path :: _ -> Some path
+      | _ :: tl -> find tl
+      | [] -> None
+    in
+    find argv
+  in
   let seed =
     (* default 11: the fixed seed the breakdown subject always used *)
     let rec find = function
@@ -273,5 +407,10 @@ let () =
     in
     find argv
   in
-  run_benchmarks ~seed ~json_path ();
-  run_experiments ~seed ~workloads:(if quick then 8 else 30)
+  let rows = run_benchmarks ~seed ~json_path () in
+  match check_path with
+  | Some path ->
+    (* check mode is for CI gating: compare and exit, skip the
+       experiment tables *)
+    check_against ~baseline_path:path rows
+  | None -> run_experiments ~seed ~workloads:(if quick then 8 else 30)

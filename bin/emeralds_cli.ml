@@ -823,6 +823,37 @@ let check_cmd =
 (* ------------------------------------------------------------------ *)
 (* inject (fault injection + enforcement report) *)
 
+(* Shared by inject and trace: a ring must hold at least one slot and
+   stay inside the paper's total-memory envelope (a recorder bigger
+   than the whole kernel budget defeats the point of bounded
+   recording). *)
+let validated_ring_bytes bytes =
+  if bytes < Obs.Flightrec.slot_bytes then
+    bad_invocation "--ring-bytes %d is smaller than one %d-byte slot" bytes
+      Obs.Flightrec.slot_bytes;
+  let _, envelope_hi = Emeralds.Footprint.envelope in
+  if bytes > envelope_hi then
+    bad_invocation "--ring-bytes %d exceeds the %d-byte memory envelope" bytes
+      envelope_hi;
+  bytes
+
+let category_mask_of_names spec =
+  match spec with
+  | None -> Obs.Probe.all_mask
+  | Some s ->
+    let cats =
+      List.map
+        (fun name ->
+          match Obs.Probe.category_of_name (String.lowercase_ascii name) with
+          | Some c -> c
+          | None ->
+            bad_invocation "unknown category %S (expected: %s)" name
+              (String.concat ", "
+                 (List.map Obs.Probe.category_name Obs.Probe.all_categories)))
+        (String.split_on_char ',' s)
+    in
+    Obs.Probe.mask_of cats
+
 let inject_cmd =
   let preset_name =
     Arg.(
@@ -892,6 +923,24 @@ let inject_cmd =
       & opt (some string) None
       & info [ "format" ] ~docv:"FMT" ~doc:"Output format: sarif.")
   in
+  let flightrec_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flightrec" ] ~docv:"PATH"
+          ~doc:
+            "Arm a flight recorder on every injection run and write the \
+             dump of the first one that triggers (deadline miss, budget \
+             overrun or job kill) as Perfetto trace-event JSON — the last \
+             ring-buffer events, ending at the triggering entry.")
+  in
+  let ring_bytes =
+    Arg.(
+      value
+      & opt int 32_768
+      & info [ "ring-bytes" ] ~docv:"N"
+          ~doc:"Flight-recorder ring size in modeled bytes (48 per slot).")
+  in
   (* The storm demo's default plan must name the wait queue the scenario
      allocated, so it is built against the instance rather than parsed
      from a constant. *)
@@ -924,7 +973,7 @@ let inject_cmd =
     | _ -> []
   in
   let run preset_name plan_arg policy miss_policy shed_one_in sched horizon_ms
-      seed json format =
+      seed json format flightrec_path ring_bytes =
     (match format with
     | None | Some "sarif" -> ()
     | Some f -> bad_invocation "unknown format %S (expected: sarif)" f);
@@ -975,6 +1024,24 @@ let inject_cmd =
     (match shed_one_in with
     | Some k when k <= 0 -> bad_invocation "--shed-one-in must be positive"
     | _ -> ());
+    (* One fresh recorder per kernel the report builds (baseline + one
+       per plan cell); the dump comes from the first that triggered. *)
+    let recorders = ref [] in
+    let observer =
+      match flightrec_path with
+      | None -> None
+      | Some _ ->
+        let bytes = validated_ring_bytes ring_bytes in
+        Some
+          (fun k ->
+            let fr =
+              Obs.Flightrec.create ~bytes
+                ~triggers:[ Obs.Flightrec.On_miss; On_overrun; On_kill ]
+                ()
+            in
+            recorders := !recorders @ [ fr ];
+            Obs.Flightrec.attach fr (Emeralds.Kernel.probe k))
+    in
     let cfg =
       {
         Fault.Inject.scenario;
@@ -993,6 +1060,7 @@ let inject_cmd =
             };
         plan;
         keep_trace = true;
+        observer;
       }
     in
     let report = Fault.Report.run cfg in
@@ -1002,6 +1070,39 @@ let inject_cmd =
            (Fault.Report.to_sarif report))
     else if json then print_endline (Fault.Report.to_json report)
     else print_string (Fault.Report.render report);
+    (match flightrec_path with
+    | None -> ()
+    | Some path ->
+      let fr =
+        match
+          List.find_opt (fun fr -> Obs.Flightrec.triggered fr <> None)
+            !recorders
+        with
+        | Some fr -> Some fr
+        | None -> (
+          (* nothing triggered: fall back to the live window of the
+             last (most faulted) run *)
+          match List.rev !recorders with fr :: _ -> Some fr | [] -> None)
+      in
+      (match fr with
+      | None -> ()
+      | Some fr ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc
+              (Obs.Export.perfetto (Obs.Flightrec.dump fr)));
+        let window = List.length (Obs.Flightrec.dump fr) in
+        (match Obs.Flightrec.triggered fr with
+        | Some { at; entry } ->
+          let kind, _, _ = Sim.Trace.csv_fields entry in
+          Printf.printf
+            "flight recorder: %d-event window ending at %s (%.3f ms) \
+             written to %s\n"
+            window kind (Model.Time.to_ms_f at) path
+        | None ->
+          Printf.printf
+            "flight recorder: no trigger fired; %d-event live window \
+             written to %s\n"
+            window path)));
     if Fault.Report.violations report then exit 1
   in
   Cmd.v
@@ -1013,7 +1114,158 @@ let inject_cmd =
           shedding, and which static predictions the faults falsified")
     Term.(
       const run $ preset_name $ plan_arg $ policy $ miss_policy $ shed_one_in
-      $ sched $ horizon_ms $ seed $ json $ format)
+      $ sched $ horizon_ms $ seed $ json $ format $ flightrec_path
+      $ ring_bytes)
+
+(* ------------------------------------------------------------------ *)
+(* trace *)
+
+let trace_cmd =
+  let preset_name =
+    Arg.(
+      value
+      & opt string "engine"
+      & info [ "preset" ] ~docv:"NAME"
+          ~doc:
+            "Scenario to record: table2, engine, avionics or voice (full \
+             scenario replay: programs attached, IRQ sources firing).")
+  in
+  let sched =
+    Arg.(
+      value
+      & opt sched_conv Emeralds.Sched.Rm
+      & info [ "sched" ] ~docv:"SCHED"
+          ~doc:"Scheduler: edf, rm, rm-heap, csd2/csd3/csd4 or csd:S1,S2,...")
+  in
+  let horizon_ms =
+    Arg.(
+      value & opt int 100
+      & info [ "horizon-ms" ] ~doc:"Simulation horizon in milliseconds.")
+  in
+  let categories =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "categories" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated probe categories the recorder and exporters \
+             subscribe to (job, sched, sync, ipc, irq, overhead, enforce, \
+             meta); default all.  Filters the observability subscribers \
+             only — the kernel's own trace and statistics are unaffected.")
+  in
+  let ring_bytes =
+    Arg.(
+      value
+      & opt int (fst Emeralds.Footprint.envelope)
+      & info [ "ring-bytes" ] ~docv:"N"
+          ~doc:
+            "Flight-recorder ring size in modeled bytes (48 per event \
+             slot); bounded by the paper's 128 KB memory envelope.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt string "perfetto"
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output: perfetto (Chrome/Perfetto trace-event JSON of the \
+             flight-recorder window), csv (same window as CSV), metrics \
+             (Prometheus text exposition of the streaming metrics) or \
+             json (metrics digest).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PATH"
+          ~doc:"Write the output to a file instead of stdout.")
+  in
+  let run preset_name sched horizon_ms seed categories ring_bytes format out =
+    (match format with
+    | "perfetto" | "csv" | "metrics" | "json" -> ()
+    | f ->
+      bad_invocation "unknown format %S (expected: perfetto, csv, metrics, json)" f);
+    let scenario =
+      match Workload.Scenario.make preset_name with
+      | Some s -> s
+      | None ->
+        bad_invocation "unknown scenario %S (expected: %s)" preset_name
+          (String.concat ", " Workload.Scenario.names)
+    in
+    let mask = category_mask_of_names categories in
+    let ring_bytes = validated_ring_bytes ring_bytes in
+    let metrics = Obs.Metrics.create () in
+    let flightrec =
+      Obs.Flightrec.create ~bytes:ring_bytes
+        ~triggers:[ Obs.Flightrec.On_miss; On_overrun; On_kill ]
+        ()
+    in
+    let observer k =
+      let probe = Emeralds.Kernel.probe k in
+      Obs.Probe.subscribe probe ~mask (Obs.Metrics.observe metrics);
+      Obs.Probe.subscribe probe ~mask (Obs.Flightrec.record flightrec)
+    in
+    let cfg =
+      {
+        (Fault.Inject.default_config ~scenario ~spec:sched
+           ~horizon:(Model.Time.ms horizon_ms) ~seed ())
+        with
+        observer = Some observer;
+      }
+    in
+    let outcome = Fault.Inject.run cfg in
+    let window = Obs.Flightrec.dump flightrec in
+    let output =
+      match format with
+      | "perfetto" -> Obs.Export.perfetto window
+      | "csv" ->
+        let buf = Buffer.create 1024 in
+        Buffer.add_string buf "time_ns,kind,tid,detail\n";
+        List.iter
+          (fun ({ at; entry } : Sim.Trace.stamped) ->
+            let kind, tid, detail = Sim.Trace.csv_fields entry in
+            Buffer.add_string buf
+              (Printf.sprintf "%d,%s,%d,%s\n" at kind tid detail))
+          window;
+        Buffer.contents buf
+      | "metrics" -> Obs.Export.prometheus metrics
+      | "json" -> Obs.Export.metrics_json metrics
+      | _ -> assert false
+    in
+    (match out with
+    | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc output);
+      Printf.printf "%s output written to %s\n" format path
+    | None -> print_string output);
+    let tr = Emeralds.Kernel.trace outcome.kernel in
+    (match Obs.Flightrec.triggered flightrec with
+    | Some { at; entry } ->
+      Printf.eprintf
+        "flight recorder froze at %.3f ms (%s); window holds the last %d of \
+         %d events\n"
+        (Model.Time.to_ms_f at)
+        (let kind, _, _ = Sim.Trace.csv_fields entry in
+         kind)
+        (List.length window)
+        (Obs.Flightrec.total_recorded flightrec)
+    | None -> ());
+    if
+      Sim.Trace.deadline_misses tr > 0
+      || Sim.Trace.budget_overruns tr > 0
+      || Sim.Trace.jobs_killed tr > 0
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Record a scenario through the observability layer: streaming \
+          metrics (Prometheus / JSON) and a bounded flight-recorder window \
+          (Perfetto / CSV) that freezes at the first deadline miss, budget \
+          overrun or job kill")
+    Term.(
+      const run $ preset_name $ sched $ horizon_ms $ seed $ categories
+      $ ring_bytes $ format $ out)
 
 (* ------------------------------------------------------------------ *)
 (* footprint *)
@@ -1062,5 +1314,6 @@ let () =
        (Cmd.group info
           [
             experiment_cmd; schedulability_cmd; analyze_cmd; simulate_cmd;
-            sensitivity_cmd; lint_cmd; check_cmd; inject_cmd; footprint_cmd;
+            sensitivity_cmd; lint_cmd; check_cmd; inject_cmd; trace_cmd;
+            footprint_cmd;
           ]))

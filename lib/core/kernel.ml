@@ -65,6 +65,7 @@ type t = {
   engine : Sim.Engine.t;
   cost : Sim.Cost.t;
   tr : Sim.Trace.t;
+  probe : Obs.Probe.t; (* tracepoint hub; [tr] is its built-in subscriber *)
   sched : sched;
   tcbs : tcb array; (* in RM-rank order *)
   by_tid : (int, tcb) Hashtbl.t;
@@ -130,6 +131,7 @@ let enf_state k (tcb : tcb) =
     Hashtbl.add k.enf tcb.tid st;
     st
 let trace k = k.tr
+let probe k = k.probe
 let stopped k = k.stopped
 
 let tcb k ~tid =
@@ -169,7 +171,7 @@ let check_invariants k =
 let charge k category cost =
   if cost > 0 then begin
     k.busy_until <- Model.Time.max (now k) k.busy_until + cost;
-    Sim.Trace.emit k.tr ~at:(now k) (Overhead { category; cost })
+    Obs.Probe.emit k.probe ~at:(now k) (Overhead { category; cost })
   end
 
 (* Stop the running thread's compute burst, accounting the work it
@@ -216,7 +218,7 @@ let block_thread k tcb ~reason ~dormant =
   assert (is_ready tcb);
   tcb.state <- (if dormant then Dormant else Blocked reason);
   charge k "sched.block" (k.sched.s_block tcb);
-  Sim.Trace.emit k.tr ~at:(now k) (Thread_block { tid = tcb.tid; reason });
+  Obs.Probe.emit k.probe ~at:(now k) (Thread_block { tid = tcb.tid; reason });
   select_now k
 
 let unblock_thread k tcb =
@@ -225,7 +227,7 @@ let unblock_thread k tcb =
   | Ready | Running -> assert false);
   tcb.state <- Ready;
   charge k "sched.unblock" (k.sched.s_unblock tcb);
-  Sim.Trace.emit k.tr ~at:(now k) (Thread_unblock { tid = tcb.tid });
+  Obs.Probe.emit k.probe ~at:(now k) (Thread_unblock { tid = tcb.tid });
   select_now k
 
 (* ------------------------------------------------------------------ *)
@@ -258,7 +260,7 @@ let rec do_inherit k ~holder ~waiter =
     || waiter.eff_deadline < holder.eff_deadline
   then begin
     charge k "pi" (k.sched.s_inherit ~holder ~waiter);
-    Sim.Trace.emit k.tr ~at:(now k)
+    Obs.Probe.emit k.probe ~at:(now k)
       (Priority_inherit { holder = holder.tid; from_tid = waiter.tid });
     (* Transitive chains: the holder may itself be queued on another
        semaphore — its position there follows its new priority, and the
@@ -280,7 +282,7 @@ let rec do_inherit k ~holder ~waiter =
 let restore_prio k holder =
   if holder.inherited then begin
     charge k "pi" (k.sched.s_restore ~holder);
-    Sim.Trace.emit k.tr ~at:(now k) (Priority_restore { holder = holder.tid });
+    Obs.Probe.emit k.probe ~at:(now k) (Priority_restore { holder = holder.tid });
     (* Re-establish inheritance still owed to waiters of other
        semaphores this thread holds. *)
     let redo s =
@@ -325,13 +327,13 @@ let sem_acquire k tcb s =
       s.holder <- Some tcb;
       tcb.held_sems <- s :: tcb.held_sems
     end;
-    Sim.Trace.emit k.tr ~at:(now k)
+    Obs.Probe.emit k.probe ~at:(now k)
       (Sem_acquired { tid = tcb.tid; sem = s.sem_id });
     park_approachers k s ~except:tcb;
     `Granted
   end
   else begin
-    Sim.Trace.emit k.tr ~at:(now k)
+    Obs.Probe.emit k.probe ~at:(now k)
       (Sem_blocked { tid = tcb.tid; sem = s.sem_id });
     (match s.holder with
     | Some holder ->
@@ -350,7 +352,7 @@ let sem_release k tcb s =
     | Some h when h == tcb -> ()
     | Some _ | None -> invalid_arg "Kernel: release of a semaphore not held");
   charge k "sem" k.cost.sem_admin;
-  Sim.Trace.emit k.tr ~at:(now k)
+  Obs.Probe.emit k.probe ~at:(now k)
     (Sem_released { tid = tcb.tid; sem = s.sem_id });
   tcb.held_sems <- List.filter (fun x -> x != s) tcb.held_sems;
   s.holder <- None;
@@ -367,7 +369,7 @@ let sem_release k tcb s =
     end;
     w.waiting_on <- None;
     w.pc <- w.pc + 1;
-    Sim.Trace.emit k.tr ~at:(now k)
+    Obs.Probe.emit k.probe ~at:(now k)
       (Sem_acquired { tid = w.tid; sem = s.sem_id });
     unblock_thread k w
   | None ->
@@ -404,7 +406,7 @@ let complete_blocking_call k tcb hint =
       match tcb.state with
       | Blocked _ ->
         tcb.state <- Blocked "approach";
-        Sim.Trace.emit k.tr ~at:(now k)
+        Obs.Probe.emit k.probe ~at:(now k)
           (Note
              (Printf.sprintf "tau%d held back awaiting sem%d" tcb.tid
                 s.sem_id));
@@ -437,7 +439,7 @@ let do_signal k wq =
     | Some f -> f ~wq_id:wq.wq_id
   in
   if dropped then
-    Sim.Trace.emit k.tr ~at:(now k)
+    Obs.Probe.emit k.probe ~at:(now k)
       (Note (Printf.sprintf "signal lost on waitq%d (fault)" wq.wq_id))
   else
     match take_first_waiter wq.wq_waiters with
@@ -465,7 +467,7 @@ let do_broadcast k wq =
 let deliver k receiver msg mb =
   receiver.inbox <- Some msg;
   receiver.pc <- receiver.pc + 1;
-  Sim.Trace.emit k.tr ~at:(now k)
+  Obs.Probe.emit k.probe ~at:(now k)
     (Msg_received
        {
          tid = receiver.tid;
@@ -479,7 +481,7 @@ let mb_send k tcb mb data =
   let msg = { msg_data = Array.copy data; msg_src = tcb.tid; msg_stamp = now k } in
   match take_first_waiter mb.mb_receivers with
   | Some receiver ->
-    Sim.Trace.emit k.tr ~at:(now k)
+    Obs.Probe.emit k.probe ~at:(now k)
       (Msg_sent { tid = tcb.tid; mailbox = mb.mb_id; words = Array.length data });
     deliver k receiver msg mb;
     unblock_thread k receiver;
@@ -487,7 +489,7 @@ let mb_send k tcb mb data =
   | None ->
     if Queue.length mb.mb_queue < mb.mb_capacity then begin
       Queue.push msg mb.mb_queue;
-      Sim.Trace.emit k.tr ~at:(now k)
+      Obs.Probe.emit k.probe ~at:(now k)
         (Msg_sent { tid = tcb.tid; mailbox = mb.mb_id; words = Array.length data });
       `Sent
     end
@@ -510,7 +512,7 @@ let mb_recv k tcb mb =
       (Sim.Cost.mailbox_copy k.cost ~words:(Array.length msg.msg_data)
       - k.cost.mailbox_base);
     tcb.inbox <- Some msg;
-    Sim.Trace.emit k.tr ~at:(now k)
+    Obs.Probe.emit k.probe ~at:(now k)
       (Msg_received
          {
            tid = tcb.tid;
@@ -528,7 +530,7 @@ let mb_recv k tcb mb =
         in
         Queue.push msg' mb.mb_queue;
         sender.pc <- sender.pc + 1;
-        Sim.Trace.emit k.tr ~at:(now k)
+        Obs.Probe.emit k.probe ~at:(now k)
           (Msg_sent
              { tid = sender.tid; mailbox = mb.mb_id; words = Array.length data });
         unblock_thread k sender
@@ -544,7 +546,7 @@ let rec schedule_deadline_check k tcb ~job ~deadline =
   let check () =
     if (not k.stopped) && tcb.completed_job < job then begin
       tcb.misses <- tcb.misses + 1;
-      Sim.Trace.emit k.tr ~at:(now k) (Deadline_miss { tid = tcb.tid; job; lateness = 0 });
+      Obs.Probe.emit k.probe ~at:(now k) (Deadline_miss { tid = tcb.tid; job; lateness = 0 });
       (match k.enforcement with
       | None -> ()
       | Some e -> (
@@ -602,7 +604,7 @@ and begin_job k tcb ~job ~release =
         charge k "sched.demote" (k.sched.s_reprioritize tcb)
       end
     end);
-  Sim.Trace.emit k.tr ~at:(now k)
+  Obs.Probe.emit k.probe ~at:(now k)
     (Job_release { tid = tcb.tid; job; deadline = tcb.abs_deadline });
   schedule_deadline_check k tcb ~job ~deadline:tcb.abs_deadline
 
@@ -711,14 +713,14 @@ and run_instrs k tcb =
       charge k "syscall" k.cost.syscall_entry;
       charge k "ipc" (Sim.Cost.state_write k.cost ~words:(State_msg.words sm));
       State_msg.write sm data;
-      Sim.Trace.emit k.tr ~at:(now k)
+      Obs.Probe.emit k.probe ~at:(now k)
         (State_written { tid = tcb.tid; state = State_msg.id sm; seq = State_msg.seq sm });
       step ()
     | State_read sm ->
       charge k "syscall" k.cost.syscall_entry;
       charge k "ipc" (Sim.Cost.state_read k.cost ~words:(State_msg.words sm));
       ignore (State_msg.read sm);
-      Sim.Trace.emit k.tr ~at:(now k)
+      Obs.Probe.emit k.probe ~at:(now k)
         (State_read { tid = tcb.tid; state = State_msg.id sm; seq = State_msg.seq sm });
       step ()
     | Delay d ->
@@ -740,7 +742,7 @@ and job_complete k tcb =
   tcb.jobs_completed <- tcb.jobs_completed + 1;
   tcb.total_response <- tcb.total_response + response;
   tcb.max_response <- Model.Time.max tcb.max_response response;
-  Sim.Trace.emit k.tr ~at:(now k)
+  Obs.Probe.emit k.probe ~at:(now k)
     (Job_complete { tid = tcb.tid; job = tcb.job_no; response });
   if Queue.is_empty tcb.pending_releases then
     block_thread k tcb ~reason:"dormant" ~dormant:true
@@ -826,7 +828,7 @@ and handle_overrun k e tcb ~budget =
   st.overruns <- st.overruns + 1;
   if st.first_detection = None then st.first_detection <- Some (now k);
   charge k "timer" k.cost.timer_service;
-  Sim.Trace.emit k.tr ~at:(now k)
+  Obs.Probe.emit k.probe ~at:(now k)
     (Budget_overrun { tid = tcb.tid; job = tcb.job_no; used = st.used; budget });
   match e.policy with
   | Notify_only -> ()
@@ -859,7 +861,7 @@ and apply_demotion k tcb ~by =
 and kill_job k tcb =
   let st = enf_state k tcb in
   st.kills <- st.kills + 1;
-  Sim.Trace.emit k.tr ~at:(now k) (Job_killed { tid = tcb.tid; job = tcb.job_no });
+  Obs.Probe.emit k.probe ~at:(now k) (Job_killed { tid = tcb.tid; job = tcb.job_no });
   List.iter (fun s -> sem_release k tcb s) tcb.held_sems;
   leave_approachers tcb;
   tcb.remaining <- 0;
@@ -945,7 +947,7 @@ and dispatch k =
       | Some a, Some b when a.task.process <> b.task.process ->
         charge k "switch.as" k.cost.address_space_switch
       | _ -> ());
-      Sim.Trace.emit k.tr ~at:(now k)
+      Obs.Probe.emit k.probe ~at:(now k)
         (Context_switch
            {
              from_tid = Option.map (fun r -> r.tid) prev;
@@ -1013,7 +1015,7 @@ let admit_release k tcb ~job ~sporadic =
     st.since_shed <- 0;
     (* shedding is the overload *detection* acting: stamp it *)
     if st.first_detection = None then st.first_detection <- Some (now k);
-    Sim.Trace.emit k.tr ~at:(now k) (Job_shed { tid = tcb.tid; job; reason })
+    Obs.Probe.emit k.probe ~at:(now k) (Job_shed { tid = tcb.tid; job; reason })
   | `Run ->
     if tcb.state = Dormant then begin
       begin_job k tcb ~job ~release:(now k);
@@ -1021,7 +1023,7 @@ let admit_release k tcb ~job ~sporadic =
     end
     else begin
       Queue.push (job, now k) tcb.pending_releases;
-      Sim.Trace.emit k.tr ~at:(now k)
+      Obs.Probe.emit k.probe ~at:(now k)
         (Note
            (if sporadic then
               Printf.sprintf "tau%d sporadic arrival while busy" tcb.tid
@@ -1112,11 +1114,13 @@ let create ?(keep_trace = true) ?(stop_on_miss = false) ?(optimized_pi = true)
   let engine =
     match engine with Some e -> e | None -> Sim.Engine.create ()
   in
+  let tr = Sim.Trace.create ~keep_entries:keep_trace () in
   let k =
     {
       engine;
       cost;
-      tr = Sim.Trace.create ~keep_entries:keep_trace ();
+      tr;
+      probe = Obs.Probe.create ~trace:tr ();
       sched;
       tcbs;
       by_tid;
@@ -1326,7 +1330,7 @@ let register_irq k ~irq ?(signals = []) ?(writes = []) ~handler () =
 let raise_irq_at k ~at ~irq =
   let body () =
     charge k "irq" k.cost.interrupt_entry;
-    Sim.Trace.emit k.tr ~at:(now k) (Interrupt { irq });
+    Obs.Probe.emit k.probe ~at:(now k) (Interrupt { irq });
     (Hashtbl.find k.irq_handlers irq).handler ()
   in
   ignore (Sim.Engine.schedule k.engine ~at (kernel_event k body))

@@ -65,6 +65,13 @@ val step : t -> bool
 val engine : t -> Sim.Engine.t
 val now : t -> Model.Time.t
 val trace : t -> Sim.Trace.t
+
+val probe : t -> Obs.Probe.t
+(** The kernel's tracepoint hub.  Every event reaching {!trace} flows
+    through it; attach [Obs.Metrics] / [Obs.Flightrec] subscribers
+    here ({e before} running) for streaming statistics or bounded
+    post-mortem recording without touching the trace itself. *)
+
 val stopped : t -> bool
 
 (** Per-task outcome. *)

@@ -19,6 +19,7 @@ type config = {
   enforcement : Kernel.enforcement option;
   plan : Plan.t;
   keep_trace : bool;
+  observer : (Kernel.t -> unit) option;
 }
 
 let default_config ~scenario ?(spec = Sched.Rm) ?(cost = Sim.Cost.m68040)
@@ -34,6 +35,7 @@ let default_config ~scenario ?(spec = Sched.Rm) ?(cost = Sim.Cost.m68040)
     enforcement;
     plan;
     keep_trace = true;
+    observer = None;
   }
 
 let declared_budgets (t : Model.Task.t) = Some t.wcet
@@ -203,6 +205,7 @@ let run (cfg : config) =
       ~programs:cfg.scenario.programs ()
   in
   Kernel.set_enforcement k cfg.enforcement;
+  (match cfg.observer with Some f -> f k | None -> ());
   let activations = ref [] in
   let mark at what = activations := (at, what) :: !activations in
   install_demand_faults k cfg.plan mark;

@@ -24,6 +24,12 @@ type config = {
   enforcement : Emeralds.Kernel.enforcement option;
   plan : Plan.t;
   keep_trace : bool;
+  observer : (Emeralds.Kernel.t -> unit) option;
+      (** Called on the freshly built kernel before any fault hook or
+          arrival is installed — the place to attach [Obs] subscribers
+          ([Kernel.probe]) such as a flight recorder, so the dump
+          covers the whole run.  [Report] builds one kernel per plan
+          cell and calls this on each. *)
 }
 
 val default_config :
@@ -37,7 +43,7 @@ val default_config :
   unit ->
   config
 (** RM scheduling, m68040 costs, 200 ms horizon, seed 7, event-precise
-    (no tick), no enforcement, empty plan, trace kept. *)
+    (no tick), no enforcement, empty plan, trace kept, no observer. *)
 
 val declared_budgets : Model.Task.t -> Model.Time.t option
 (** The natural budget function: every task's declared WCET. *)

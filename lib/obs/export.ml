@@ -1,0 +1,204 @@
+let us_of_ns ns = float_of_int ns /. 1_000.0
+
+(* ---- Perfetto / Chrome trace-event JSON ---- *)
+
+let perfetto (events : Sim.Trace.stamped list) =
+  let buf = Buffer.create 4096 in
+  let first = ref true in
+  let item fmt =
+    Printf.ksprintf
+      (fun s ->
+        if !first then first := false else Buffer.add_string buf ",\n ";
+        Buffer.add_string buf s)
+      fmt
+  in
+  Buffer.add_string buf "{\"traceEvents\":[\n ";
+  (* thread-name metadata for every task that appears *)
+  let tids =
+    List.filter_map
+      (fun ({ entry; _ } : Sim.Trace.stamped) ->
+        let _, tid, _ = Sim.Trace.csv_fields entry in
+        if tid >= 0 then Some tid else None)
+      events
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun tid ->
+      item
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"tau%d\"}}"
+        tid tid)
+    tids;
+  let open_slice = ref None in
+  let close_slice ts =
+    match !open_slice with
+    | None -> ()
+    | Some (tid, _) ->
+      item "{\"name\":\"tau%d\",\"ph\":\"E\",\"ts\":%.3f,\"pid\":0,\"tid\":%d}"
+        tid (us_of_ns ts) tid;
+      open_slice := None
+  in
+  let last_ts = ref 0 in
+  List.iter
+    (fun ({ at; entry } : Sim.Trace.stamped) ->
+      last_ts := at;
+      match entry with
+      | Sim.Trace.Context_switch { to_tid; _ } -> (
+        close_slice at;
+        match to_tid with
+        | Some tid ->
+          item
+            "{\"name\":\"tau%d\",\"ph\":\"B\",\"ts\":%.3f,\"pid\":0,\"tid\":%d,\"cat\":\"sched\"}"
+            tid (us_of_ns at) tid;
+          open_slice := Some (tid, at)
+        | None -> ())
+      | _ ->
+        let kind, tid, detail = Sim.Trace.csv_fields entry in
+        let cat = Probe.category_name (Probe.category_of_entry entry) in
+        if tid >= 0 then
+          item
+            "{\"name\":%S,\"ph\":\"i\",\"ts\":%.3f,\"pid\":0,\"tid\":%d,\"cat\":%S,\"s\":\"t\",\"args\":{\"detail\":%S}}"
+            kind (us_of_ns at) tid cat detail
+        else
+          item
+            "{\"name\":%S,\"ph\":\"i\",\"ts\":%.3f,\"pid\":0,\"tid\":0,\"cat\":%S,\"s\":\"g\",\"args\":{\"detail\":%S}}"
+            kind (us_of_ns at) cat detail)
+    events;
+  close_slice !last_ts;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+(* ---- Prometheus text exposition ---- *)
+
+let quantiles = [ (0.5, "0.5"); (0.95, "0.95"); (0.99, "0.99") ]
+
+let prom_hist buf ~name ~labels h =
+  let lbl extra =
+    match (labels, extra) with
+    | "", "" -> ""
+    | "", e -> "{" ^ e ^ "}"
+    | l, "" -> "{" ^ l ^ "}"
+    | l, e -> "{" ^ l ^ "," ^ e ^ "}"
+  in
+  if Util.Hist.count h > 0 then begin
+    List.iter
+      (fun (p, ps) ->
+        Printf.bprintf buf "%s%s %d\n" name
+          (lbl (Printf.sprintf "quantile=%S" ps))
+          (Util.Hist.quantile h p))
+      quantiles;
+    Printf.bprintf buf "%s_sum%s %d\n" name (lbl "") (Util.Hist.sum h);
+    Printf.bprintf buf "%s_count%s %d\n" name (lbl "") (Util.Hist.count h);
+    Printf.bprintf buf "%s_max%s %d\n" name (lbl "") (Util.Hist.max_value h)
+  end
+
+let prometheus (m : Metrics.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "# HELP emeralds_events_total Trace events observed, by kind.\n\
+     # TYPE emeralds_events_total counter\n";
+  List.iter
+    (fun (kind, n) ->
+      Printf.bprintf buf "emeralds_events_total{kind=%S} %d\n" kind n)
+    (Metrics.counters m);
+  Buffer.add_string buf
+    "# HELP emeralds_response_time_ns Per-task job response time.\n\
+     # TYPE emeralds_response_time_ns summary\n";
+  List.iter
+    (fun tid ->
+      match Metrics.response m ~tid with
+      | Some h ->
+        prom_hist buf ~name:"emeralds_response_time_ns"
+          ~labels:(Printf.sprintf "tid=\"%d\"" tid)
+          h
+      | None -> ())
+    (Metrics.response_tids m);
+  Buffer.add_string buf
+    "# HELP emeralds_blocking_time_ns Per-task block-to-unblock time.\n\
+     # TYPE emeralds_blocking_time_ns summary\n";
+  List.iter
+    (fun tid ->
+      match Metrics.blocking m ~tid with
+      | Some h ->
+        prom_hist buf ~name:"emeralds_blocking_time_ns"
+          ~labels:(Printf.sprintf "tid=\"%d\"" tid)
+          h
+      | None -> ())
+    (Metrics.blocking_tids m);
+  Buffer.add_string buf
+    "# HELP emeralds_irq_latency_ns Interrupt-to-dispatch latency.\n\
+     # TYPE emeralds_irq_latency_ns summary\n";
+  prom_hist buf ~name:"emeralds_irq_latency_ns" ~labels:""
+    (Metrics.irq_latency m);
+  Buffer.add_string buf
+    "# HELP emeralds_ready_depth Released-but-incomplete job depth.\n\
+     # TYPE emeralds_ready_depth summary\n";
+  prom_hist buf ~name:"emeralds_ready_depth" ~labels:"" (Metrics.ready_depth m);
+  Buffer.add_string buf
+    "# HELP emeralds_overhead_ns Kernel overhead cost per charge, by \
+     category.\n\
+     # TYPE emeralds_overhead_ns summary\n";
+  List.iter
+    (fun (cat, h) ->
+      prom_hist buf ~name:"emeralds_overhead_ns"
+        ~labels:(Printf.sprintf "category=%S" cat)
+        h)
+    (Metrics.overhead m);
+  Buffer.contents buf
+
+(* ---- JSON metrics digest ---- *)
+
+let json_hist buf h =
+  Printf.bprintf buf
+    "{\"count\":%d,\"p50\":%d,\"p95\":%d,\"p99\":%d,\"max\":%d}"
+    (Util.Hist.count h)
+    (Util.Hist.quantile h 0.5)
+    (Util.Hist.quantile h 0.95)
+    (Util.Hist.quantile h 0.99)
+    (Util.Hist.max_value h)
+
+let metrics_json (m : Metrics.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"counters\":{";
+  List.iteri
+    (fun i (kind, n) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf "%S:%d" kind n)
+    (Metrics.counters m);
+  Buffer.add_string buf "},\"response\":{";
+  List.iteri
+    (fun i tid ->
+      match Metrics.response m ~tid with
+      | Some h ->
+        if i > 0 then Buffer.add_char buf ',';
+        Printf.bprintf buf "\"%d\":" tid;
+        json_hist buf h
+      | None -> ())
+    (Metrics.response_tids m);
+  Buffer.add_string buf "},\"blocking\":{";
+  List.iteri
+    (fun i tid ->
+      match Metrics.blocking m ~tid with
+      | Some h ->
+        if i > 0 then Buffer.add_char buf ',';
+        Printf.bprintf buf "\"%d\":" tid;
+        json_hist buf h
+      | None -> ())
+    (Metrics.blocking_tids m);
+  Buffer.add_string buf "}";
+  if Util.Hist.count (Metrics.irq_latency m) > 0 then begin
+    Buffer.add_string buf ",\"irq_latency\":";
+    json_hist buf (Metrics.irq_latency m)
+  end;
+  if Util.Hist.count (Metrics.ready_depth m) > 0 then begin
+    Buffer.add_string buf ",\"ready_depth\":";
+    json_hist buf (Metrics.ready_depth m)
+  end;
+  Buffer.add_string buf ",\"overhead\":{";
+  List.iteri
+    (fun i (cat, h) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf "%S:" cat;
+      json_hist buf h)
+    (Metrics.overhead m);
+  Buffer.add_string buf "}}\n";
+  Buffer.contents buf

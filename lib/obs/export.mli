@@ -1,0 +1,24 @@
+(** Exporters for traces and metrics.
+
+    Everything here is plain string generation — no JSON library is
+    available in the toolchain, so emitters stick to a small, easily
+    validated subset (ASCII, [%S] escaping). *)
+
+val perfetto : Sim.Trace.stamped list -> string
+(** Chrome/Perfetto trace-event JSON ({"traceEvents": [...]}):
+    [Context_switch] entries become B/E duration slices on the
+    running task's track (any slice still open at the end is closed at
+    the last timestamp), every other entry becomes an instant event
+    named by its CSV kind with the probe category as "cat" and the
+    CSV detail as an argument.  Timestamps are microseconds. *)
+
+val prometheus : Metrics.t -> string
+(** Prometheus text exposition (text/plain version 0.0.4): one
+    [emeralds_events_total{kind=...}] counter per event kind and
+    quantile/sum/count/max lines for each histogram series
+    (per-task response and blocking time, interrupt latency,
+    ready-queue depth, per-category overhead). *)
+
+val metrics_json : Metrics.t -> string
+(** Compact JSON digest of the same series (counters plus
+    count/p50/p95/p99/max per histogram), for scripting. *)

@@ -1,0 +1,84 @@
+type category = Job | Sched | Sync | Ipc | Irq | Overhead | Enforce | Meta
+
+let all_categories = [ Job; Sched; Sync; Ipc; Irq; Overhead; Enforce; Meta ]
+
+let category_name = function
+  | Job -> "job"
+  | Sched -> "sched"
+  | Sync -> "sync"
+  | Ipc -> "ipc"
+  | Irq -> "irq"
+  | Overhead -> "overhead"
+  | Enforce -> "enforce"
+  | Meta -> "meta"
+
+let category_of_name s =
+  List.find_opt (fun c -> category_name c = s) all_categories
+
+let category_of_entry : Sim.Trace.entry -> category = function
+  | Job_release _ | Job_complete _ | Deadline_miss _ -> Job
+  | Context_switch _ | Thread_block _ | Thread_unblock _ -> Sched
+  | Sem_acquired _ | Sem_blocked _ | Sem_released _ | Priority_inherit _
+  | Priority_restore _ ->
+    Sync
+  | Msg_sent _ | Msg_received _ | State_written _ | State_read _ -> Ipc
+  | Interrupt _ -> Irq
+  | Overhead _ -> Overhead
+  | Budget_overrun _ | Job_killed _ | Job_shed _ -> Enforce
+  | Note _ -> Meta
+
+type mask = int
+
+let bit = function
+  | Job -> 1
+  | Sched -> 2
+  | Sync -> 4
+  | Ipc -> 8
+  | Irq -> 16
+  | Overhead -> 32
+  | Enforce -> 64
+  | Meta -> 128
+
+let mask_of cats = List.fold_left (fun m c -> m lor bit c) 0 cats
+let all_mask = mask_of all_categories
+let mask_mem m c = m land bit c <> 0
+
+type subscriber = { s_mask : mask; fn : Sim.Trace.stamped -> unit }
+
+type t = {
+  tr : Sim.Trace.t;
+  mutable trace_mask : mask;
+  mutable subs : subscriber list; (* in subscription order, see emit *)
+  mutable union : mask; (* union of subscriber masks *)
+  (* [plain] caches "trace fully enabled, nobody listening": the hot
+     path is then one load+test on top of the bare Sim.Trace.emit. *)
+  mutable plain : bool;
+}
+
+let refresh t =
+  t.union <- List.fold_left (fun m s -> m lor s.s_mask) 0 t.subs;
+  t.plain <- t.trace_mask = all_mask && t.union = 0
+
+let create ~trace () =
+  { tr = trace; trace_mask = all_mask; subs = []; union = 0; plain = true }
+
+let trace t = t.tr
+
+let set_trace_mask t m =
+  t.trace_mask <- m land all_mask;
+  refresh t
+
+let subscribe t ~mask fn =
+  t.subs <- t.subs @ [ { s_mask = mask land all_mask; fn } ];
+  refresh t
+
+let emit t ~at entry =
+  if t.plain then Sim.Trace.emit t.tr ~at entry
+  else begin
+    let b = bit (category_of_entry entry) in
+    if t.trace_mask land b <> 0 then Sim.Trace.emit t.tr ~at entry;
+    if t.union land b <> 0 then begin
+      let stamped = { Sim.Trace.at; entry } in
+      List.iter (fun s -> if s.s_mask land b <> 0 then s.fn stamped) t.subs
+    end
+  end

@@ -93,10 +93,27 @@ val pp_stamped : Format.formatter -> stamped -> unit
 (** One entry with its timestamp, as a single line. *)
 
 val responses : t -> tid:int -> Model.Time.t list
-(** Chronological job response times of one task — the raw series for
-    jitter statistics.  Empty under [keep_entries:false]. *)
+(** Job response times of one task — the raw series for jitter
+    statistics.  With [keep_entries:true] this is the exact
+    chronological series.  Under [keep_entries:false] it no longer
+    returns [] (as it did before the observability layer): a per-task
+    {!Util.Hist} is maintained online in O(1) memory and the result is
+    its sorted re-expansion — same length as the true series, each
+    value a bucket representative within [2 / Util.Hist.sub_buckets]
+    relative error, chronology not preserved. *)
+
+val response_hist : t -> tid:int -> Util.Hist.t
+(** The response-time distribution of one task as a histogram.  Under
+    [keep_entries:false] this is the online histogram itself (O(1)
+    memory); with [keep_entries:true] it is rebuilt from the exact
+    entry list, so both modes agree up to bucket resolution. *)
 
 val to_csv : t -> string
 (** Machine-readable dump: [time_ns,kind,tid,detail] per entry, for
     external timeline tooling.  Empty (header only) when the trace was
     created with [keep_entries:false]. *)
+
+val csv_fields : entry -> string * int * string
+(** [(kind, tid, detail)] as rendered by {!to_csv} ([tid] is [-1] for
+    entries with no owning task).  Exposed so external exporters
+    (Perfetto, Prometheus) name events consistently with the CSV. *)

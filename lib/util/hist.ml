@@ -1,0 +1,179 @@
+(* HdrHistogram-style log-bucketed counters.
+
+   Index layout, with [sub = 64] and [half = 32]:
+   - values 0..63: exact, index = value;
+   - values >= 64: let [msb] be the position of the highest set bit
+     (>= 6) and [shift = msb - 5]; the value's top six bits
+     [value lsr shift] lie in [32, 64), and
+       index = sub + (shift - 1) * half + (value lsr shift) - half.
+     Bucket [index] then covers [shift] consecutive integers starting
+     at [(offset + half) lsl shift], so the relative bucket width is
+     at most [1 / half]. *)
+
+let sub_buckets = 64
+let half = sub_buckets / 2
+let sub_bits = 6 (* log2 sub_buckets *)
+
+(* [counts] is a window over the full index space: slot [i] holds the
+   count for bucket [base + i].  Samples from one source cluster (a
+   task's response times span a few octaves at most), so the window
+   stays small enough for the minor heap instead of eagerly covering
+   every index from 0 — emitting into a histogram must stay cheap
+   enough to live on the kernel's trace path. *)
+type t = {
+  mutable counts : int array;
+  mutable base : int; (* bucket index of counts.(0); 0 when empty *)
+  mutable n : int;
+  mutable min_v : int;
+  mutable max_v : int;
+  mutable sum : int;
+}
+
+let initial_window = 16
+
+let create () = { counts = [||]; base = 0; n = 0; min_v = 0; max_v = 0; sum = 0 }
+
+let msb_position v =
+  (* position of the highest set bit; requires v >= 1 *)
+  let r = ref 0 and x = ref v in
+  if !x >= 1 lsl 32 then begin
+    x := !x lsr 32;
+    r := !r + 32
+  end;
+  if !x >= 1 lsl 16 then begin
+    x := !x lsr 16;
+    r := !r + 16
+  end;
+  if !x >= 1 lsl 8 then begin
+    x := !x lsr 8;
+    r := !r + 8
+  end;
+  if !x >= 1 lsl 4 then begin
+    x := !x lsr 4;
+    r := !r + 4
+  end;
+  if !x >= 1 lsl 2 then begin
+    x := !x lsr 2;
+    r := !r + 2
+  end;
+  if !x >= 2 then incr r;
+  !r
+
+let index_of v =
+  if v < sub_buckets then v
+  else
+    let shift = msb_position v - sub_bits + 1 in
+    sub_buckets + ((shift - 1) * half) + (v lsr shift) - half
+
+(* Inclusive lower bound of bucket [idx] (monotone in idx). *)
+let bucket_lo idx =
+  if idx < sub_buckets then idx
+  else
+    let g = ((idx - sub_buckets) / half) + 1
+    and o = (idx - sub_buckets) mod half in
+    (o + half) lsl g
+
+let bucket_hi idx = bucket_lo (idx + 1) - 1
+
+let representative idx =
+  if idx < sub_buckets then idx else (bucket_lo idx + bucket_hi idx) / 2
+
+let ensure t idx =
+  let len = Array.length t.counts in
+  if len = 0 then begin
+    t.base <- idx;
+    t.counts <- Array.make initial_window 0
+  end
+  else if idx < t.base then begin
+    (* extend the window downward, keeping amortised-constant growth *)
+    let nbase = min idx (t.base - len) in
+    let counts = Array.make (t.base + len - nbase) 0 in
+    Array.blit t.counts 0 counts (t.base - nbase) len;
+    t.counts <- counts;
+    t.base <- nbase
+  end
+  else if idx - t.base >= len then begin
+    let counts = Array.make (max (idx - t.base + 1) (2 * len)) 0 in
+    Array.blit t.counts 0 counts 0 len;
+    t.counts <- counts
+  end
+
+let observe t v =
+  if v < 0 then invalid_arg "Hist.observe: negative sample";
+  let idx = index_of v in
+  ensure t idx;
+  t.counts.(idx - t.base) <- t.counts.(idx - t.base) + 1;
+  if t.n = 0 || v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v;
+  t.n <- t.n + 1;
+  t.sum <- t.sum + v
+
+let count t = t.n
+let sum t = t.sum
+let min_value t = if t.n = 0 then 0 else t.min_v
+let max_value t = if t.n = 0 then 0 else t.max_v
+let mean t = if t.n = 0 then 0.0 else float_of_int t.sum /. float_of_int t.n
+
+let quantile t p =
+  if t.n = 0 then invalid_arg "Hist.quantile: empty histogram";
+  if p < 0.0 || p > 1.0 then invalid_arg "Hist.quantile: p out of [0, 1]";
+  (* nearest-rank, matching Stats.percentile *)
+  let rank =
+    Intmath.clamp ~lo:1 ~hi:t.n
+      (int_of_float (ceil (p *. float_of_int t.n)))
+  in
+  let acc = ref 0 and found = ref (-1) and i = ref 0 in
+  let len = Array.length t.counts in
+  while !found < 0 && !i < len do
+    acc := !acc + t.counts.(!i);
+    if !acc >= rank then found := t.base + !i;
+    incr i
+  done;
+  Intmath.clamp ~lo:t.min_v ~hi:t.max_v (representative !found)
+
+let merge a b =
+  if a.n = 0 then { b with counts = Array.copy b.counts }
+  else if b.n = 0 then { a with counts = Array.copy a.counts }
+  else begin
+    let base = min a.base b.base in
+    let hi (s : t) = s.base + Array.length s.counts in
+    let counts = Array.make (max (hi a) (hi b) - base) 0 in
+    let add (src : t) =
+      Array.iteri
+        (fun i c -> counts.(src.base + i - base) <- counts.(src.base + i - base) + c)
+        src.counts
+    in
+    add a;
+    add b;
+    {
+      counts;
+      base;
+      n = a.n + b.n;
+      min_v = min a.min_v b.min_v;
+      max_v = max a.max_v b.max_v;
+      sum = a.sum + b.sum;
+    }
+  end
+
+let buckets t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then
+        acc := (bucket_lo (t.base + i), bucket_hi (t.base + i), c) :: !acc)
+    t.counts;
+  List.rev !acc
+
+let samples t =
+  List.concat_map
+    (fun (lo, hi, c) ->
+      let v = Intmath.clamp ~lo:t.min_v ~hi:t.max_v ((lo + hi) / 2) in
+      List.init c (fun _ -> v))
+    (buckets t)
+
+let pp ppf t =
+  if t.n = 0 then Format.pp_print_string ppf "n=0"
+  else
+    Format.fprintf ppf "n=%d mean=%.1f p50=%d p95=%d p99=%d max=%d" t.n
+      (mean t) (quantile t 0.5) (quantile t 0.95) (quantile t 0.99)
+      (max_value t)

@@ -1,0 +1,66 @@
+(** Log-bucketed streaming histogram.
+
+    The observability layer ([lib/obs]) and the trace's counters-only
+    mode need per-task latency distributions in O(1) memory: thousands
+    of breakdown-utilization simulations cannot retain per-event lists,
+    yet the evaluation wants p50/p95/p99 response times.  This is an
+    HdrHistogram-style fixed-precision recorder for non-negative
+    integer samples (nanoseconds throughout the kernel):
+
+    - values below {!sub_buckets} land in exact unit-width buckets;
+    - above that, each power-of-two octave is split into
+      [sub_buckets / 2] sub-buckets, bounding the relative quantile
+      error by [2 / sub_buckets] (3.125% at the default 64).
+
+    [min], [max], [count] and [sum] are tracked exactly, so [quantile
+    _ 1.0] is the true maximum and the mean is exact; only interior
+    quantiles carry the bucket-width error. *)
+
+type t
+
+val sub_buckets : int
+(** Precision parameter (64): values in [[0, sub_buckets)] are exact;
+    larger values have relative bucket width <= [2 / sub_buckets]. *)
+
+val create : unit -> t
+
+val observe : t -> int -> unit
+(** Record one sample.  @raise Invalid_argument on a negative value. *)
+
+val count : t -> int
+val sum : t -> int
+
+val min_value : t -> int
+(** Exact smallest sample; 0 when empty. *)
+
+val max_value : t -> int
+(** Exact largest sample; 0 when empty. *)
+
+val mean : t -> float
+(** Exact mean; 0.0 when empty. *)
+
+val quantile : t -> float -> int
+(** [quantile t p] with [p] in [0, 1]: nearest-rank quantile (the same
+    convention as [Stats.percentile]) over the bucketed samples.  The
+    result is a bucket representative clamped into
+    [[min_value, max_value]], within [2 / sub_buckets] relative error
+    of the exact sample quantile.  Requires a non-empty histogram.
+    @raise Invalid_argument when empty or [p] is out of range. *)
+
+val merge : t -> t -> t
+(** Bucket-wise sum; commutative and associative.  The arguments are
+    not modified. *)
+
+val samples : t -> int list
+(** The recorded distribution re-expanded to a sorted list: each
+    non-empty bucket contributes [count] copies of its representative.
+    Values are approximate (bucket representatives), the length is
+    exactly {!count} — the degraded-mode backing for
+    [Sim.Trace.responses]. *)
+
+val buckets : t -> (int * int * int) list
+(** Non-empty buckets as [(lo, hi, count)], ascending and disjoint;
+    for renderers. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: count, mean, p50/p95/p99, max. *)

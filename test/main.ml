@@ -16,6 +16,7 @@ let () =
       ("footprint", Test_footprint.suite);
       ("experiments", Test_experiments.suite);
       ("extensions", Test_extensions.suite);
+      ("obs", Test_obs.suite);
       ("lint", Test_lint.suite);
       ("absint", Test_absint.suite);
       ("fault", Test_fault.suite);

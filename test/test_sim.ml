@@ -177,9 +177,119 @@ let test_trace_csv () =
        (fun l -> l = Printf.sprintf "%d,release,3,job=1 deadline=%d" (ms 1) (ms 5))
        lines)
 
+(* One witness per constructor; keep in sync with Sim.Trace.entry (the
+   count check below trips when a constructor is added here, and the
+   compiler's exhaustiveness warning in Trace.emit / Metrics.observe
+   trips when one is added there). *)
+let every_entry : Sim.Trace.entry list =
+  [
+    Job_release { tid = 1; job = 1; deadline = ms 5 };
+    Job_complete { tid = 1; job = 1; response = ms 2 };
+    Deadline_miss { tid = 1; job = 1; lateness = us 3 };
+    Context_switch { from_tid = Some 1; to_tid = None };
+    Thread_block { tid = 1; reason = "sem" };
+    Thread_unblock { tid = 1 };
+    Sem_acquired { tid = 1; sem = 2 };
+    Sem_blocked { tid = 1; sem = 2 };
+    Sem_released { tid = 1; sem = 2 };
+    Priority_inherit { holder = 1; from_tid = 2 };
+    Priority_restore { holder = 1 };
+    Msg_sent { tid = 1; mailbox = 0; words = 4 };
+    Msg_received { tid = 1; mailbox = 0; words = 4; queued_for = us 7 };
+    State_written { tid = 1; state = 0; seq = 1 };
+    State_read { tid = 1; state = 0; seq = 1 };
+    Interrupt { irq = 9 };
+    Overhead { category = "sched.select"; cost = us 1 };
+    Budget_overrun { tid = 1; job = 1; used = us 9; budget = us 8 };
+    Job_killed { tid = 1; job = 1 };
+    Job_shed { tid = 1; job = 2; reason = "skip-over" };
+    Note "marker";
+  ]
+
+let test_trace_exhaustive_render () =
+  check int "witness per constructor" 21 (List.length every_entry);
+  let tr = Sim.Trace.create () in
+  List.iteri (fun i e -> Sim.Trace.emit tr ~at:(us i) e) every_entry;
+  (* to_csv: one data row per entry, each with a non-empty kind *)
+  let csv_lines = String.split_on_char '\n' (String.trim (Sim.Trace.to_csv tr)) in
+  check int "csv rows" (List.length every_entry + 1) (List.length csv_lines);
+  let kinds =
+    List.map
+      (fun e ->
+        let k, _, _ = Sim.Trace.csv_fields e in
+        check bool "csv kind non-empty" true (k <> "");
+        k)
+      every_entry
+  in
+  check int "csv kinds distinct" (List.length every_entry)
+    (List.length (List.sort_uniq compare kinds));
+  (* pp_stamped: every constructor renders as a distinct line *)
+  let rendered =
+    List.map
+      (fun e ->
+        let s = Format.asprintf "%a" Sim.Trace.pp_stamped { at = 0; entry = e } in
+        check bool "pp_stamped non-empty" true (String.length s > 10);
+        s)
+      every_entry
+  in
+  check int "pp_stamped lines distinct" (List.length every_entry)
+    (List.length (List.sort_uniq compare rendered));
+  (* pp_timeline: the PR 4 enforcement kinds must show up *)
+  let timeline = Format.asprintf "%a" Sim.Trace.pp_timeline tr in
+  let contains needle =
+    let nl = String.length needle and hl = String.length timeline in
+    let rec go i =
+      i + nl <= hl && (String.sub timeline i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      check bool (needle ^ " in timeline") true (contains needle))
+    [ "OVERRUN"; "KILL"; "SHED"; "MISS"; "release"; "complete"; "switch" ]
+
+let test_trace_responses_degraded () =
+  let exact = [ 120_000; 45_000; 45_000; 3_000_000; 7 ] in
+  let feed tr =
+    List.iteri
+      (fun i r ->
+        Sim.Trace.emit tr ~at:(ms i)
+          (Sim.Trace.Job_complete { tid = 4; job = i; response = r }))
+      exact
+  in
+  (* keep_entries:true — exact chronological series, as before *)
+  let kept = Sim.Trace.create () in
+  feed kept;
+  check (list int) "kept: exact order" exact (Sim.Trace.responses kept ~tid:4);
+  (* keep_entries:false — no longer []: bucketed values, same length *)
+  let degraded = Sim.Trace.create ~keep_entries:false () in
+  feed degraded;
+  let got = Sim.Trace.responses degraded ~tid:4 in
+  check int "degraded: same count" (List.length exact) (List.length got);
+  check (list int) "degraded: sorted" (List.sort compare got) got;
+  List.iter2
+    (fun e g ->
+      let tol = 2.0 /. float_of_int Util.Hist.sub_buckets in
+      if abs_float (float_of_int (g - e)) > (tol *. float_of_int e) +. 1.0 then
+        Alcotest.failf "degraded response %d too far from exact %d" g e)
+    (List.sort compare exact)
+    got;
+  check (list int) "degraded: absent task still []" []
+    (Sim.Trace.responses degraded ~tid:9);
+  (* response_hist agrees across modes up to bucketing *)
+  let hk = Sim.Trace.response_hist kept ~tid:4 in
+  let hd = Sim.Trace.response_hist degraded ~tid:4 in
+  check int "hist counts agree" (Util.Hist.count hk) (Util.Hist.count hd);
+  check int "hist max exact in both" (Util.Hist.max_value hk)
+    (Util.Hist.max_value hd)
+
 let suite =
   [
     test_case "engine: time order" `Quick test_engine_order;
+    test_case "trace: every constructor renders" `Quick
+      test_trace_exhaustive_render;
+    test_case "trace: responses degrade gracefully" `Quick
+      test_trace_responses_degraded;
     test_case "trace: csv export" `Quick test_trace_csv;
     test_case "engine: FIFO ties" `Quick test_engine_fifo_ties;
     test_case "engine: cancel" `Quick test_engine_cancel;
