@@ -164,6 +164,14 @@ let obs_flightrec_subject () =
   Obs.Flightrec.attach fr (Emeralds.Kernel.probe k);
   Emeralds.Kernel.run k ~until:(Model.Time.ms 100)
 
+(* lib/campaign: the generation half of a 1000-scenario campaign.
+   Spec streams are split off seed and index alone, so this is the
+   fixed up-front cost every campaign pays before any oracle runs —
+   and the piece whose cost scales with --count rather than with
+   scenario difficulty. *)
+let campaign_gen_subject ~seed () =
+ fun () -> ignore (Workload.Generator.scenario_specs ~seed ~count:1000 ())
+
 let tests ~seed =
   Test.make_grouped ~name:"emeralds"
     [
@@ -193,6 +201,8 @@ let tests ~seed =
         (Staged.stage (state_msg_subject ()));
       Test.make ~name:"absint/analyze-engine"
         (Staged.stage (absint_subject ()));
+      Test.make ~name:"campaign/gen-1k"
+        (Staged.stage (campaign_gen_subject ~seed ()));
       Test.make ~name:"cyclic/table-generation"
         (Staged.stage (fun () ->
              ignore

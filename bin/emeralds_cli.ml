@@ -2,89 +2,7 @@
    analyze workloads off-line, and run kernel simulations. *)
 
 open Cmdliner
-
-(* ------------------------------------------------------------------ *)
-(* Shared arguments *)
-
-let sched_conv =
-  let parse s =
-    match String.lowercase_ascii s with
-    | "edf" -> Ok Emeralds.Sched.Edf
-    | "rm" -> Ok Emeralds.Sched.Rm
-    | "rm-heap" | "rmheap" -> Ok Emeralds.Sched.Rm_heap
-    | other ->
-      (* csd2 / csd3 / csd4, or an explicit partition "csd:3,4" *)
-      if String.length other > 4 && String.sub other 0 4 = "csd:" then
-        try
-          let sizes =
-            String.split_on_char ','
-              (String.sub other 4 (String.length other - 4))
-            |> List.map int_of_string
-          in
-          Ok (Emeralds.Sched.Csd sizes)
-        with _ -> Error (`Msg "bad CSD partition, expected csd:S1,S2,...")
-      else if other = "csd2" then Ok (Emeralds.Sched.Csd [ 3 ])
-      else if other = "csd3" then Ok (Emeralds.Sched.Csd [ 2; 3 ])
-      else if other = "csd4" then Ok (Emeralds.Sched.Csd [ 2; 2; 3 ])
-      else Error (`Msg (Printf.sprintf "unknown scheduler %S" s))
-  in
-  let print ppf spec = Format.pp_print_string ppf (Emeralds.Sched.spec_name spec) in
-  Arg.conv (parse, print)
-
-let preset_conv =
-  let parse = function
-    | "table2" -> Ok Workload.Presets.table2
-    | "engine" -> Ok Workload.Presets.engine_control
-    | "avionics" -> Ok Workload.Presets.avionics
-    | "voice" -> Ok Workload.Presets.voice
-    | s -> Error (`Msg (Printf.sprintf "unknown preset %S" s))
-  in
-  Arg.conv (parse, fun ppf _ -> Format.pp_print_string ppf "<taskset>")
-
-let preset =
-  Arg.(
-    value
-    & opt (some preset_conv) None
-    & info [ "preset" ] ~docv:"NAME"
-        ~doc:"Named workload: table2, engine, avionics or voice.")
-
-let random_n =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "random" ] ~docv:"N" ~doc:"Generate a random N-task workload.")
-
-let seed =
-  Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Random seed.")
-
-let file =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "file" ] ~docv:"PATH"
-        ~doc:"Load the task set from a spec file (see lib/workload/spec_file.mli).")
-
-(* Exit-code convention, shared by every subcommand: 0 = clean, 1 =
-   findings/violations in an otherwise valid run, 2 = bad invocation
-   (unknown name, unreadable file, conflicting arguments). *)
-let bad_invocation fmt =
-  Printf.ksprintf
-    (fun msg ->
-      prerr_endline msg;
-      exit 2)
-    fmt
-
-let taskset_of ~preset ~random_n ~file ~seed =
-  match (preset, random_n, file) with
-  | Some ts, None, None -> ts
-  | None, Some n, None ->
-    Workload.Generator.random_taskset ~rng:(Util.Rng.create ~seed) ~n ()
-  | None, None, Some path -> (
-    match Workload.Spec_file.load path with
-    | Ok ts -> ts
-    | Error msg -> bad_invocation "cannot load task set: %s" msg)
-  | None, None, None -> Workload.Presets.table2
-  | _ -> bad_invocation "give exactly one of --preset, --random, --file"
+open Cli_common
 
 (* ------------------------------------------------------------------ *)
 (* experiment *)
@@ -823,37 +741,6 @@ let check_cmd =
 (* ------------------------------------------------------------------ *)
 (* inject (fault injection + enforcement report) *)
 
-(* Shared by inject and trace: a ring must hold at least one slot and
-   stay inside the paper's total-memory envelope (a recorder bigger
-   than the whole kernel budget defeats the point of bounded
-   recording). *)
-let validated_ring_bytes bytes =
-  if bytes < Obs.Flightrec.slot_bytes then
-    bad_invocation "--ring-bytes %d is smaller than one %d-byte slot" bytes
-      Obs.Flightrec.slot_bytes;
-  let _, envelope_hi = Emeralds.Footprint.envelope in
-  if bytes > envelope_hi then
-    bad_invocation "--ring-bytes %d exceeds the %d-byte memory envelope" bytes
-      envelope_hi;
-  bytes
-
-let category_mask_of_names spec =
-  match spec with
-  | None -> Obs.Probe.all_mask
-  | Some s ->
-    let cats =
-      List.map
-        (fun name ->
-          match Obs.Probe.category_of_name (String.lowercase_ascii name) with
-          | Some c -> c
-          | None ->
-            bad_invocation "unknown category %S (expected: %s)" name
-              (String.concat ", "
-                 (List.map Obs.Probe.category_name Obs.Probe.all_categories)))
-        (String.split_on_char ',' s)
-    in
-    Obs.Probe.mask_of cats
-
 let inject_cmd =
   let preset_name =
     Arg.(
@@ -1304,6 +1191,173 @@ let footprint_cmd =
     (Cmd.info "footprint" ~doc:"Kernel code-size budget and RAM model")
     Term.(const run $ preset_name)
 
+(* ------------------------------------------------------------------ *)
+(* campaign (differential soundness fuzzing) *)
+
+let campaign_cmd =
+  let count =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Generated scenarios to evaluate.")
+  in
+  let tasks =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tasks" ] ~docv:"N"
+          ~doc:"Tasks per generated scenario (default: 3-8, drawn per \
+                scenario).")
+  in
+  let target_u =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "target-u" ] ~docv:"U"
+          ~doc:
+            "Target utilization of each generated set (default: drawn in \
+             [0.35, 0.75]).")
+  in
+  let family =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "family" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf
+               "Scenario family: %s (default: a random draw per scenario)."
+               (String.concat ", "
+                  (List.map Workload.Generator.family_name
+                     Workload.Generator.families))))
+  in
+  let oracles =
+    Arg.(
+      value & opt string "all"
+      & info [ "oracles" ] ~docv:"O1,O2"
+          ~doc:
+            (Printf.sprintf
+               "Oracles to evaluate (comma-separated, or 'all'). Known: %s."
+               (String.concat ", "
+                  (List.map Campaign.Oracle.name Campaign.Oracle.all))))
+  in
+  let shrink =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:
+            "Greedily shrink each falsifying scenario (drop tasks, then \
+             segments) to a minimal spec that still falsifies the same \
+             oracle.")
+  in
+  let ablate =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ablate" ] ~docv:"NAME"
+          ~doc:
+            "Deliberately weaken one static layer (rta-blocking: drop \
+             blocking terms; absint-demand: halve demand bounds) to prove \
+             the campaign detects unsoundness. Findings are expected; the \
+             exit code is still 1.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the summary as JSON.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: sarif (SARIF 2.1.0, one run per tool driver; \
+             findings are routed to the layer they indict).")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Stream every simulated kernel event through lib/obs metrics \
+             and append the aggregate digest (response/blocking/latency \
+             histograms over the whole campaign) to the text report.")
+  in
+  let run count seed tasks target_u family oracles shrink ablate json format
+      metrics =
+    (match format with
+    | None | Some "sarif" -> ()
+    | Some f -> bad_invocation "unknown format %S (expected: sarif)" f);
+    if count <= 0 then bad_invocation "--count must be positive";
+    let family =
+      Option.map
+        (fun f ->
+          match Workload.Generator.family_of_string f with
+          | Some f -> f
+          | None ->
+            bad_invocation "unknown family %S (expected: %s)" f
+              (String.concat ", "
+                 (List.map Workload.Generator.family_name
+                    Workload.Generator.families)))
+        family
+    in
+    let oracles =
+      match Campaign.Oracle.parse_list oracles with
+      | Ok l -> l
+      | Error e -> bad_invocation "bad --oracles: %s" e
+    in
+    let ablation =
+      match ablate with
+      | None -> Campaign.Oracle.No_ablation
+      | Some a -> (
+        match Campaign.Oracle.ablation_of_string a with
+        | Some a -> a
+        | None ->
+          bad_invocation "unknown ablation %S (expected: %s)" a
+            (String.concat ", "
+               (List.map Campaign.Oracle.ablation_name
+                  Campaign.Oracle.ablations)))
+    in
+    (* Findings stream to stderr as they fire, so long campaigns are
+       not silent until the final report; stdout stays a single clean
+       document in every format. *)
+    let progress =
+      Some
+        (fun i (f : Campaign.Oracle.finding) ->
+          Printf.eprintf "falsified gen-%d: %s %s\n%!" i
+            (Campaign.Oracle.name f.oracle)
+            f.message)
+    in
+    let s =
+      Campaign.Driver.run
+        {
+          Campaign.Driver.default_config with
+          seed;
+          count;
+          family;
+          n_tasks = tasks;
+          target_u;
+          oracles;
+          ablation;
+          shrink;
+          collect_metrics = metrics;
+          progress;
+        }
+    in
+    if format = Some "sarif" then print_endline (Campaign.Report.to_sarif s)
+    else if json then print_string (Campaign.Report.to_json s)
+    else print_string (Campaign.Report.render_text s);
+    if Campaign.Driver.falsifications s > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Differential soundness campaign: generate scenarios and check \
+          that every static claim (RTA bounds, absint demand, MC \
+          properties) dominates every dynamic observation, shrinking and \
+          reporting falsifications as SARIF")
+    Term.(
+      const run $ count $ seed $ tasks $ target_u $ family $ oracles $ shrink
+      $ ablate $ json $ format $ metrics)
+
 let () =
   let info =
     Cmd.info "emeralds_cli" ~version:"1.0.0"
@@ -1315,5 +1369,5 @@ let () =
           [
             experiment_cmd; schedulability_cmd; analyze_cmd; simulate_cmd;
             sensitivity_cmd; lint_cmd; check_cmd; inject_cmd; trace_cmd;
-            footprint_cmd;
+            footprint_cmd; campaign_cmd;
           ]))

@@ -232,6 +232,11 @@ let blocking_terms t =
                      Analysis.Blocking.task_rank = tb.rank;
                      sem = h.sem.Types.sem_id;
                      duration = hi;
+                     (* the abstract hold analysis is per-task and does
+                        not recover nesting; transitive waits are the
+                        lint extraction's job *)
+                     nested = [];
+                     chained = [];
                    }
                | None -> None)
              tb.summary.holds)

@@ -1,0 +1,360 @@
+(* Evaluate one generated scenario against the oracle lattice.
+
+   Each oracle compares two independently built layers of the repo;
+   the scenario is re-realized for every stateful consumer (statics,
+   each simulation, the model checker) so no kernel-object state leaks
+   between them.  All comparisons replicate exactly what the CLI's
+   individual subcommands would compute — the campaign adds nothing
+   but the cross-layer diff. *)
+
+type t = {
+  findings : Oracle.finding list;
+  stat_us : int;  (** wall time of lint + absint + RTA, microseconds *)
+  sim_us : int;  (** wall time of the two simulations *)
+  mc_us : int;  (** wall time of the model checker *)
+  mc_expansions : int;
+  mc_truncated : bool;
+  metrics : Obs.Metrics.t option;  (** folded from the enforced trace *)
+}
+
+let now_us () = int_of_float (Unix.gettimeofday () *. 1e6)
+
+(* Trace normalization for the IDENT oracle: object ids are allocated
+   by realization order, which differs between two [realize] calls of
+   the same spec only in identity, never in role.  Rank every id space
+   by first appearance so two runs of the same program compare
+   bit-identically. *)
+let norm_sig k =
+  let sems = Hashtbl.create 8
+  and mbs = Hashtbl.create 8
+  and sms = Hashtbl.create 8 in
+  let rank tbl id =
+    match Hashtbl.find_opt tbl id with
+    | Some r -> r
+    | None ->
+      let r = Hashtbl.length tbl in
+      Hashtbl.add tbl id r;
+      r
+  in
+  let rewrite_note s =
+    (* notes embed raw sem ids in free text ("held back awaiting
+       semN"); send them through the same rank map *)
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      if
+        !i + 3 < n
+        && String.sub s !i 3 = "sem"
+        && s.[!i + 3] >= '0'
+        && s.[!i + 3] <= '9'
+      then begin
+        let j = ref (!i + 3) in
+        while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do
+          incr j
+        done;
+        let id = int_of_string (String.sub s (!i + 3) (!j - (!i + 3))) in
+        Buffer.add_string buf (Printf.sprintf "sem%d" (rank sems id));
+        i := !j
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  in
+  let tr = Emeralds.Kernel.trace k in
+  let entries =
+    List.map
+      (fun (st : Sim.Trace.stamped) ->
+        let entry =
+          match st.entry with
+          | Sim.Trace.Sem_acquired { tid; sem } ->
+            Sim.Trace.Sem_acquired { tid; sem = rank sems sem }
+          | Sem_blocked { tid; sem } -> Sem_blocked { tid; sem = rank sems sem }
+          | Sem_released { tid; sem } ->
+            Sem_released { tid; sem = rank sems sem }
+          | Msg_sent { tid; mailbox; words } ->
+            Msg_sent { tid; mailbox = rank mbs mailbox; words }
+          | Msg_received { tid; mailbox; words; queued_for } ->
+            Msg_received { tid; mailbox = rank mbs mailbox; words; queued_for }
+          | State_written { tid; state; seq } ->
+            State_written { tid; state = rank sms state; seq }
+          | State_read { tid; state; seq } ->
+            State_read { tid; state = rank sms state; seq }
+          | Note s -> Note (rewrite_note s)
+          | e -> e
+        in
+        { st with entry })
+      (Sim.Trace.entries tr)
+  in
+  (entries, Sim.Trace.busy_time tr, Sim.Trace.context_switches tr)
+
+(* RTA's bounds only claim anything for tasks whose programs the
+   response-time recurrence models: computes and bounded critical
+   sections.  Open-ended blocking (waits, receives, delays) is outside
+   the claim. *)
+let rta_eligible (sc : Workload.Scenario.t) =
+  Array.map
+    (fun (t : Model.Task.t) ->
+      List.for_all
+        (fun instr ->
+          match instr with
+          | Emeralds.Types.Wait _ | Emeralds.Types.Timed_wait _
+          | Emeralds.Types.Recv _ | Emeralds.Types.Send _
+          | Emeralds.Types.Delay _ ->
+            false
+          | _ -> true)
+        (sc.programs t))
+    (Model.Taskset.tasks sc.taskset)
+
+let sim_horizon tasks =
+  let maxp =
+    Array.fold_left (fun a (t : Model.Task.t) -> max a t.period) 0 tasks
+  in
+  min (2 * maxp) (Model.Time.ms 1000)
+
+(* Sporadic arrivals are part of the scenario, not the engine: an
+   observer triggers them from a dedicated split stream so both
+   simulation runs and reruns see identical arrival times. *)
+let sporadic_observer (spec : Workload.Generator.spec) ~horizon k =
+  List.iter
+    (fun (t : Workload.Generator.task_spec) ->
+      if t.g_sporadic then begin
+        let rng = Util.Rng.split (Util.Rng.create ~seed:9) (3000 + t.g_id) in
+        let now = ref 0 in
+        let draw () = t.g_period + Util.Rng.int rng (max 1 (t.g_period / 4)) in
+        now := draw ();
+        while !now <= horizon do
+          Emeralds.Kernel.trigger_job_at k ~at:!now ~tid:t.g_id;
+          now := !now + draw ()
+        done
+      end)
+    spec.s_tasks
+
+let declared_enforcement =
+  {
+    Emeralds.Kernel.budget_of = Fault.Inject.declared_budgets;
+    policy = Emeralds.Kernel.Notify_only;
+    miss = Emeralds.Kernel.Miss_record;
+    shed_one_in = None;
+  }
+
+let run_sim (spec : Workload.Generator.spec) ~horizon ~enforcement =
+  let cfg =
+    Fault.Inject.default_config
+      ~scenario:(Workload.Generator.realize spec)
+      ~horizon ~seed:9 ()
+  in
+  let cfg =
+    { cfg with observer = Some (sporadic_observer spec ~horizon); enforcement }
+  in
+  (Fault.Inject.run cfg).kernel
+
+let empty =
+  {
+    findings = [];
+    stat_us = 0;
+    sim_us = 0;
+    mc_us = 0;
+    mc_expansions = 0;
+    mc_truncated = false;
+    metrics = None;
+  }
+
+let wants oracles k = List.mem k oracles
+
+let run ?(oracles = Oracle.all) ?(ablation = Oracle.No_ablation)
+    ?(collect_metrics = false) ~index (spec : Workload.Generator.spec) =
+  let findings = ref [] in
+  let add oracle ?task message =
+    findings :=
+      { Oracle.oracle; scenario = spec.s_name; index; task; message }
+      :: !findings
+  in
+  (* -- static phase: lint, absint, RTA ----------------------------- *)
+  let t0 = now_us () in
+  let sc = Workload.Generator.realize spec in
+  let tasks = Model.Taskset.tasks sc.taskset in
+  let ctx =
+    Lint.Ctx.make ~irq_signals:sc.irq_signals ~irq_writes:sc.irq_writes
+      ~taskset:sc.taskset ~programs:sc.programs ()
+  in
+  let diags = Lint.Report.run ctx in
+  let rep = Absint.Report.analyze sc in
+  if wants oracles Validity then begin
+    List.iter
+      (fun (d : Lint.Diag.t) ->
+        if d.severity = Lint.Diag.Error then
+          add Validity ?task:d.task ("lint: " ^ d.check ^ ": " ^ d.message))
+      diags;
+    List.iter
+      (fun (d : Lint.Diag.t) ->
+        if d.severity = Lint.Diag.Error then
+          add Validity ?task:d.task ("absint: " ^ d.check ^ ": " ^ d.message))
+      rep.diags;
+    let u = Workload.Generator.spec_utilization spec in
+    if u > 1.0 then
+      add Validity (Printf.sprintf "generated utilization %.3f > 1" u)
+  end;
+  let blocking = Lint.Blocking_terms.blocking_terms ctx in
+  let blocking =
+    (* ablation: pretend blocking is free — RTA bounds shrink below
+       what the kernel actually delivers, which the campaign must
+       catch *)
+    if ablation = Oracle.Rta_blocking then Array.map (fun _ -> 0) blocking
+    else blocking
+  in
+  let rows =
+    Analysis.Overhead.inflate ~cost:Sim.Cost.m68040 ~spec:Emeralds.Sched.Rm
+      sc.taskset
+  in
+  let rta =
+    Array.init (Array.length tasks) (fun i ->
+        Analysis.Rta.response_time ~blocking ~tasks:rows i)
+  in
+  let eligible = rta_eligible sc in
+  let stat_us = now_us () - t0 in
+  (* -- simulation phase -------------------------------------------- *)
+  let horizon = sim_horizon tasks in
+  let need_sim =
+    wants oracles Rta_sim || wants oracles Demand || wants oracles Ident
+    || collect_metrics
+  in
+  let t0 = now_us () in
+  let enforced =
+    if need_sim then Some (run_sim spec ~horizon ~enforcement:(Some declared_enforcement))
+    else None
+  in
+  let plain =
+    if wants oracles Ident then Some (run_sim spec ~horizon ~enforcement:None)
+    else None
+  in
+  let sim_us = now_us () - t0 in
+  (match (enforced, plain) with
+  | Some e, Some p when norm_sig e <> norm_sig p ->
+    let en, eb, es = norm_sig e and pn, pb, ps = norm_sig p in
+    add Ident
+      (Printf.sprintf
+         "enforcement at declared budgets diverges: entries %d/%d busy %d/%d \
+          switches %d/%d"
+         (List.length en) (List.length pn) eb pb es ps)
+  | _ -> ());
+  (match enforced with
+  | Some k when wants oracles Rta_sim ->
+    let stats = Emeralds.Kernel.stats k in
+    Array.iteri
+      (fun i (t : Model.Task.t) ->
+        match rta.(i) with
+        | Some bound when eligible.(i) -> (
+          match
+            List.find_opt
+              (fun (s : Emeralds.Kernel.task_stats) -> s.tid = t.id)
+              stats
+          with
+          | Some s when s.misses > 0 ->
+            add Rta_sim ~task:t.id
+              (Printf.sprintf
+                 "RTA-feasible task missed %d deadline(s) in simulation \
+                  (bound %dus <= deadline %dus)"
+                 s.misses (bound / 1000) (t.deadline / 1000))
+          | _ -> ())
+        | _ -> ())
+      tasks
+  | _ -> ());
+  (match enforced with
+  | Some k when wants oracles Demand ->
+    (* worst observed per-job execution, from the enforcement
+       accounting plus any overrun records *)
+    let worst = Hashtbl.create 8 in
+    let note tid v =
+      let cur = Option.value ~default:0 (Hashtbl.find_opt worst tid) in
+      if v > cur then Hashtbl.replace worst tid v
+    in
+    List.iter
+      (fun (s : Emeralds.Kernel.enf_stats) -> note s.e_tid s.e_budget_used)
+      (Emeralds.Kernel.enforcement_stats k);
+    List.iter
+      (fun (st : Sim.Trace.stamped) ->
+        match st.entry with
+        | Sim.Trace.Budget_overrun { tid; used; _ } -> note tid used
+        | _ -> ())
+      (Sim.Trace.entries (Emeralds.Kernel.trace k));
+    Array.iter
+      (fun (tb : Absint.Report.task_bound) ->
+        match Absint.Itv.hi_int tb.summary.exec with
+        | Some hi ->
+          let hi = if ablation = Oracle.Absint_demand then hi / 2 else hi in
+          let used = Option.value ~default:0 (Hashtbl.find_opt worst tb.task.id) in
+          if used > hi then
+            add Demand ~task:tb.task.id
+              (Printf.sprintf "observed execution %dns > absint bound %dns"
+                 used hi)
+        | None -> ())
+      rep.tasks
+  | _ -> ());
+  let metrics =
+    match enforced with
+    | Some k when collect_metrics ->
+      let m = Obs.Metrics.create () in
+      List.iter (Obs.Metrics.observe m) (Sim.Trace.entries (Emeralds.Kernel.trace k));
+      Some m
+    | _ -> None
+  in
+  (* -- model-checking phase ---------------------------------------- *)
+  let need_mc = wants oracles Mc_props || wants oracles Rta_mc in
+  let t0 = now_us () in
+  let mc_expansions = ref 0 and mc_truncated = ref false in
+  if need_mc then begin
+    let sporadic =
+      List.filter_map
+        (fun (t : Workload.Generator.task_spec) ->
+          if t.g_sporadic then Some (t.g_id, t.g_period, t.g_period * 5 / 4)
+          else None)
+        spec.s_tasks
+    in
+    let m = Mc.Machine.of_scenario ~sporadic (Workload.Generator.realize spec) in
+    let bounds =
+      {
+        Mc.Explorer.horizon = min m.hyperperiod horizon;
+        max_states = 4000;
+        max_depth = 2000;
+      }
+    in
+    let props =
+      List.filter_map Mc.Props.by_name [ "deadlock"; "pi"; "invariants"; "tear" ]
+    in
+    let res = Mc.Explorer.check ~props ~bounds m in
+    mc_expansions := res.expansions;
+    mc_truncated := res.truncated;
+    (match res.verdict with
+    | `Violation cex ->
+      if wants oracles Mc_props then
+        add Mc_props
+          (Printf.sprintf "property %s violated after %d expansions" cex.prop
+             res.expansions)
+    | `Ok -> ());
+    if wants oracles Rta_mc then
+      Array.iteri
+        (fun i (mt : Mc.Machine.mtask) ->
+          match rta.(i) with
+          | Some bound when eligible.(i) ->
+            let obs = res.max_response.(i) in
+            if obs > bound then
+              add Rta_mc ~task:mt.tid
+                (Printf.sprintf
+                   "model-checked response %dns > RTA bound %dns" obs bound)
+          | _ -> ())
+        m.tasks
+  end;
+  let mc_us = now_us () - t0 in
+  {
+    findings = List.rev !findings;
+    stat_us;
+    sim_us;
+    mc_us;
+    mc_expansions = !mc_expansions;
+    mc_truncated = !mc_truncated;
+    metrics;
+  }

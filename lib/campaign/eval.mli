@@ -1,0 +1,37 @@
+(** Evaluate one generated scenario against the oracle lattice.
+
+    The scenario is re-realized for every stateful consumer — the
+    static analyses, each simulation run, and the model checker — so
+    no kernel-object state leaks between layers; the comparisons are
+    exactly what the individual CLI subcommands would compute. *)
+
+type t = {
+  findings : Oracle.finding list;
+  stat_us : int;  (** wall time of lint + absint + RTA, microseconds *)
+  sim_us : int;  (** wall time of the simulation runs *)
+  mc_us : int;  (** wall time of the model checker *)
+  mc_expansions : int;
+  mc_truncated : bool;
+  metrics : Obs.Metrics.t option;
+      (** event statistics folded from the enforced run's trace; only
+          when [collect_metrics] *)
+}
+
+val empty : t
+
+val norm_sig :
+  Emeralds.Kernel.t -> Sim.Trace.stamped list * Model.Time.t * int
+(** Trace signature with object ids ranked by first appearance, so two
+    realizations of the same spec compare bit-identically; returns the
+    normalized entries, busy time and context-switch count. *)
+
+val run :
+  ?oracles:Oracle.key list ->
+  ?ablation:Oracle.ablation ->
+  ?collect_metrics:bool ->
+  index:int ->
+  Workload.Generator.spec ->
+  t
+(** Evaluate the selected oracles (default {!Oracle.all}).  Phases
+    whose oracles are not selected are skipped entirely.  Exceptions
+    propagate — the driver turns them into [Crash] findings. *)

@@ -1,0 +1,63 @@
+type key = Validity | Rta_sim | Demand | Ident | Mc_props | Rta_mc | Crash
+
+let all = [ Validity; Rta_sim; Demand; Ident; Mc_props; Rta_mc; Crash ]
+
+let name = function
+  | Validity -> "validity"
+  | Rta_sim -> "rta-sim"
+  | Demand -> "demand"
+  | Ident -> "ident"
+  | Mc_props -> "mc"
+  | Rta_mc -> "rta-mc"
+  | Crash -> "crash"
+
+let of_string s =
+  let s = String.lowercase_ascii (String.trim s) in
+  List.find_opt (fun k -> name k = s) all
+
+let parse_list spec =
+  match String.lowercase_ascii (String.trim spec) with
+  | "all" -> Ok all
+  | _ ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | s :: rest -> (
+        match of_string s with
+        | Some k -> go (k :: acc) rest
+        | None -> Error (Printf.sprintf "unknown oracle %S" (String.trim s)))
+    in
+    go [] (String.split_on_char ',' spec)
+
+let description = function
+  | Validity ->
+    "generated scenarios are well-formed: lint clean, absint clean, \
+     admissible utilization"
+  | Rta_sim -> "RTA-feasible tasks never miss a deadline in simulation"
+  | Demand -> "absint demand intervals dominate observed job execution"
+  | Ident ->
+    "enforcement with declared budgets is bit-identical to an unenforced run"
+  | Mc_props ->
+    "model checker finds no deadlock / PI / invariant / tear violation"
+  | Rta_mc -> "RTA bounds dominate model-checked worst-case responses"
+  | Crash -> "no oracle run raises (kernel invariants hold)"
+
+type ablation = No_ablation | Rta_blocking | Absint_demand
+
+let ablations = [ No_ablation; Rta_blocking; Absint_demand ]
+
+let ablation_name = function
+  | No_ablation -> "none"
+  | Rta_blocking -> "rta-blocking"
+  | Absint_demand -> "absint-demand"
+
+let ablation_of_string s =
+  let s = String.lowercase_ascii (String.trim s) in
+  List.find_opt (fun a -> ablation_name a = s) ablations
+
+type finding = {
+  oracle : key;
+  scenario : string;
+  index : int;
+  task : int option;
+  message : string;
+}

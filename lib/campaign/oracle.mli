@@ -1,0 +1,50 @@
+(** The campaign's oracle-domination lattice.
+
+    Each oracle is a dominance claim between two independent layers of
+    the repo: a static bound must dominate every dynamic observation,
+    and independent dynamic engines must agree with each other.  A
+    scenario on which a claim fails is a {e falsification} — evidence
+    that one of the layers (analysis, kernel, checker, or the
+    generator's validity argument) is wrong. *)
+
+type key =
+  | Validity  (** generated scenarios pass lint and absint with admissible U *)
+  | Rta_sim  (** RTA-feasible tasks never miss in simulation *)
+  | Demand  (** absint exec intervals >= observed per-job execution *)
+  | Ident  (** enforcement at declared budgets is trace-bit-identical *)
+  | Mc_props  (** deadlock / PI / invariant / tear properties hold *)
+  | Rta_mc  (** RTA bounds >= model-checked worst-case responses *)
+  | Crash  (** no oracle evaluation raises *)
+
+val all : key list
+(** Every oracle, in evaluation order.  [Crash] is the implicit
+    "nothing raised" claim; it is checked whenever any oracle runs. *)
+
+val name : key -> string
+val of_string : string -> key option
+
+val parse_list : string -> (key list, string) result
+(** Comma-separated oracle names; ["all"] selects {!all}. *)
+
+val description : key -> string
+
+(** Deliberate single-fault weakenings of one static layer, used by CI
+    to prove the campaign can actually detect unsoundness (a campaign
+    that never fires is indistinguishable from one that checks
+    nothing). *)
+type ablation =
+  | No_ablation
+  | Rta_blocking  (** drop blocking terms from RTA: bounds too small *)
+  | Absint_demand  (** halve the absint demand upper bounds *)
+
+val ablations : ablation list
+val ablation_name : ablation -> string
+val ablation_of_string : string -> ablation option
+
+type finding = {
+  oracle : key;
+  scenario : string;  (** generated scenario name, e.g. ["gen-42-avionics"] *)
+  index : int;  (** stream index: [spec_of ~index] reproduces it *)
+  task : int option;
+  message : string;
+}

@@ -1,0 +1,149 @@
+(* Campaign reporting: text for the terminal, JSON for scripts, and a
+   multi-run SARIF 2.1.0 log routing each oracle's findings through
+   the tool driver whose layer it indicts. *)
+
+let pct h p = if Util.Hist.count h = 0 then 0 else Util.Hist.quantile h p
+
+let pp_text ppf (s : Driver.summary) =
+  Format.fprintf ppf "campaign: %d scenarios, seed %d%s@." s.scenarios
+    s.config.seed
+    (match s.config.ablation with
+    | Oracle.No_ablation -> ""
+    | a -> Printf.sprintf " [ablation %s]" (Oracle.ablation_name a));
+  Format.fprintf ppf "  oracle      fired  claim@.";
+  List.iter
+    (fun (k, n) ->
+      if List.mem k s.config.oracles || n > 0 then
+        Format.fprintf ppf "  %-10s %5d  %s@." (Oracle.name k) n
+          (Oracle.description k))
+    s.per_oracle;
+  List.iter
+    (fun (r : Driver.report_finding) ->
+      let f = r.finding in
+      Format.fprintf ppf "  %s %s%s: %s@."
+        (Oracle.name f.oracle) f.scenario
+        (match f.task with
+        | Some t -> Printf.sprintf " tau%d" t
+        | None -> "")
+        f.message;
+      match r.shrunk with
+      | Some sh ->
+        Format.fprintf ppf
+          "    shrunk %d->%d tasks, %d->%d segments (%d evals)@."
+          sh.sh_tasks_before sh.sh_tasks_after sh.sh_segs_before
+          sh.sh_segs_after sh.sh_evals
+      | None -> ())
+    s.findings;
+  Format.fprintf ppf
+    "  time: %.1fs total; per scenario p50/p95 us: statics %d/%d sim %d/%d \
+     mc %d/%d@."
+    s.elapsed_s (pct s.stat_hist 0.5) (pct s.stat_hist 0.95)
+    (pct s.sim_hist 0.5) (pct s.sim_hist 0.95) (pct s.mc_hist 0.5)
+    (pct s.mc_hist 0.95);
+  Format.fprintf ppf "  mc: %d expansions, %d truncated searches@."
+    s.mc_expansions s.mc_truncated;
+  (match s.metrics with
+  | Some m -> Format.fprintf ppf "%a" Obs.Metrics.pp_summary m
+  | None -> ());
+  if s.findings = [] then
+    Format.fprintf ppf "  all oracle claims held on every scenario@."
+
+let render_text s = Format.asprintf "%a" pp_text s
+
+let to_json (s : Driver.summary) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"scenarios\": %d,\n" s.scenarios);
+  Buffer.add_string b
+    (Printf.sprintf "  \"falsifications\": %d,\n" (Driver.falsifications s));
+  Buffer.add_string b (Printf.sprintf "  \"seed\": %d,\n" s.config.seed);
+  Buffer.add_string b
+    (Printf.sprintf "  \"ablation\": %S,\n"
+       (Oracle.ablation_name s.config.ablation));
+  Buffer.add_string b
+    (Printf.sprintf "  \"elapsed_s\": %.3f,\n" s.elapsed_s);
+  Buffer.add_string b "  \"per_oracle\": {";
+  List.iteri
+    (fun i (k, n) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "%S: %d" (Oracle.name k) n))
+    s.per_oracle;
+  Buffer.add_string b "},\n";
+  Buffer.add_string b "  \"findings\": [";
+  List.iteri
+    (fun i (r : Driver.report_finding) ->
+      let f = r.finding in
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b "\n    {";
+      Buffer.add_string b
+        (Printf.sprintf "\"oracle\": %S, \"scenario\": %S, \"index\": %d, "
+           (Oracle.name f.oracle) f.scenario f.index);
+      (match f.task with
+      | Some t -> Buffer.add_string b (Printf.sprintf "\"task\": %d, " t)
+      | None -> ());
+      Buffer.add_string b (Printf.sprintf "\"message\": %S" f.message);
+      (match r.shrunk with
+      | Some sh ->
+        Buffer.add_string b
+          (Printf.sprintf
+             ", \"shrunk\": {\"tasks\": [%d, %d], \"segments\": [%d, %d], \
+              \"evals\": %d}"
+             sh.sh_tasks_before sh.sh_tasks_after sh.sh_segs_before
+             sh.sh_segs_after sh.sh_evals)
+      | None -> ());
+      Buffer.add_string b "}")
+    s.findings;
+  if s.findings <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "],\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"mc\": {\"expansions\": %d, \"truncated\": %d}\n"
+       s.mc_expansions s.mc_truncated);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* SARIF routing: each finding is reported by the tool whose layer the
+   falsified claim indicts, so CI annotations land on the right
+   component.  All four runs are always present — an empty run is the
+   positive statement that its oracles were evaluated and held. *)
+let tool_of (k : Oracle.key) =
+  match k with
+  | Oracle.Validity -> "emeralds-lint"
+  | Oracle.Demand -> "emeralds-absint"
+  | Oracle.Mc_props -> "emeralds-mc"
+  | Oracle.Rta_sim | Oracle.Ident | Oracle.Rta_mc | Oracle.Crash ->
+    "emeralds-campaign"
+
+let tools = [ "emeralds-lint"; "emeralds-absint"; "emeralds-mc"; "emeralds-campaign" ]
+
+let to_sarif (s : Driver.summary) =
+  let result_of (r : Driver.report_finding) =
+    let f = r.finding in
+    {
+      Lint.Sarif.rule_id = "campaign/" ^ Oracle.name f.oracle;
+      level = Lint.Sarif.Error;
+      message =
+        f.message
+        ^ (match r.shrunk with
+          | Some sh ->
+            Printf.sprintf " [shrunk to %d tasks, %d segments]"
+              sh.sh_tasks_after sh.sh_segs_after
+          | None -> "");
+      logical =
+        Some
+          (match f.task with
+          | Some t -> Printf.sprintf "%s, task %d" f.scenario t
+          | None -> f.scenario);
+    }
+  in
+  let runs =
+    List.map
+      (fun tool ->
+        Lint.Sarif.run ~tool_name:tool
+          (List.filter_map
+             (fun (r : Driver.report_finding) ->
+               if tool_of r.finding.oracle = tool then Some (result_of r)
+               else None)
+             s.findings))
+      tools
+  in
+  Lint.Sarif.render_log runs

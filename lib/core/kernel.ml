@@ -371,7 +371,14 @@ let sem_release k tcb s =
     w.pc <- w.pc + 1;
     Obs.Probe.emit k.probe ~at:(now k)
       (Sem_acquired { tid = w.tid; sem = s.sem_id });
-    unblock_thread k w
+    unblock_thread k w;
+    (* The wait list is rank-sorted, so the new holder already dominates
+       every remaining waiter's rank — but a remaining waiter's
+       *deadline* component may still be tighter.  Re-establish
+       inheritance so the holder's effective deadline is the min over
+       the queue it now blocks. *)
+    if s.sem_initial = 1 then
+      Util.Dlist.iter (fun w2 -> do_inherit k ~holder:w ~waiter:w2) s.waiters
   | None ->
     (* A unit is free again: release the approach queue (§6.3.1). *)
     s.sem_value <- s.sem_value + 1;
@@ -783,9 +790,15 @@ and arm_budget_probe k e tcb ~started =
       if slack < tcb.remaining then begin
         (* fire 1 ns past the crossing instant so using exactly the
            budget is not an overrun; tick kernels defer detection to
-           the next tick boundary *)
+           the next tick boundary.  If the crossing is already banked
+           from an earlier burst segment (the job blocked or was
+           preempted past its budget before a boundary observed it),
+           detection is overdue — fire now rather than quantizing
+           forward again, which would let a job that keeps yielding
+           just before each boundary overrun without bound. *)
         let fire_at =
-          Model.Time.max (now k) (quantize k (started + slack + 1))
+          if st.used > budget then now k
+          else Model.Time.max (now k) (quantize k (started + slack + 1))
         in
         st.probe_job <- tcb.job_no;
         st.probe <-
@@ -932,7 +945,12 @@ and dispatch k =
     let target = k.pending_choice in
     (match (k.running, target) with
     | None, None -> ()
-    | Some r, Some tgt when r == tgt ->
+    | Some r, Some tgt when r == tgt && r.state = Running ->
+      (* Interrupt resume: the thread kept the CPU across a kernel
+         entry.  A thread that blocked and was re-selected before this
+         event fired is [Ready], not [Running] — it must take the full
+         switch path below or it would never regain [Running] state and
+         [finish]'s resume scan would skip it forever. *)
       if k.burst = None then start_thread k tgt
     | prev, _ ->
       interrupt_burst k;
@@ -985,8 +1003,22 @@ and start_thread k tcb =
 (* Admit one arrival — periodic release or sporadic trigger — through
    the enforcement policy: a pending skip-next sheds it, and an arrival
    that finds the previous job still active (overload) may be shed,
-   at most one in every [shed_one_in] arrivals of the task. *)
+   at most one in every [shed_one_in] arrivals of the task.
+
+   [job] is the caller's nominal index (the periodic chain's, or the
+   sporadic trigger's guess); the admitted job takes the next unused
+   number past everything begun or queued.  Without the bump, a
+   sporadic arrival steals the next periodic number and the later
+   periodic release re-uses it — [begin_job] then starts a job whose
+   number equals [completed_job], which silently disables its budget
+   probe and deadline check (both guard on [completed_job < job]). *)
 let admit_release k tcb ~job ~sporadic =
+  let job =
+    let last =
+      Queue.fold (fun a (j, _) -> max a j) tcb.job_no tcb.pending_releases
+    in
+    max job (last + 1)
+  in
   let disposition =
     match k.enforcement with
     | None -> `Run

@@ -151,14 +151,32 @@ module Rm_queue = struct
      waiter arrived), [p] is first sent back to its own slot.  O(1). *)
   let inherit_swap t ~holder ~waiter =
     (match holder.placeholder with
-    | None -> Util.Dlist.swap t.list (node_of holder) (node_of waiter)
+    | None ->
+      Util.Dlist.swap t.list (node_of holder) (node_of waiter);
+      holder.placeholder <- Some waiter
+    | Some p when p == waiter -> (
+      (* Transitive re-boost from the thread already serving as this
+         holder's place-holder: the waiter's own priority just rose
+         through a nested chain (§6.3.2), so its node sits at its
+         boosted slot.  One swap moves the holder there and sends the
+         waiter back to the slot the holder occupied.  The waiter's own
+         place-holder — parked in the holder's original slot by the
+         chain's inner swap — takes over marking the holder's home, so
+         the eventual [restore_swap] returns the holder exactly
+         there. *)
+      Util.Dlist.swap t.list (node_of holder) (node_of waiter);
+      match waiter.placeholder with
+      | Some q ->
+        holder.placeholder <- Some q;
+        waiter.placeholder <- None
+      | None -> () (* the waiter keeps marking the holder's slot *))
     | Some p ->
       (* holder sits in p's slot; waiter outranks p.  Two swaps put the
          holder in the waiter's slot and p back home (§6.2's "T2 is
          simply put back to its original position"). *)
       Util.Dlist.swap t.list (node_of holder) (node_of waiter);
-      Util.Dlist.swap t.list (node_of waiter) (node_of p));
-    holder.placeholder <- Some waiter;
+      Util.Dlist.swap t.list (node_of waiter) (node_of p);
+      holder.placeholder <- Some waiter);
     (* highestp fix-ups:
        - it pointed at the waiter's node (waiter was running and is
          about to block): the holder now occupies that slot — O(1)

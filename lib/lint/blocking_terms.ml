@@ -1,55 +1,161 @@
 open Emeralds
 
-type section = { sem : Types.sem; mutable acc : int }
+type section = { sem : Types.sem; mutable acc : int; mutable inner : int list }
+
+(* Walk one program, yielding every critical section.  Nested sections
+   (closed while an enclosing one stays open) go to [emit_nested];
+   outermost sections go to [emit_top] tagged with the id of the
+   back-to-back chain they belong to.  Two top-level sections chain
+   when the program goes from the first's [Release] to the next
+   [Acquire] without an instruction that yields the CPU: the kernel
+   executes that span inside one kernel event, so the releasing task is
+   already re-queued when the hand-off happens and can be re-granted
+   ahead of higher-priority tasks that have not reached their own
+   acquire yet. *)
+let walk (tp : Ctx.task_prog) ~emit_nested ~emit_top =
+  let open_sections = ref [] in
+  let chain_id = ref 0 in
+  let linked = ref false in
+  let close (s : Types.sem) =
+    (* innermost matching acquisition *)
+    let rec split acc = function
+      | [] -> None
+      | (sec : section) :: rest when sec.sem.sem_id = s.Types.sem_id ->
+        Some (sec, List.rev_append acc rest)
+      | sec :: rest -> split (sec :: acc) rest
+    in
+    match split [] !open_sections with
+    | Some (sec, rest) ->
+      open_sections := rest;
+      let cs =
+        Analysis.Blocking.
+          {
+            task_rank = tp.rank;
+            sem = sec.sem.sem_id;
+            duration = sec.acc;
+            nested = List.rev sec.inner;
+            chained = [];
+          }
+      in
+      if rest = [] then begin
+        emit_top !chain_id cs;
+        linked := true
+      end
+      else emit_nested cs
+    | None -> () (* unmatched release: lock balance reports it *)
+  in
+  Array.iter
+    (fun instr ->
+      (match instr with
+      | Types.Acquire s ->
+        if !open_sections = [] then begin
+          if not !linked then incr chain_id;
+          linked := false
+        end;
+        (* every already-open section holds across the wait this
+           acquire may incur *)
+        List.iter
+          (fun (sec : section) -> sec.inner <- s.sem_id :: sec.inner)
+          !open_sections;
+        open_sections := { sem = s; acc = 0; inner = [] } :: !open_sections
+      | Types.Release s -> close s
+      | _ -> ());
+      let bounded_time =
+        match instr with
+        | Types.Compute c -> c
+        | Types.Delay d -> d
+        | Types.Timed_wait (_, d) -> d
+        | _ -> 0
+      in
+      if bounded_time > 0 then
+        List.iter (fun sec -> sec.acc <- sec.acc + bounded_time) !open_sections;
+      (* at top level, only an instruction that *always* yields the CPU
+         breaks the chain: the task is then preempted before its next
+         acquire, so a hand-off cannot re-grant it within the same
+         blocking episode.  [Wait]/[Timed_wait]/[Recv] may complete
+         instantly off pending state (a buffered signal or queued
+         message) inside the same kernel event — the condition-variable
+         pattern's release/wait/re-acquire chains exactly this way —
+         and signals, sends and state-message accesses never yield. *)
+      match instr with
+      | Types.Compute c when c > 0 ->
+        if !open_sections = [] then linked := false
+      | Types.Delay _ -> if !open_sections = [] then linked := false
+      | _ -> ())
+    tp.code;
+  (* sections never closed run to the end of the job *)
+  List.iter (fun (sec : section) -> close sec.sem) !open_sections
 
 let critical_sections (ctx : Ctx.t) =
   let out = ref [] in
   Array.iter
-    (fun (tp : Ctx.task_prog) ->
-      let open_sections = ref [] in
-      let close (s : Types.sem) =
-        (* innermost matching acquisition *)
-        let rec split acc = function
-          | [] -> None
-          | (sec : section) :: rest when sec.sem.sem_id = s.Types.sem_id ->
-            Some (sec, List.rev_append acc rest)
-          | sec :: rest -> split (sec :: acc) rest
-        in
-        match split [] !open_sections with
-        | Some (sec, rest) ->
-          out :=
-            Analysis.Blocking.
-              { task_rank = tp.rank; sem = s.sem_id; duration = sec.acc }
-            :: !out;
-          open_sections := rest
-        | None -> () (* unmatched release: lock balance reports it *)
-      in
-      Array.iter
-        (fun instr ->
-          (match instr with
-          | Types.Acquire s -> open_sections := { sem = s; acc = 0 } :: !open_sections
-          | Types.Release s -> close s
-          | _ -> ());
-          let bounded_time =
-            match instr with
-            | Types.Compute c -> c
-            | Types.Delay d -> d
-            | Types.Timed_wait (_, d) -> d
-            | _ -> 0
+    (fun tp ->
+      walk tp
+        ~emit_nested:(fun cs -> out := cs :: !out)
+        ~emit_top:(fun _ cs -> out := cs :: !out))
+    ctx.tasks;
+  List.rev !out
+
+(* Merge each back-to-back chain into one section covering the whole
+   episode: summed duration, concatenated inner acquires, and the other
+   member semaphores recorded so the merged section qualifies against
+   any rank a member would. *)
+let merge_chain (members : Analysis.Blocking.critical_section list) =
+  match members with
+  | [ cs ] -> cs
+  | first :: _ :: _ ->
+    {
+      first with
+      duration =
+        List.fold_left
+          (fun a (cs : Analysis.Blocking.critical_section) -> a + cs.duration)
+          0 members;
+      nested =
+        List.concat_map
+          (fun (cs : Analysis.Blocking.critical_section) -> cs.nested)
+          members;
+      chained =
+        List.sort_uniq Stdlib.compare
+          (List.filter_map
+             (fun (cs : Analysis.Blocking.critical_section) ->
+               if cs.sem <> first.sem then Some cs.sem else None)
+             members);
+    }
+  | [] -> invalid_arg "merge_chain: empty chain"
+
+let blocking_sections (ctx : Ctx.t) =
+  let out = ref [] in
+  Array.iter
+    (fun tp ->
+      let tops = ref [] in
+      walk tp
+        ~emit_nested:(fun cs -> out := cs :: !out)
+        ~emit_top:(fun id cs -> tops := (id, cs) :: !tops);
+      (* chain members are consecutive in program order; group runs of
+         equal ids.  Members stay in the list alongside the merged
+         section: they carry their own semaphores for ceiling and
+         nested-wait lookups, while the merged section dominates the
+         per-task maxima.  Keeping both can only enlarge the bound. *)
+      let rec group = function
+        | [] -> ()
+        | (id, cs) :: rest ->
+          let same, rest =
+            List.partition (fun (id', _) -> id' = id) rest
           in
-          if bounded_time > 0 then
-            List.iter
-              (fun sec -> sec.acc <- sec.acc + bounded_time)
-              !open_sections)
-        tp.code;
-      (* sections never closed run to the end of the job *)
-      List.iter (fun (sec : section) -> close sec.sem) !open_sections)
+          let members = cs :: List.map snd same in
+          (match members with
+          | [ _ ] -> ()
+          | _ -> out := merge_chain members :: !out);
+          List.iter (fun m -> out := m :: !out) members;
+          group rest
+      in
+      group (List.rev !tops))
     ctx.tasks;
   List.rev !out
 
 let blocking_terms (ctx : Ctx.t) =
   Analysis.Blocking.blocking_terms ~n:(Array.length ctx.tasks)
-    (critical_sections ctx)
+    (blocking_sections ctx)
 
 let per_sem (ctx : Ctx.t) =
   let table : (int, int * int) Hashtbl.t = Hashtbl.create 8 in

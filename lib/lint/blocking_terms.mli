@@ -22,9 +22,21 @@ val critical_sections : Ctx.t -> Analysis.Blocking.critical_section list
     left open at job end extends to the end of the program (lock
     balance reports the bug; the extraction stays sound). *)
 
+val blocking_sections : Ctx.t -> Analysis.Blocking.critical_section list
+(** {!critical_sections} with back-to-back chains merged: when a
+    program releases a lock and reaches another top-level acquire with
+    no intervening CPU-yielding instruction, the kernel's direct
+    hand-off can re-grant the task ahead of higher-priority tasks that
+    have not issued their own acquire yet — the whole chain then blocks
+    a higher-priority job as one continuous episode.  Each maximal
+    chain becomes one section with the summed duration and the member
+    semaphores recorded in [chained].  This is what a sound blocking
+    bound must consume; the campaign's RTA-vs-simulation oracle is what
+    caught the unmerged version under-counting. *)
+
 val blocking_terms : Ctx.t -> int array
 (** Per-rank worst-case priority-inheritance blocking, ns:
-    [Analysis.Blocking.blocking_terms] over {!critical_sections}.
+    [Analysis.Blocking.blocking_terms] over {!blocking_sections}.
     Pass to [Analysis.Rta.response_time ~blocking]. *)
 
 val per_sem : Ctx.t -> (int * int * int) list

@@ -49,12 +49,25 @@ let result_json r =
 
 let rule_json id = Printf.sprintf {|{"id":%S}|} id
 
-let render ~tool_name ?(tool_version = "0.1") results =
+type run = { tool_name : string; tool_version : string; results : result list }
+
+let run ~tool_name ?(tool_version = "0.1") results =
+  { tool_name; tool_version; results }
+
+let run_json r =
   let rules =
-    List.sort_uniq String.compare (List.map (fun r -> r.rule_id) results)
+    List.sort_uniq String.compare (List.map (fun x -> x.rule_id) r.results)
   in
   Printf.sprintf
-    {|{"$schema":"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json","version":"2.1.0","runs":[{"tool":{"driver":{"name":%S,"version":%S,"rules":[%s]}},"results":[%s]}]}|}
-    tool_name tool_version
+    {|{"tool":{"driver":{"name":%S,"version":%S,"rules":[%s]}},"results":[%s]}|}
+    r.tool_name r.tool_version
     (String.concat "," (List.map rule_json rules))
-    (String.concat "," (List.map result_json results))
+    (String.concat "," (List.map result_json r.results))
+
+let render_log runs =
+  Printf.sprintf
+    {|{"$schema":"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json","version":"2.1.0","runs":[%s]}|}
+    (String.concat "," (List.map run_json runs))
+
+let render ~tool_name ?(tool_version = "0.1") results =
+  render_log [ run ~tool_name ~tool_version results ]

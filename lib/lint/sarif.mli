@@ -1,11 +1,12 @@
 (** Minimal SARIF 2.1.0 emission.
 
-    One run, one tool driver, a deduplicated rule table and a flat
-    result list — enough for CI services and editors that ingest the
-    static-analysis interchange format.  Shared by the lint report
-    ([emeralds_cli lint --format sarif]) and the model checker
-    ([emeralds_cli check --format sarif]): both reduce their findings
-    to {!result} values. *)
+    A log of one or more runs, each with its own tool driver, a
+    deduplicated rule table and a flat result list — enough for CI
+    services and editors that ingest the static-analysis interchange
+    format.  Shared by the lint report ([emeralds_cli lint --format
+    sarif]), the model checker ([emeralds_cli check --format sarif])
+    and the soundness campaign, which aggregates several oracles as
+    separate runs of one log through {!render_log}. *)
 
 type level = Error | Warning | Note
 
@@ -21,6 +22,17 @@ type result = {
 val of_diags : Diag.t list -> result list
 (** Lint diagnostics as SARIF results ([Info] maps to [Note]). *)
 
+type run = { tool_name : string; tool_version : string; results : result list }
+(** One SARIF run: a tool driver plus its results. *)
+
+val run : tool_name:string -> ?tool_version:string -> result list -> run
+
+val render_log : run list -> string
+(** A complete SARIF 2.1.0 log aggregating several tool runs — the
+    multi-run shape the campaign uses to report each oracle (lint,
+    analyze, check, the differential lattice) as its own run. *)
+
 val render :
   tool_name:string -> ?tool_version:string -> result list -> string
-(** A complete SARIF 2.1.0 log document. *)
+(** A complete single-run SARIF 2.1.0 log document; byte-identical to
+    [render_log [run ~tool_name ?tool_version results]]. *)

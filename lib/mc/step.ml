@@ -416,17 +416,20 @@ let exec_instr c i ~horizon =
         | [] ->
           c.sem_val.(s) <- c.sem_val.(s) + 1;
           if c.sem_holder.(s) = i then c.sem_holder.(s) <- -1
-        | w :: _ ->
+        | w :: rest ->
           (* direct handoff, like the kernel's [sem_release]: the best
-             waiter leaves with the unit; no inheritance toward it is
-             needed at this point because it outranks every remaining
-             waiter *)
+             waiter leaves with the unit.  Its rank dominates the
+             rank-sorted queue, but a remaining waiter's *deadline*
+             component may still be tighter — re-inherit so the new
+             holder's effective deadline is the min over the queue. *)
           if c.m.sem_initial.(s) = 1 then c.sem_holder.(s) <- w;
           let wt = c.tasks.(w) in
           set c w { wt with mode = Ready; pc = wt.pc + 1; held = s :: wt.held };
           emit c (Sim.Trace.Thread_unblock { tid = tid c w });
           emit c
-            (Sim.Trace.Sem_acquired { tid = tid c w; sem = c.m.sem_ids.(s) })
+            (Sim.Trace.Sem_acquired { tid = tid c w; sem = c.m.sem_ids.(s) });
+          if c.m.sem_initial.(s) = 1 then
+            List.iter (fun w2 -> inherit_into c ~holder:w ~waiter:w2) rest
       end;
       `Ok
     | Machine.IWait w ->

@@ -20,6 +20,8 @@ let () =
       ("lint", Test_lint.suite);
       ("absint", Test_absint.suite);
       ("fault", Test_fault.suite);
+      ("regressions", Test_regressions.suite);
+      ("campaign", Test_campaign.suite);
       ("fuzz", Test_fuzz.suite);
       ("mc", Test_mc.suite);
     ]

@@ -438,10 +438,10 @@ let test_blocking_terms () =
   let css =
     Analysis.Blocking.
       [
-        { task_rank = 0; sem = 1; duration = 100 };
-        { task_rank = 2; sem = 1; duration = 700 };
-        { task_rank = 1; sem = 2; duration = 300 };
-        { task_rank = 2; sem = 2; duration = 400 };
+        { task_rank = 0; sem = 1; duration = 100; nested = []; chained = [] };
+        { task_rank = 2; sem = 1; duration = 700; nested = []; chained = [] };
+        { task_rank = 1; sem = 2; duration = 300; nested = []; chained = [] };
+        { task_rank = 2; sem = 2; duration = 400; nested = []; chained = [] };
       ]
   in
   let b = Analysis.Blocking.blocking_terms ~n:3 css in

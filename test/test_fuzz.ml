@@ -518,38 +518,52 @@ let prop_enforcement_differential =
    shedding — must never corrupt the kernel: invariants hold, the
    trace stays well-formed, and no job consumes more than its budget
    plus one detection quantum. *)
+let enforcement_case ((_, _, _, _, tick, _) as case) =
+  let budget = us 1200 in
+  let k, horizon =
+    run_one
+      ~make_enforcement:(fun _ ->
+        {
+          Kernel.budget_of = (fun _ -> Some budget);
+          policy = Kernel.Kill_job;
+          miss = Kernel.Miss_kill;
+          shed_one_in = Some 2;
+        })
+      case
+  in
+  let quantum = Option.value tick ~default:0 in
+  let tr = Kernel.trace k in
+  Sim.Trace.busy_time tr <= horizon
+  && well_formed_trace (Sim.Trace.entries tr) horizon
+  && List.for_all
+       (fun (s : Kernel.enf_stats) -> s.e_budget_used <= budget + quantum + 1)
+       (Kernel.enforcement_stats k)
+
 let prop_enforcement_fuzz =
   qtest ~count:60 "kill/shed enforcement never breaks kernel invariants"
-    gen_case
-    (fun ((_, _, _, _, tick, _) as case) ->
-      let budget = us 1200 in
-      let k, horizon =
-        run_one
-          ~make_enforcement:(fun _ ->
-            {
-              Kernel.budget_of = (fun _ -> Some budget);
-              policy = Kernel.Kill_job;
-              miss = Kernel.Miss_kill;
-              shed_one_in = Some 2;
-            })
-          case
-      in
-      let quantum = Option.value tick ~default:0 in
-      let tr = Kernel.trace k in
-      let b1 = Sim.Trace.busy_time tr <= horizon in
-      let b2 = well_formed_trace (Sim.Trace.entries tr) horizon in
-      let b3 =
-        List.for_all
-          (fun (s : Kernel.enf_stats) ->
-            s.e_budget_used <= budget + quantum + 1)
-          (Kernel.enforcement_stats k)
-      in
-      b1 && b2 && b3)
+    gen_case enforcement_case
+
+(* Cases this fuzzer once minimized to budget-accounting escapes: the
+   tick case deferred an already-banked overrun past every boundary
+   the job stopped short of; the no-tick case lost enforcement (and
+   the deadline check) for a whole job whose number collided with an
+   earlier sporadic arrival's. *)
+let enforcement_regressions =
+  Alcotest.test_case "enforcement budget-escape regressions" `Quick
+    (fun () ->
+      List.iter
+        (fun case ->
+          Alcotest.(check bool) "budget bound holds" true
+            (enforcement_case case))
+        [
+          (2, Types.Standard, 0, false, Some (us 700), 122);
+          (2, Types.Standard, 0, false, None, 1640);
+        ])
 
 let suite =
   [
     prop_kernel_fuzz; prop_busy_conservation; prop_lint_clean_runs;
     prop_injected_cycle; prop_absint_sound; prop_enforcement_differential;
-    prop_enforcement_fuzz;
+    prop_enforcement_fuzz; enforcement_regressions;
   ]
 

@@ -82,6 +82,66 @@ let prop_generated_sets_valid =
            (fun (t : Model.Task.t) -> t.wcet >= 1 && t.wcet <= t.deadline)
            (Model.Taskset.tasks ts))
 
+(* Scenario specs come from split streams: spec [i] is a function of
+   [seed] and [i] alone, so growing the campaign's [--count] never
+   changes an already-generated scenario — falsification indices stay
+   replayable forever. *)
+let test_scenario_stream_split_invariance () =
+  let long = Workload.Generator.scenario_specs ~seed:13 ~count:50 () in
+  let short = Workload.Generator.scenario_specs ~seed:13 ~count:10 () in
+  List.iteri
+    (fun i s ->
+      check bool
+        (Printf.sprintf "spec %d independent of count" i)
+        true
+        (s = List.nth long i))
+    short
+
+(* Every generated scenario spec is structurally well-formed: object
+   indices within the declared tables, nested locks above their outer
+   lock (the acyclic acquisition order), admissible utilization, and a
+   realizable program for every task. *)
+let prop_scenario_specs_well_formed =
+  qtest ~count:40 "scenario specs are well-formed"
+    QCheck2.Gen.(int_range 1 2_000)
+    (fun seed ->
+      let specs = Workload.Generator.scenario_specs ~seed ~count:4 () in
+      List.for_all
+        (fun (s : Workload.Generator.spec) ->
+          let seg_ok (seg : Workload.Generator.seg) =
+            match seg with
+            | S_compute d -> d >= 0
+            | S_critical { lock; body; nested } -> (
+              lock >= 0 && lock < s.s_locks && body >= 0
+              && match nested with
+                 | None -> true
+                 | Some (l2, b2) -> l2 > lock && l2 < s.s_locks && b2 >= 0)
+            | S_cond_wait { lock; wq; before; after } ->
+              lock >= 0 && lock < s.s_locks && wq >= 0 && wq < s.s_waitqs
+              && before >= 0 && after >= 0
+            | S_wait w | S_signal w -> w >= 0 && w < s.s_waitqs
+            | S_timed_wait (w, d) -> w >= 0 && w < s.s_waitqs && d > 0
+            | S_send m | S_recv m ->
+              m >= 0 && m < List.length s.s_mailboxes
+            | S_state_write m | S_state_read m ->
+              m >= 0 && m < List.length s.s_state_msgs
+            | S_delay d -> d > 0
+          in
+          let ids =
+            List.map (fun (t : Workload.Generator.task_spec) -> t.g_id) s.s_tasks
+          in
+          List.length (List.sort_uniq compare ids) = List.length ids
+          && List.for_all
+               (fun (t : Workload.Generator.task_spec) ->
+                 t.g_period > 0 && List.for_all seg_ok t.g_segs)
+               s.s_tasks
+          && Workload.Generator.spec_utilization s <= 1.0
+          &&
+          (* realization allocates objects and declares WCETs *)
+          let sc = Workload.Generator.realize s in
+          Model.Taskset.size sc.taskset = List.length s.s_tasks)
+        specs)
+
 let test_presets_sane () =
   List.iter
     (fun (name, ts, max_u) ->
@@ -107,5 +167,8 @@ let suite =
     test_case "blocking-call mix" `Quick test_blocking_call_mix;
     test_case "batch reproducibility" `Quick test_batch_reproducibility;
     prop_generated_sets_valid;
+    test_case "scenario stream split invariance" `Quick
+      test_scenario_stream_split_invariance;
+    prop_scenario_specs_well_formed;
     test_case "presets" `Quick test_presets_sane;
   ]
