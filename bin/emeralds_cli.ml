@@ -109,6 +109,9 @@ let demo_scenarios =
     ("under-declared-demo", Workload.Scenario.under_declared_wcet);
     ("over-budget-demo", Workload.Scenario.over_budget);
     ("deadlock-demo", Workload.Scenario.seeded_deadlock);
+    ("alloc-demo", Workload.Scenario.alloc_demo);
+    ("leak-demo", Workload.Scenario.leak_demo);
+    ("double-free-demo", Workload.Scenario.double_free_demo);
   ]
 
 let analyze_scenario_names =
@@ -127,8 +130,9 @@ let analyze_cmd =
       & info [ "preset" ] ~docv:"NAME"
           ~doc:
             "Scenario to analyze: table2, engine, avionics, voice, \
-             under-declared-demo, over-budget-demo or deadlock-demo \
-             (default: the four shipped presets).")
+             under-declared-demo, over-budget-demo, deadlock-demo, \
+             alloc-demo, leak-demo or double-free-demo (default: the four \
+             shipped presets).")
   in
   let cost_name =
     Arg.(
@@ -378,8 +382,9 @@ let lint_cmd =
       & opt (some string) None
       & info [ "preset" ] ~docv:"NAME"
           ~doc:
-            "Scenario to lint: table2, engine, avionics or voice \
-             (default: all of them).")
+            "Scenario to lint: table2, engine, avionics, voice or one of \
+             the demo scenarios (deadlock-demo, leak-demo, \
+             double-free-demo, ...); default: the four shipped presets.")
   in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit findings as JSON.")
@@ -411,11 +416,11 @@ let lint_cmd =
       match preset_name with
       | None -> Workload.Scenario.all ()
       | Some n -> (
-        match Workload.Scenario.make n with
+        match analyze_scenario_of n with
         | Some s -> [ s ]
         | None ->
           Printf.eprintf "unknown scenario %S (expected: %s)\n" n
-            (String.concat ", " Workload.Scenario.names);
+            (String.concat ", " analyze_scenario_names);
           exit 2)
     in
     let had_errors = ref false in
@@ -750,8 +755,9 @@ let inject_cmd =
           ~doc:
             "Scenario to inject into: table2, engine, avionics, voice (clean \
              presets, empty default plan), overrun-demo (WCET-overrun \
-             seeded-fault demo) or storm-demo (IRQ storm / lost signal / \
-             sporadic burst demo).")
+             seeded-fault demo), storm-demo (IRQ storm / lost signal / \
+             sporadic burst demo), alloc-demo (disciplined block-pool use) \
+             or leak-demo (per-job block leak).")
   in
   let plan_arg =
     Arg.(
@@ -788,6 +794,17 @@ let inject_cmd =
             "Skip-over overload shedding: a release that finds the previous \
              job still active may be dropped, at most one in every K \
              releases of that task.")
+  in
+  let mem_policy =
+    Arg.(
+      value
+      & opt string "off"
+      & info [ "mem-policy" ] ~docv:"POLICY"
+          ~doc:
+            "Live-block quota policy: off (no memory enforcement), notify, \
+             kill, skip-next, or demote:N. Quotas are the static analyzer's \
+             per-task peak-live bounds; tasks that never allocate stay \
+             unenforced.")
   in
   let sched =
     Arg.(
@@ -859,8 +876,8 @@ let inject_cmd =
       ]
     | _ -> []
   in
-  let run preset_name plan_arg policy miss_policy shed_one_in sched horizon_ms
-      seed json format flightrec_path ring_bytes =
+  let run preset_name plan_arg policy miss_policy shed_one_in mem_policy sched
+      horizon_ms seed json format flightrec_path ring_bytes =
     (match format with
     | None | Some "sarif" -> ()
     | Some f -> bad_invocation "unknown format %S (expected: sarif)" f);
@@ -868,12 +885,15 @@ let inject_cmd =
       match preset_name with
       | "overrun-demo" -> Workload.Scenario.overrun_demo ()
       | "storm-demo" -> Workload.Scenario.storm_demo ()
+      | "alloc-demo" -> Workload.Scenario.alloc_demo ()
+      | "leak-demo" -> Workload.Scenario.leak_demo ()
       | n -> (
         match Workload.Scenario.make n with
         | Some s -> s
         | None ->
           bad_invocation
-            "unknown scenario %S (expected: %s, overrun-demo, storm-demo)" n
+            "unknown scenario %S (expected: %s, overrun-demo, storm-demo, \
+             alloc-demo, leak-demo)" n
             (String.concat ", " Workload.Scenario.names))
     in
     let plan =
@@ -884,19 +904,29 @@ let inject_cmd =
         | Ok p -> p
         | Error e -> bad_invocation "bad --plan: %s" e)
     in
-    let policy =
-      match String.lowercase_ascii policy with
+    let parse_policy ~flag s =
+      match String.lowercase_ascii s with
       | "notify" -> Emeralds.Kernel.Notify_only
       | "kill" -> Emeralds.Kernel.Kill_job
       | "skip-next" -> Emeralds.Kernel.Skip_next
       | p when String.length p > 7 && String.sub p 0 7 = "demote:" -> (
         match int_of_string_opt (String.sub p 7 (String.length p - 7)) with
         | Some n when n > 0 -> Emeralds.Kernel.Demote n
-        | _ -> bad_invocation "bad --policy %S (demote:N needs N >= 1)" policy)
+        | _ -> bad_invocation "bad %s %S (demote:N needs N >= 1)" flag s)
       | _ ->
         bad_invocation
-          "unknown --policy %S (expected: notify, kill, skip-next, demote:N)"
-          policy
+          "unknown %s %S (expected: notify, kill, skip-next, demote:N)" flag s
+    in
+    let policy = parse_policy ~flag:"--policy" policy in
+    let mem_enforcement =
+      match String.lowercase_ascii mem_policy with
+      | "off" -> None
+      | s ->
+        Some
+          {
+            Emeralds.Kernel.quota_of = Fault.Inject.declared_quotas scenario;
+            on_exceed = parse_policy ~flag:"--mem-policy" s;
+          }
     in
     let miss =
       match String.lowercase_ascii miss_policy with
@@ -945,6 +975,7 @@ let inject_cmd =
               miss;
               shed_one_in;
             };
+        mem_enforcement;
         plan;
         keep_trace = true;
         observer;
@@ -1001,8 +1032,8 @@ let inject_cmd =
           shedding, and which static predictions the faults falsified")
     Term.(
       const run $ preset_name $ plan_arg $ policy $ miss_policy $ shed_one_in
-      $ sched $ horizon_ms $ seed $ json $ format $ flightrec_path
-      $ ring_bytes)
+      $ mem_policy $ sched $ horizon_ms $ seed $ json $ format
+      $ flightrec_path $ ring_bytes)
 
 (* ------------------------------------------------------------------ *)
 (* trace *)
@@ -1014,8 +1045,9 @@ let trace_cmd =
       & opt string "engine"
       & info [ "preset" ] ~docv:"NAME"
           ~doc:
-            "Scenario to record: table2, engine, avionics or voice (full \
-             scenario replay: programs attached, IRQ sources firing).")
+            "Scenario to record: table2, engine, avionics, voice, alloc-demo \
+             or leak-demo (full scenario replay: programs attached, IRQ \
+             sources firing).")
   in
   let sched =
     Arg.(
@@ -1037,8 +1069,9 @@ let trace_cmd =
           ~doc:
             "Comma-separated probe categories the recorder and exporters \
              subscribe to (job, sched, sync, ipc, irq, overhead, enforce, \
-             meta); default all.  Filters the observability subscribers \
-             only — the kernel's own trace and statistics are unaffected.")
+             mem, meta); default all.  Filters the observability \
+             subscribers only — the kernel's own trace and statistics are \
+             unaffected.")
   in
   let ring_bytes =
     Arg.(
@@ -1075,9 +1108,14 @@ let trace_cmd =
     let scenario =
       match Workload.Scenario.make preset_name with
       | Some s -> s
-      | None ->
-        bad_invocation "unknown scenario %S (expected: %s)" preset_name
-          (String.concat ", " Workload.Scenario.names)
+      | None -> (
+        match preset_name with
+        | "alloc-demo" -> Workload.Scenario.alloc_demo ()
+        | "leak-demo" -> Workload.Scenario.leak_demo ()
+        | _ ->
+          bad_invocation "unknown scenario %S (expected: %s, alloc-demo, \
+                          leak-demo)" preset_name
+            (String.concat ", " Workload.Scenario.names))
     in
     let mask = category_mask_of_names categories in
     let ring_bytes = validated_ring_bytes ring_bytes in

@@ -15,6 +15,7 @@ type summary = {
   nesting : int;
   atomic : int;
   unbounded_held_pcs : int list;
+  peak_live : (int * Itv.t) list;
 }
 
 type open_section = {
@@ -31,6 +32,12 @@ let interpret env (program : Types.instr array) =
   let nesting = ref 0 in
   let atomic = ref 0 in
   let unbounded_held = ref [] in
+  (* pool_id -> (blocks held now, peak).  An [Alloc] counts as granted
+     (the upper bound must cover a never-denied run); a [Free] with
+     nothing held is the kernel's fault path, clamped here so the
+     bound stays a count.  The lower end is 0: every grant may be
+     denied when other tasks exhaust the pool. *)
+  let live : (int, int * int) Hashtbl.t = Hashtbl.create 4 in
   let close (s : Types.sem) =
     (* innermost matching acquisition, as the kernel unwinds them *)
     let rec split acc = function
@@ -81,6 +88,20 @@ let interpret env (program : Types.instr array) =
           { o_sem = s; o_pc = pc; o_span = Itv.zero } :: !open_sections;
         nesting := max !nesting (List.length !open_sections)
       | Types.Release s -> close s
+      | Types.Alloc p ->
+        let n, peak =
+          match Hashtbl.find_opt live p.Types.pool_id with
+          | Some row -> row
+          | None -> (0, 0)
+        in
+        Hashtbl.replace live p.Types.pool_id (n + 1, max peak (n + 1))
+      | Types.Free p ->
+        let n, peak =
+          match Hashtbl.find_opt live p.Types.pool_id with
+          | Some row -> row
+          | None -> (0, 0)
+        in
+        Hashtbl.replace live p.Types.pool_id (max 0 (n - 1), peak)
       | _ -> ())
     program;
   (* sections never released run to the end of the job *)
@@ -92,4 +113,8 @@ let interpret env (program : Types.instr array) =
     nesting = !nesting;
     atomic = !atomic;
     unbounded_held_pcs = List.rev !unbounded_held;
+    peak_live =
+      Hashtbl.fold (fun pool (_, peak) acc -> (pool, Itv.range 0 peak) :: acc)
+        live []
+      |> List.sort compare;
   }

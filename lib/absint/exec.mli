@@ -49,6 +49,12 @@ type summary = {
   unbounded_held_pcs : int list;
       (** pcs where the job can block unboundedly while holding a
           semaphore (those holds have [Inf] spans) *)
+  peak_live : (int * Itv.t) list;
+      (** pool id -> bound on the blocks one job of this task holds
+          live at once.  The upper end counts every [Alloc] as granted
+          (sound for runs where no grant is denied); the lower end is
+          0 because any grant can be denied by a pool other tasks
+          exhausted.  Sorted by pool id. *)
 }
 
 val interpret : env -> Emeralds.Types.instr array -> summary

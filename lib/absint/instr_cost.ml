@@ -6,7 +6,7 @@ let locally_unbounded = function
   | Types.Acquire _ | Types.Wait _ | Types.Send _ | Types.Recv _ -> true
   | Types.Compute _ | Types.Release _ | Types.Timed_wait _ | Types.Signal _
   | Types.Broadcast _ | Types.State_write _ | Types.State_read _
-  | Types.Delay _ ->
+  | Types.Delay _ | Types.Alloc _ | Types.Free _ ->
     false
 
 let of_instr ~(cost : Sim.Cost.t) ~mb_words (instr : Types.instr) =
@@ -64,3 +64,7 @@ let of_instr ~(cost : Sim.Cost.t) ~mb_words (instr : Types.instr) =
       Itv.zero
   | Types.Delay d ->
     kernel (Itv.const cost.timer_service) (Itv.const (max 0 d))
+  | Types.Alloc _ | Types.Free _ ->
+    (* O(1) free-list pop/push; an exhausted pool denies the request
+       without blocking, so the charge is exact either way *)
+    kernel (Itv.const (cost.syscall_entry + cost.pool_admin)) Itv.zero

@@ -16,6 +16,8 @@ let derive ~nesting (sc : Workload.Scenario.t) =
   let mailboxes = ref Imap.empty in
   (* state-message id -> (depth, words) *)
   let states = ref Imap.empty in
+  (* pool id -> (capacity, block_bytes) *)
+  let pools = ref Imap.empty in
   let clock_users = ref 0 in
   let note_mb (mb : Types.mailbox) words =
     mailboxes :=
@@ -45,6 +47,11 @@ let derive ~nesting (sc : Workload.Scenario.t) =
           | Types.Send (mb, data) -> note_mb mb (Array.length data)
           | Types.Recv mb -> note_mb mb 0
           | Types.State_write (sm, _) | Types.State_read sm -> note_sm sm
+          | Types.Alloc p | Types.Free p ->
+            pools :=
+              Imap.add p.Types.pool_id
+                (p.Types.pool_capacity, p.Types.pool_block_bytes)
+                !pools
           | Types.Delay _ -> uses_clock := true)
         (sc.programs task);
       if !uses_clock then incr clock_users)
@@ -67,4 +74,5 @@ let derive ~nesting (sc : Workload.Scenario.t) =
     mailboxes = List.map snd (Imap.bindings !mailboxes);
     state_messages = List.map snd (Imap.bindings !states);
     timers = 1 + !clock_users;
+    pools = List.map snd (Imap.bindings !pools);
   }

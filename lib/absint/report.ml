@@ -9,11 +9,19 @@ type sem_bound = {
   lint_worst : int;
 }
 
+type pool_bound = {
+  pool_id : int;
+  capacity : int;
+  block_bytes : int;
+  peak : Itv.t;
+}
+
 type t = {
   scenario_name : string;
   cost_name : string;
   tasks : task_bound array;
   sems : sem_bound list;
+  pools : pool_bound list;
   latency_bound : int;
   config : Footprint.config;
   code_bytes : int;
@@ -146,6 +154,38 @@ let analyze ?(cost = Sim.Cost.m68040) ?(budget_bytes = Memory.budget_default)
     Array.fold_left (fun acc tb -> max acc tb.summary.atomic) 0 task_bounds
     + cost.interrupt_entry
   in
+  (* Pool-wide peak bound: preemption can park every job at its own
+     peak at once, so the concurrent bound is the interval sum of the
+     per-task peaks. *)
+  let pool_objs =
+    Array.fold_left
+      (fun acc code ->
+        Array.fold_left
+          (fun acc instr ->
+            match instr with
+            | Types.Alloc p | Types.Free p -> Imap.add p.Types.pool_id p acc
+            | _ -> acc)
+          acc code)
+      Imap.empty programs
+  in
+  let pool_bounds =
+    Imap.bindings pool_objs
+    |> List.map (fun (pool_id, (p : Types.pool)) ->
+           let peak =
+             Array.fold_left
+               (fun acc tb ->
+                 match List.assoc_opt pool_id tb.summary.Exec.peak_live with
+                 | Some itv -> Itv.add acc itv
+                 | None -> acc)
+               Itv.zero task_bounds
+           in
+           {
+             pool_id;
+             capacity = p.Types.pool_capacity;
+             block_bytes = p.Types.pool_block_bytes;
+             peak;
+           })
+  in
   let config =
     Memory.derive ~nesting:(fun rank -> summaries.(rank).Exec.nesting) sc
   in
@@ -191,6 +231,35 @@ let analyze ?(cost = Sim.Cost.m68040) ?(budget_bytes = Memory.budget_default)
              sb.sem_id (Itv.to_string sb.hold)
              (Model.Time.to_us_f sb.lint_worst)))
     sems;
+  List.iter
+    (fun pb ->
+      (* certain denial for one task alone is the error case; the
+         combined bound above capacity is only a hazard, since the
+         peaks may never coincide *)
+      Array.iter
+        (fun tb ->
+          match List.assoc_opt pb.pool_id tb.summary.Exec.peak_live with
+          | Some itv
+            when (match Itv.hi_int itv with
+                 | Some h -> h > pb.capacity
+                 | None -> true) ->
+            diag Lint.Diag.Error ~check:"pool-sizing"
+              ~task:tb.task.Model.Task.id
+              (Printf.sprintf
+                 "peak-live bound %s of pool %d exceeds its capacity %d: \
+                  allocation denial is certain"
+                 (Itv.to_string itv) pb.pool_id pb.capacity)
+          | _ -> ())
+        task_bounds;
+      match Itv.hi_int pb.peak with
+      | Some hi when hi > pb.capacity ->
+        diag Lint.Diag.Warning ~check:"pool-sizing"
+          (Printf.sprintf
+             "pool %d: concurrent peak-live bound %s exceeds capacity %d; \
+              preemption can exhaust the pool"
+             pb.pool_id (Itv.to_string pb.peak) pb.capacity)
+      | _ -> ())
+    pool_bounds;
   if total_bytes > budget_bytes then
     diag Lint.Diag.Error ~check:"budget"
       (Printf.sprintf
@@ -208,6 +277,7 @@ let analyze ?(cost = Sim.Cost.m68040) ?(budget_bytes = Memory.budget_default)
     cost_name = (if cost == Sim.Cost.zero then "zero" else "m68040");
     tasks = task_bounds;
     sems;
+    pools = pool_bounds;
     latency_bound;
     config;
     code_bytes;
@@ -297,6 +367,24 @@ let render t =
           ])
       sems;
     Buffer.add_string buf (Util.Tablefmt.render ~align:Util.Tablefmt.Left st));
+  (match t.pools with
+  | [] -> ()
+  | pools ->
+    let pt =
+      Util.Tablefmt.create
+        ~headers:[ "pool"; "capacity"; "block B"; "peak-live bound" ]
+    in
+    List.iter
+      (fun pb ->
+        Util.Tablefmt.add_row pt
+          [
+            Util.Tablefmt.cell_i pb.pool_id;
+            Util.Tablefmt.cell_i pb.capacity;
+            Util.Tablefmt.cell_i pb.block_bytes;
+            Itv.to_string pb.peak;
+          ])
+      pools;
+    Buffer.add_string buf (Util.Tablefmt.render ~align:Util.Tablefmt.Left pt));
   Buffer.add_string buf
     (Printf.sprintf "interrupt-latency bound: %.1fus\n"
        (Model.Time.to_us_f t.latency_bound));
@@ -309,6 +397,15 @@ let render t =
        (List.length t.config.Footprint.mailboxes)
        (List.length t.config.Footprint.state_messages)
        t.config.Footprint.timers);
+  (match t.config.Footprint.pools with
+  | [] -> ()
+  | ps ->
+    Buffer.add_string buf
+      (Printf.sprintf "derived block pools: %s\n"
+         (String.concat ", "
+            (List.map
+               (fun (cap, bytes) -> Printf.sprintf "%dx%dB" cap bytes)
+               ps))));
   Buffer.add_string buf
     (Printf.sprintf "memory: code %d + RAM %d = %d bytes (budget %d): %s\n"
        t.code_bytes t.ram_bytes t.total_bytes t.budget_bytes
@@ -350,6 +447,15 @@ let to_json t =
            "{\"sem\":%d,\"ceiling\":%d,\"hold\":%s,\"lint_worst\":%d}"
            sb.sem_id sb.ceiling (itv_json sb.hold) sb.lint_worst))
     t.sems;
+  Buffer.add_string buf "],\"pools\":[";
+  List.iteri
+    (fun i pb ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"pool\":%d,\"capacity\":%d,\"block_bytes\":%d,\"peak\":%s}"
+           pb.pool_id pb.capacity pb.block_bytes (itv_json pb.peak)))
+    t.pools;
   Buffer.add_string buf
     (Printf.sprintf
        "],\"latency_bound\":%d,\"footprint\":{\"threads\":%d,\

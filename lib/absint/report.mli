@@ -34,11 +34,24 @@ type sem_bound = {
           dominated by [hold] *)
 }
 
+type pool_bound = {
+  pool_id : int;
+  capacity : int;  (** blocks *)
+  block_bytes : int;
+  peak : Itv.t;
+      (** bound on the blocks live pool-wide at once: the sum of every
+          task's per-job peak — preemption can park each job at its
+          peak simultaneously, so the sum is the sound concurrent
+          bound.  The kernel's pool-wide high-water must fall under
+          its upper end. *)
+}
+
 type t = {
   scenario_name : string;
   cost_name : string;
   tasks : task_bound array;  (** RM-rank order *)
   sems : sem_bound list;  (** sorted by sem id *)
+  pools : pool_bound list;  (** sorted by pool id *)
   latency_bound : int;
       (** static interrupt-latency bound, ns: the longest
           non-preemptible kernel window any task opens, plus interrupt

@@ -27,7 +27,8 @@ let now_us () = int_of_float (Unix.gettimeofday () *. 1e6)
 let norm_sig k =
   let sems = Hashtbl.create 8
   and mbs = Hashtbl.create 8
-  and sms = Hashtbl.create 8 in
+  and sms = Hashtbl.create 8
+  and pools = Hashtbl.create 8 in
   let rank tbl id =
     match Hashtbl.find_opt tbl id with
     | Some r -> r
@@ -83,6 +84,13 @@ let norm_sig k =
             State_written { tid; state = rank sms state; seq }
           | State_read { tid; state; seq } ->
             State_read { tid; state = rank sms state; seq }
+          | Block_alloc { tid; pool; live } ->
+            Block_alloc { tid; pool = rank pools pool; live }
+          | Block_free { tid; pool; live } ->
+            Block_free { tid; pool = rank pools pool; live }
+          | Pool_oom { tid; pool } -> Pool_oom { tid; pool = rank pools pool }
+          | Pool_leak { tid; job; pool; count } ->
+            Pool_leak { tid; job; pool = rank pools pool; count }
           | Note s -> Note (rewrite_note s)
           | e -> e
         in
@@ -219,8 +227,8 @@ let run ?(oracles = Oracle.all) ?(ablation = Oracle.No_ablation)
   (* -- simulation phase -------------------------------------------- *)
   let horizon = sim_horizon tasks in
   let need_sim =
-    wants oracles Rta_sim || wants oracles Demand || wants oracles Ident
-    || collect_metrics
+    wants oracles Rta_sim || wants oracles Demand || wants oracles Mem
+    || wants oracles Ident || collect_metrics
   in
   let t0 = now_us () in
   let enforced =
@@ -294,6 +302,104 @@ let run ?(oracles = Oracle.all) ?(ablation = Oracle.No_ablation)
         | None -> ())
       rep.tasks
   | _ -> ());
+  (match enforced with
+  | Some k when wants oracles Mem ->
+    let mstats = Emeralds.Kernel.mem_stats k in
+    (* the static phase and the simulation realize the spec separately,
+       so pool ids differ in identity but never in role: creation order
+       (ascending id) pairs them up *)
+    let static_ids =
+      List.map (fun (pb : Absint.Report.pool_bound) -> pb.pool_id) rep.pools
+      |> List.sort compare
+    in
+    let sim_ids =
+      List.map
+        (fun (p : Emeralds.Types.pool) -> p.pool_id)
+        (Emeralds.Kernel.pool_stats k)
+      |> List.sort compare
+    in
+    let static_of_sim =
+      if List.length sim_ids = List.length static_ids then
+        fun p ->
+          Option.value ~default:p
+            (List.assoc_opt p (List.combine sim_ids static_ids))
+      else Fun.id
+    in
+    (* domination: every (task, pool) high-water mark the kernel saw
+       must sit inside the absint peak-live interval *)
+    List.iter
+      (fun (ms : Emeralds.Kernel.mem_stats) ->
+        let hi =
+          match
+            Array.find_opt
+              (fun (tb : Absint.Report.task_bound) -> tb.task.id = ms.m_tid)
+              rep.tasks
+          with
+          | Some tb -> (
+            match
+              List.assoc_opt (static_of_sim ms.m_pool) tb.summary.peak_live
+            with
+            | Some itv -> Option.value ~default:0 (Absint.Itv.hi_int itv)
+            | None -> 0)
+          | None -> 0
+        in
+        let hi = if ablation = Oracle.Mem_peak then hi / 2 else hi in
+        if ms.m_high_water > hi then
+          add Mem ~task:ms.m_tid
+            (Printf.sprintf
+               "observed high-water %d block(s) of pool %d > absint peak-live \
+                bound %d"
+               ms.m_high_water ms.m_pool hi))
+      mstats;
+    (* leak agreement: a leak the kernel recorded must have been
+       predicted by the exact lint walk, and a lint-predicted leak must
+       materialize once the task completed a job with every grant
+       honoured (an OOM anywhere voids the prediction: the leaked
+       block may simply never have been granted) *)
+    let lint_leaks tid =
+      List.exists
+        (fun (d : Lint.Diag.t) ->
+          d.check = "alloc-discipline"
+          && d.task = Some tid
+          && (let msg = d.message in
+              let sub = "still held at job end" in
+              let n = String.length msg and m = String.length sub in
+              let rec find i =
+                i + m <= n && (String.sub msg i m = sub || find (i + 1))
+              in
+              find 0))
+        diags
+    in
+    let any_oom = List.exists (fun ms -> ms.Emeralds.Kernel.m_oom > 0) mstats in
+    let stats = Emeralds.Kernel.stats k in
+    let completions tid =
+      match
+        List.find_opt
+          (fun (s : Emeralds.Kernel.task_stats) -> s.tid = tid)
+          stats
+      with
+      | Some s -> s.jobs_completed
+      | None -> 0
+    in
+    List.iter
+      (fun (ms : Emeralds.Kernel.mem_stats) ->
+        if ms.m_leaked > 0 && not (lint_leaks ms.m_tid) then
+          add Mem ~task:ms.m_tid
+            (Printf.sprintf
+               "kernel reclaimed %d leaked block(s) of pool %d yet \
+                alloc-discipline lint predicted no leak"
+               ms.m_leaked ms.m_pool);
+        if
+          lint_leaks ms.m_tid && ms.m_leaked = 0 && (not any_oom)
+          && completions ms.m_tid > 0
+        then
+          add Mem ~task:ms.m_tid
+            (Printf.sprintf
+               "alloc-discipline lint predicted a per-job leak of pool %d \
+                yet %d completed job(s) leaked nothing"
+               ms.m_pool (completions ms.m_tid)))
+      mstats
+  | _ -> ());
   let metrics =
     match enforced with
     | Some k when collect_metrics ->
@@ -323,7 +429,8 @@ let run ?(oracles = Oracle.all) ?(ablation = Oracle.No_ablation)
       }
     in
     let props =
-      List.filter_map Mc.Props.by_name [ "deadlock"; "pi"; "invariants"; "tear" ]
+      List.filter_map Mc.Props.by_name
+        [ "deadlock"; "pi"; "invariants"; "tear"; "mem" ]
     in
     let res = Mc.Explorer.check ~props ~bounds m in
     mc_expansions := res.expansions;

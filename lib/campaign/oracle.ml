@@ -1,11 +1,12 @@
-type key = Validity | Rta_sim | Demand | Ident | Mc_props | Rta_mc | Crash
+type key = Validity | Rta_sim | Demand | Mem | Ident | Mc_props | Rta_mc | Crash
 
-let all = [ Validity; Rta_sim; Demand; Ident; Mc_props; Rta_mc; Crash ]
+let all = [ Validity; Rta_sim; Demand; Mem; Ident; Mc_props; Rta_mc; Crash ]
 
 let name = function
   | Validity -> "validity"
   | Rta_sim -> "rta-sim"
   | Demand -> "demand"
+  | Mem -> "mem"
   | Ident -> "ident"
   | Mc_props -> "mc"
   | Rta_mc -> "rta-mc"
@@ -34,6 +35,9 @@ let description = function
      admissible utilization"
   | Rta_sim -> "RTA-feasible tasks never miss a deadline in simulation"
   | Demand -> "absint demand intervals dominate observed job execution"
+  | Mem ->
+    "absint peak-live block bounds dominate observed high-water marks and \
+     the alloc-discipline lint agrees with simulated leaks"
   | Ident ->
     "enforcement with declared budgets is bit-identical to an unenforced run"
   | Mc_props ->
@@ -41,14 +45,15 @@ let description = function
   | Rta_mc -> "RTA bounds dominate model-checked worst-case responses"
   | Crash -> "no oracle run raises (kernel invariants hold)"
 
-type ablation = No_ablation | Rta_blocking | Absint_demand
+type ablation = No_ablation | Rta_blocking | Absint_demand | Mem_peak
 
-let ablations = [ No_ablation; Rta_blocking; Absint_demand ]
+let ablations = [ No_ablation; Rta_blocking; Absint_demand; Mem_peak ]
 
 let ablation_name = function
   | No_ablation -> "none"
   | Rta_blocking -> "rta-blocking"
   | Absint_demand -> "absint-demand"
+  | Mem_peak -> "mem"
 
 let ablation_of_string s =
   let s = String.lowercase_ascii (String.trim s) in

@@ -11,6 +11,10 @@ type key =
   | Validity  (** generated scenarios pass lint and absint with admissible U *)
   | Rta_sim  (** RTA-feasible tasks never miss in simulation *)
   | Demand  (** absint exec intervals >= observed per-job execution *)
+  | Mem
+      (** absint peak-live block bounds >= observed per-(task, pool)
+          high-water marks, and the alloc-discipline lint's leak verdict
+          agrees with the simulated kernel's leak observations *)
   | Ident  (** enforcement at declared budgets is trace-bit-identical *)
   | Mc_props  (** deadlock / PI / invariant / tear properties hold *)
   | Rta_mc  (** RTA bounds >= model-checked worst-case responses *)
@@ -36,6 +40,7 @@ type ablation =
   | No_ablation
   | Rta_blocking  (** drop blocking terms from RTA: bounds too small *)
   | Absint_demand  (** halve the absint demand upper bounds *)
+  | Mem_peak  (** halve the absint peak-live upper bounds *)
 
 val ablations : ablation list
 val ablation_name : ablation -> string

@@ -108,7 +108,7 @@ let to_json (s : Driver.summary) =
 let tool_of (k : Oracle.key) =
   match k with
   | Oracle.Validity -> "emeralds-lint"
-  | Oracle.Demand -> "emeralds-absint"
+  | Oracle.Demand | Oracle.Mem -> "emeralds-absint"
   | Oracle.Mc_props -> "emeralds-mc"
   | Oracle.Rta_sim | Oracle.Ident | Oracle.Rta_mc | Oracle.Crash ->
     "emeralds-campaign"

@@ -26,6 +26,7 @@ type config = {
   mailboxes : (int * int) list;
   state_messages : (int * int) list;
   timers : int;
+  pools : (int * int) list;
 }
 
 let default_config =
@@ -37,6 +38,7 @@ let default_config =
     mailboxes = [ (4, 4); (4, 4) ];
     state_messages = [ (3, 4); (3, 4); (3, 8) ];
     timers = 4;
+    pools = [ (8, 64) ];
   }
 
 let tcb_bytes = 128
@@ -46,6 +48,7 @@ let mailbox_header_bytes = 48
 let message_slot_overhead = 12
 let state_header_bytes = 16
 let timer_bytes = 20
+let pool_header_bytes = 24
 
 let ram_bytes config =
   let mailbox_bytes =
@@ -60,6 +63,12 @@ let ram_bytes config =
       (fun acc (depth, words) -> acc + state_header_bytes + (depth * words * 4))
       0 config.state_messages
   in
+  let pool_bytes =
+    List.fold_left
+      (fun acc (capacity, block_bytes) ->
+        acc + pool_header_bytes + (capacity * block_bytes))
+      0 config.pools
+  in
   [
     ("TCBs", config.threads * tcb_bytes);
     ("thread stacks", config.threads * config.stack_bytes_per_thread);
@@ -68,6 +77,7 @@ let ram_bytes config =
     ("mailboxes", mailbox_bytes);
     ("state messages", state_bytes);
     ("timers", config.timers * timer_bytes);
+    ("block pools", pool_bytes);
   ]
 
 let total_ram_bytes config =

@@ -21,6 +21,7 @@ type config = {
   mailboxes : (int * int) list;  (** (capacity, words) per mailbox *)
   state_messages : (int * int) list;  (** (depth, words) per message *)
   timers : int;
+  pools : (int * int) list;  (** (capacity, block_bytes) per block pool *)
 }
 
 val default_config : config

@@ -46,6 +46,16 @@ type enforcement = {
          releases of that task *)
 }
 
+(* Per-task live-block quotas over the block-pool allocator, kept
+   separate from [enforcement] so installing one never perturbs the
+   budget-enforcement paths (and [None] stays bit-identical). *)
+type mem_enforcement = {
+  quota_of : Model.Task.t -> int option;
+      (* max blocks a job may hold live across all pools; [None] =
+         unenforced task *)
+  on_exceed : overrun_policy;
+}
+
 type enf_state = {
   mutable used : Model.Time.t; (* budget consumed by the current job *)
   mutable probe : Sim.Engine.handle option; (* armed budget-exhaustion event *)
@@ -55,10 +65,20 @@ type enf_state = {
   mutable since_shed : int; (* releases run since the last shed *)
   mutable kill_pending : bool; (* miss-kill deferred until next dispatched *)
   mutable demoted : bool;
+  mutable quota_flagged : bool; (* at most one quota event per job *)
+  mutable quota_hits : int;
   mutable overruns : int;
   mutable kills : int;
   mutable sheds : int;
   mutable first_detection : Model.Time.t option;
+}
+
+(* Observed per-(task, pool) allocator behaviour — the dynamic side of
+   the peak-live domination oracle. *)
+type mem_cell = {
+  mutable mc_hw : int; (* max blocks the task had live in the pool *)
+  mutable mc_leaked : int; (* blocks still live at job completion *)
+  mutable mc_oom : int; (* allocations denied to this task *)
 }
 
 type t = {
@@ -83,6 +103,10 @@ type t = {
      the unenforced kernel (the fuzz differential depends on this) *)
   mutable enforcement : enforcement option;
   enf : (int, enf_state) Hashtbl.t; (* per-tid, created lazily *)
+  (* block-pool allocator *)
+  pools : pool list; (* every pool any program references, id-sorted *)
+  mutable mem_enforcement : mem_enforcement option;
+  mem_cells : (int * int, mem_cell) Hashtbl.t; (* (tid, pool_id) *)
   (* fault hooks, installed by [lib/fault]; all default to inert *)
   mutable fault_demand :
     (tid:int -> job:int -> Model.Time.t -> Model.Time.t) option;
@@ -122,6 +146,8 @@ let enf_state k (tcb : tcb) =
         since_shed = max_int / 2; (* no shed yet: the first one is free *)
         kill_pending = false;
         demoted = false;
+        quota_flagged = false;
+        quota_hits = 0;
         overruns = 0;
         kills = 0;
         sheds = 0;
@@ -130,6 +156,20 @@ let enf_state k (tcb : tcb) =
     in
     Hashtbl.add k.enf tcb.tid st;
     st
+let mem_cell k (tcb : tcb) (p : pool) =
+  match Hashtbl.find_opt k.mem_cells (tcb.tid, p.pool_id) with
+  | Some c -> c
+  | None ->
+    let c = { mc_hw = 0; mc_leaked = 0; mc_oom = 0 } in
+    Hashtbl.add k.mem_cells (tcb.tid, p.pool_id) c;
+    c
+
+let live_in (tcb : tcb) (p : pool) =
+  match List.assq_opt p tcb.live_blocks with Some n -> n | None -> 0
+
+let total_live (tcb : tcb) =
+  List.fold_left (fun acc (_, n) -> acc + n) 0 tcb.live_blocks
+
 let trace k = k.tr
 let probe k = k.probe
 let stopped k = k.stopped
@@ -162,8 +202,20 @@ let check_invariants k =
             match s.holder with
             | Some h -> assert (h == tcb)
             | None -> assert false)
-        tcb.held_sems)
-    k.tcbs
+        tcb.held_sems;
+      (* live-block counts are non-negative *)
+      List.iter (fun (_, n) -> assert (n >= 0)) tcb.live_blocks)
+    k.tcbs;
+  (* pool occupancy: free blocks in range, and every outstanding block
+     is owned by exactly one task's live count *)
+  List.iter
+    (fun (p : pool) ->
+      assert (p.pool_free >= 0 && p.pool_free <= p.pool_capacity);
+      let owned =
+        Array.fold_left (fun acc tcb -> acc + live_in tcb p) 0 k.tcbs
+      in
+      assert (owned = p.pool_capacity - p.pool_free))
+    k.pools
 
 (* ------------------------------------------------------------------ *)
 (* Time accounting *)
@@ -611,6 +663,9 @@ and begin_job k tcb ~job ~release =
         charge k "sched.demote" (k.sched.s_reprioritize tcb)
       end
     end);
+  (match k.mem_enforcement with
+  | None -> ()
+  | Some _ -> (enf_state k tcb).quota_flagged <- false);
   Obs.Probe.emit k.probe ~at:(now k)
     (Job_release { tid = tcb.tid; job; deadline = tcb.abs_deadline });
   schedule_deadline_check k tcb ~job ~deadline:tcb.abs_deadline
@@ -742,8 +797,96 @@ and run_instrs k tcb =
         (Sim.Engine.schedule k.engine
            ~at:(quantize k (now k + d))
            (kernel_event k wake))
+    | Alloc p ->
+      charge k "syscall" k.cost.syscall_entry;
+      charge k "pool" k.cost.pool_admin;
+      if p.pool_free > 0 then begin
+        p.pool_free <- p.pool_free - 1;
+        let live = p.pool_capacity - p.pool_free in
+        p.pool_high_water <- max p.pool_high_water live;
+        let mine = live_in tcb p + 1 in
+        tcb.live_blocks <-
+          (p, mine) :: List.filter (fun (q, _) -> q != p) tcb.live_blocks;
+        let c = mem_cell k tcb p in
+        c.mc_hw <- max c.mc_hw mine;
+        Obs.Probe.emit k.probe ~at:(now k)
+          (Block_alloc { tid = tcb.tid; pool = p.pool_id; live });
+        let job = tcb.job_no in
+        check_quota k tcb;
+        (* the quota policy may have killed (and even restarted) the
+           job; only the surviving job advances past its alloc *)
+        if tcb.job_no = job && tcb.completed_job < job then step ()
+      end
+      else begin
+        p.pool_failures <- p.pool_failures + 1;
+        (mem_cell k tcb p).mc_oom <- (mem_cell k tcb p).mc_oom + 1;
+        Obs.Probe.emit k.probe ~at:(now k)
+          (Pool_oom { tid = tcb.tid; pool = p.pool_id });
+        step ()
+      end
+    | Free p ->
+      charge k "syscall" k.cost.syscall_entry;
+      charge k "pool" k.cost.pool_admin;
+      let mine = live_in tcb p in
+      if mine <= 0 then
+        invalid_arg "Kernel: free of a block the job does not hold";
+      tcb.live_blocks <-
+        (p, mine - 1) :: List.filter (fun (q, _) -> q != p) tcb.live_blocks;
+      p.pool_free <- p.pool_free + 1;
+      Obs.Probe.emit k.probe ~at:(now k)
+        (Block_free
+           { tid = tcb.tid; pool = p.pool_id;
+             live = p.pool_capacity - p.pool_free });
+      step ()
+
+and check_quota k tcb =
+  match k.mem_enforcement with
+  | None -> ()
+  | Some me -> (
+    match me.quota_of tcb.task with
+    | None -> ()
+    | Some quota ->
+      let live = total_live tcb in
+      if live > quota then begin
+        let st = enf_state k tcb in
+        if not st.quota_flagged then begin
+          st.quota_flagged <- true;
+          st.quota_hits <- st.quota_hits + 1;
+          if st.first_detection = None then st.first_detection <- Some (now k);
+          Obs.Probe.emit k.probe ~at:(now k)
+            (Quota_exceeded { tid = tcb.tid; job = tcb.job_no; live; quota });
+          match me.on_exceed with
+          | Notify_only -> ()
+          | Demote by -> apply_demotion k tcb ~by
+          | Kill_job -> kill_job k tcb
+          | Skip_next ->
+            st.skip_next <- true;
+            kill_job k tcb
+        end
+      end)
+
+(* Blocks still live when the job ends are leaks: record them, then
+   reclaim so repeated leaky jobs cannot exhaust the pool forever (the
+   lint verdict and the leak trace entries stay in agreement either
+   way).  [kill_job] reclaims silently — an aborted job is not a
+   program leak. *)
+and reclaim_blocks k tcb ~leak =
+  List.iter
+    (fun ((p : pool), n) ->
+      if n > 0 then begin
+        p.pool_free <- min p.pool_capacity (p.pool_free + n);
+        if leak then begin
+          (mem_cell k tcb p).mc_leaked <- (mem_cell k tcb p).mc_leaked + n;
+          Obs.Probe.emit k.probe ~at:(now k)
+            (Pool_leak
+               { tid = tcb.tid; job = tcb.job_no; pool = p.pool_id; count = n })
+        end
+      end)
+    tcb.live_blocks;
+  tcb.live_blocks <- []
 
 and job_complete k tcb =
+  reclaim_blocks k tcb ~leak:true;
   let response = now k - tcb.release_time in
   tcb.completed_job <- tcb.job_no;
   tcb.jobs_completed <- tcb.jobs_completed + 1;
@@ -876,6 +1019,7 @@ and kill_job k tcb =
   st.kills <- st.kills + 1;
   Obs.Probe.emit k.probe ~at:(now k) (Job_killed { tid = tcb.tid; job = tcb.job_no });
   List.iter (fun s -> sem_release k tcb s) tcb.held_sems;
+  reclaim_blocks k tcb ~leak:false;
   leave_approachers tcb;
   tcb.remaining <- 0;
   tcb.pc <- Array.length tcb.program;
@@ -1115,6 +1259,7 @@ let make_tcb rank (task : Model.Task.t) program =
     wait_node = None;
     held_sems = [];
     waiting_on = None;
+    live_blocks = [];
     inbox = None;
     completed_job = 0;
     pending_releases = Queue.create ();
@@ -1146,6 +1291,31 @@ let create ?(keep_trace = true) ?(stop_on_miss = false) ?(optimized_pi = true)
   let engine =
     match engine with Some e -> e | None -> Sim.Engine.create ()
   in
+  (* Every pool any program references.  Pools are shared mutable
+     objects like semaphores, but unlike a semaphore a pool's state is
+     pure bookkeeping with no blocked threads attached, so a fresh
+     kernel safely resets it (replays over one realized scenario stay
+     deterministic). *)
+  let pools =
+    let tbl = Hashtbl.create 4 in
+    Array.iter
+      (fun (tcb : tcb) ->
+        Array.iter
+          (function
+            | Alloc p | Free p -> Hashtbl.replace tbl p.pool_id p
+            | _ -> ())
+          tcb.program)
+      tcbs;
+    List.sort
+      (fun (a : pool) b -> compare a.pool_id b.pool_id)
+      (Hashtbl.fold (fun _ p acc -> p :: acc) tbl [])
+  in
+  List.iter
+    (fun (p : pool) ->
+      p.pool_free <- p.pool_capacity;
+      p.pool_high_water <- 0;
+      p.pool_failures <- 0)
+    pools;
   let tr = Sim.Trace.create ~keep_entries:keep_trace () in
   let k =
     {
@@ -1168,6 +1338,9 @@ let create ?(keep_trace = true) ?(stop_on_miss = false) ?(optimized_pi = true)
       irq_handlers = Hashtbl.create 8;
       enforcement = None;
       enf = Hashtbl.create 8;
+      pools;
+      mem_enforcement = None;
+      mem_cells = Hashtbl.create 8;
       fault_demand = None;
       fault_jitter = None;
       fault_drop_signal = None;
@@ -1311,6 +1484,13 @@ let set_enforcement k e =
   | Some _ | None -> ());
   k.enforcement <- e
 
+let set_mem_enforcement k e =
+  (match e with
+  | Some { on_exceed = Demote by; _ } when by <= 0 ->
+    invalid_arg "Kernel.set_mem_enforcement: Demote must lower the priority"
+  | Some _ | None -> ());
+  k.mem_enforcement <- e
+
 let set_demand_fault k f = k.fault_demand <- f
 let set_release_jitter k f = k.fault_jitter <- f
 let set_signal_drop k f = k.fault_drop_signal <- f
@@ -1348,6 +1528,40 @@ let enforcement_stats k =
              e_budget_used = st.used;
              e_first_detection = st.first_detection;
            })
+       k.tcbs)
+
+type mem_stats = {
+  m_tid : int;
+  m_pool : int; (* pool id *)
+  m_high_water : int; (* max blocks this task had live in the pool *)
+  m_leaked : int; (* blocks still live at a job completion (reclaimed) *)
+  m_oom : int; (* allocations denied to this task *)
+}
+
+let mem_stats k =
+  Hashtbl.fold
+    (fun (tid, pool) (c : mem_cell) acc ->
+      {
+        m_tid = tid;
+        m_pool = pool;
+        m_high_water = c.mc_hw;
+        m_leaked = c.mc_leaked;
+        m_oom = c.mc_oom;
+      }
+      :: acc)
+    k.mem_cells []
+  |> List.sort (fun a b -> compare (a.m_pool, a.m_tid) (b.m_pool, b.m_tid))
+
+let pool_stats k = k.pools
+
+let quota_hits k =
+  Array.to_list
+    (Array.map
+       (fun (tcb : tcb) ->
+         ( tcb.tid,
+           match Hashtbl.find_opt k.enf tcb.tid with
+           | Some st -> st.quota_hits
+           | None -> 0 ))
        k.tcbs)
 
 (* ------------------------------------------------------------------ *)

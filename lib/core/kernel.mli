@@ -241,6 +241,51 @@ type enf_stats = {
 
 val enforcement_stats : t -> enf_stats list
 
+(** {1 Memory enforcement}
+
+    Per-task block-pool quotas: the memory analogue of WCET budgets.
+    A quota bounds the blocks a task may hold live across all pools at
+    once; the static analyses ([Lint.Alloc_discipline],
+    [Absint.Exec]'s peak-live intervals) check the same bound
+    statically, and this hook is how the kernel reacts when a job
+    violates it at run time.  With no memory enforcement installed
+    (the default) the path is inert and behaviour is bit-identical to
+    the plain kernel. *)
+
+type mem_enforcement = {
+  quota_of : Model.Task.t -> int option;
+      (** per-task live-block quota (across all pools); [None] leaves
+          the task unenforced *)
+  on_exceed : overrun_policy;
+      (** reuse of the budget policies: [Kill_job] aborts the greedy
+          job (its blocks are reclaimed), [Demote]/[Skip_next]/
+          [Notify_only] as for budget overruns *)
+}
+
+val set_mem_enforcement : t -> mem_enforcement option -> unit
+(** Install (or clear) the quota configuration.  Call before [run].
+    @raise Invalid_argument if a [Demote] rank is non-positive. *)
+
+(** Per-(task, pool) allocation outcome. *)
+type mem_stats = {
+  m_tid : int;
+  m_pool : int;
+  m_high_water : int;  (** max blocks this task held live at once *)
+  m_leaked : int;  (** blocks still live at job completions (reclaimed) *)
+  m_oom : int;  (** allocations denied because the pool was exhausted *)
+}
+
+val mem_stats : t -> mem_stats list
+(** Sorted by (pool, task); only (task, pool) pairs that allocated at
+    least once appear. *)
+
+val pool_stats : t -> Types.pool list
+(** The kernel's block pools (discovered from the programs), with
+    their pool-wide high-water and failure counters. *)
+
+val quota_hits : t -> (int * int) list
+(** [(tid, quota-exceeded detections)] per task, for enforced runs. *)
+
 (** {1 Fault hooks}
 
     Installed by [lib/fault] to perturb the kernel's inputs; all

@@ -32,6 +32,7 @@ let tcb ?prio ?deadline ?(state = Types.Ready) ~tid () =
     wait_node = None;
     held_sems = [];
     waiting_on = None;
+    live_blocks = [];
     inbox = None;
     completed_job = 0;
     pending_releases = Queue.create ();

@@ -21,6 +21,21 @@ let waitq () =
   incr wq_counter;
   { wq_id = !wq_counter; wq_waiters = Util.Dlist.create (); pending_signals = 0 }
 
+let pool_counter = ref 0
+
+let pool ~block_bytes ~capacity () =
+  if block_bytes < 1 then invalid_arg "Objects.pool: block_bytes must be >= 1";
+  if capacity < 1 then invalid_arg "Objects.pool: capacity must be >= 1";
+  incr pool_counter;
+  {
+    pool_id = !pool_counter;
+    pool_block_bytes = block_bytes;
+    pool_capacity = capacity;
+    pool_free = capacity;
+    pool_high_water = 0;
+    pool_failures = 0;
+  }
+
 let mailbox ~capacity () =
   if capacity < 1 then invalid_arg "Objects.mailbox: capacity must be >= 1";
   incr mb_counter;

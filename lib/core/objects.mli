@@ -22,3 +22,9 @@ val waitq : unit -> Types.waitq
 
 val mailbox : capacity:int -> unit -> Types.mailbox
 (** A bounded message-passing mailbox.  [capacity >= 1]. *)
+
+val pool : block_bytes:int -> capacity:int -> unit -> Types.pool
+(** A K0BA-style fixed-size block pool: [capacity] blocks of
+    [block_bytes] each, allocated and freed in O(1).  Allocation never
+    blocks; an exhausted pool denies the request (an OOM event).
+    @raise Invalid_argument if [block_bytes < 1] or [capacity < 1]. *)

@@ -14,6 +14,8 @@ let recv mb = Recv mb
 let state_write sm data = State_write (sm, data)
 let state_read sm = State_read sm
 let delay d = Delay d
+let alloc p = Alloc p
+let free p = Free p
 
 let critical s c = [ Acquire s; Compute c; Release s ]
 
@@ -22,7 +24,7 @@ let condition_wait cond mutex = [ Release mutex; Wait cond; Acquire mutex ]
 let is_blocking = function
   | Acquire _ | Wait _ | Timed_wait _ | Recv _ | Send _ | Delay _ -> true
   | Compute _ | Release _ | Signal _ | Broadcast _ | State_write _
-  | State_read _ ->
+  | State_read _ | Alloc _ | Free _ ->
     false
 
 (* The code parser: the next blocking call after position [i], if it is

@@ -26,6 +26,15 @@ val state_write : State_msg.t -> int array -> Types.instr
 val state_read : State_msg.t -> Types.instr
 val delay : Model.Time.t -> Types.instr
 
+val alloc : Types.pool -> Types.instr
+(** Allocate one fixed-size block from a pool (O(1), non-blocking;
+    an exhausted pool denies the request). *)
+
+val free : Types.pool -> Types.instr
+(** Return one block to a pool.  Freeing a block the job does not hold
+    is a program bug the kernel faults on (like releasing a semaphore
+    the thread does not hold). *)
+
 val critical : Types.sem -> Model.Time.t -> t
 (** [critical s c] = acquire; compute c; release — a method invocation
     on a semaphore-protected object (§6's motivating pattern). *)

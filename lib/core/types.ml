@@ -50,6 +50,9 @@ type tcb = {
          currently blocks me *)
   mutable held_sems : sem list;
   mutable waiting_on : sem option; (* the semaphore whose waiter queue holds me *)
+  (* block-pool allocator *)
+  mutable live_blocks : (pool * int) list;
+      (* blocks allocated by the current job and not yet freed, per pool *)
   mutable inbox : message option;   (* delivery slot for a granted Recv *)
   (* job accounting *)
   mutable completed_job : int;
@@ -77,6 +80,20 @@ and instr =
   | State_write of State_msg.t * int array
   | State_read of State_msg.t
   | Delay of Model.Time.t  (* blocking sleep via the timer service *)
+  | Alloc of pool          (* grab one fixed-size block; O(1), never blocks *)
+  | Free of pool           (* return one block to the pool *)
+
+(* K0BA-style fixed-size block pool: capacity blocks of block_bytes
+   each, handed out and returned in O(1).  Allocation never blocks —
+   an exhausted pool is an OOM event, not a wait. *)
+and pool = {
+  pool_id : int;
+  pool_block_bytes : int;
+  pool_capacity : int;
+  mutable pool_free : int;
+  mutable pool_high_water : int;   (* max blocks simultaneously live *)
+  mutable pool_failures : int;     (* allocations denied (OOM) *)
+}
 
 and sem = {
   sem_id : int;

@@ -17,13 +17,14 @@ type config = {
   seed : int;
   tick : Model.Time.t option;
   enforcement : Kernel.enforcement option;
+  mem_enforcement : Kernel.mem_enforcement option;
   plan : Plan.t;
   keep_trace : bool;
   observer : (Kernel.t -> unit) option;
 }
 
 let default_config ~scenario ?(spec = Sched.Rm) ?(cost = Sim.Cost.m68040)
-    ?(horizon = Model.Time.ms 200) ?(seed = 7) ?enforcement
+    ?(horizon = Model.Time.ms 200) ?(seed = 7) ?enforcement ?mem_enforcement
     ?(plan = Plan.empty) () =
   {
     scenario;
@@ -33,12 +34,33 @@ let default_config ~scenario ?(spec = Sched.Rm) ?(cost = Sim.Cost.m68040)
     seed;
     tick = None;
     enforcement;
+    mem_enforcement;
     plan;
     keep_trace = true;
     observer = None;
   }
 
 let declared_budgets (t : Model.Task.t) = Some t.wcet
+
+(* The natural quota function: what the static analyzer derives as the
+   task's worst live-block demand across all pools (its [peak_live]
+   upper ends summed); a job exceeding it violates the analyzed
+   model exactly like a WCET overrun. *)
+let declared_quotas (sc : Workload.Scenario.t) =
+  let report = Absint.Report.analyze ~cost:Sim.Cost.zero sc in
+  fun (t : Model.Task.t) ->
+    Array.find_opt
+      (fun (tb : Absint.Report.task_bound) ->
+        tb.task.Model.Task.id = t.Model.Task.id)
+      report.Absint.Report.tasks
+    |> Option.map (fun (tb : Absint.Report.task_bound) ->
+           List.fold_left
+             (fun acc (_, itv) ->
+               acc + Option.value ~default:0 (Absint.Itv.hi_int itv))
+             0 tb.Absint.Report.summary.Absint.Exec.peak_live)
+    |> function
+    | Some q when q > 0 -> Some q
+    | _ -> None
 
 type outcome = {
   kernel : Kernel.t;
@@ -205,6 +227,7 @@ let run (cfg : config) =
       ~programs:cfg.scenario.programs ()
   in
   Kernel.set_enforcement k cfg.enforcement;
+  Kernel.set_mem_enforcement k cfg.mem_enforcement;
   (match cfg.observer with Some f -> f k | None -> ());
   let activations = ref [] in
   let mark at what = activations := (at, what) :: !activations in

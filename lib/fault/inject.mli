@@ -22,6 +22,7 @@ type config = {
   seed : int;  (** drives IRQ arrival draws and jitter faults *)
   tick : Model.Time.t option;  (** as [Kernel.create]; drift needs it *)
   enforcement : Emeralds.Kernel.enforcement option;
+  mem_enforcement : Emeralds.Kernel.mem_enforcement option;
   plan : Plan.t;
   keep_trace : bool;
   observer : (Emeralds.Kernel.t -> unit) option;
@@ -39,6 +40,7 @@ val default_config :
   ?horizon:Model.Time.t ->
   ?seed:int ->
   ?enforcement:Emeralds.Kernel.enforcement ->
+  ?mem_enforcement:Emeralds.Kernel.mem_enforcement ->
   ?plan:Plan.t ->
   unit ->
   config
@@ -47,6 +49,12 @@ val default_config :
 
 val declared_budgets : Model.Task.t -> Model.Time.t option
 (** The natural budget function: every task's declared WCET. *)
+
+val declared_quotas :
+  Workload.Scenario.t -> Model.Task.t -> int option
+(** The natural live-block quota function: the static analyzer's
+    derived per-task peak-live bound (upper ends summed across pools).
+    [None] for tasks that never allocate — they stay unenforced. *)
 
 type outcome = {
   kernel : Emeralds.Kernel.t;  (** after running to the horizon *)

@@ -1,0 +1,77 @@
+open Emeralds
+
+let name = "alloc-discipline"
+
+(* Per-task exact walk: pool_id -> (pool, held blocks, peak held). *)
+let walk (tp : Ctx.task_prog) on_bad_free =
+  let held : (int, Types.pool * int * int) Hashtbl.t = Hashtbl.create 4 in
+  Array.iteri
+    (fun pc instr ->
+      match instr with
+      | Types.Alloc p ->
+        let _, c, peak =
+          match Hashtbl.find_opt held p.pool_id with
+          | Some row -> row
+          | None -> (p, 0, 0)
+        in
+        Hashtbl.replace held p.pool_id (p, c + 1, max peak (c + 1))
+      | Types.Free p -> (
+        match Hashtbl.find_opt held p.pool_id with
+        | Some (_, c, peak) when c > 0 ->
+          Hashtbl.replace held p.pool_id (p, c - 1, peak)
+        | _ -> on_bad_free ~pc p)
+      | _ -> ())
+    tp.code;
+  held
+
+let run (ctx : Ctx.t) =
+  let diags = ref [] in
+  let add sev ?task ?pc msg =
+    diags := Diag.make sev ~check:name ?task ?pc msg :: !diags
+  in
+  (* pool_id -> (pool, sum of per-task peaks): the worst concurrent
+     demand if every task sits at its own peak at once *)
+  let concurrent : (int, Types.pool * int) Hashtbl.t = Hashtbl.create 4 in
+  Array.iter
+    (fun (tp : Ctx.task_prog) ->
+      let tid = tp.task.id in
+      let held =
+        walk tp (fun ~pc (p : Types.pool) ->
+            add Diag.Error ~task:tid ~pc
+              (Printf.sprintf
+                 "free of a block of pool %d the job does not hold (kernel \
+                  raises at run time)"
+                 p.pool_id))
+      in
+      Hashtbl.iter
+        (fun _ ((p : Types.pool), c, peak) ->
+          (if c > 0 then
+             let jobs_to_dry = (p.pool_capacity + c - 1) / c in
+             add Diag.Error ~task:tid
+               (Printf.sprintf
+                  "%d block(s) of pool %d still held at job end: leaked every \
+                   job, the pool would exhaust within %d job(s) (the kernel \
+                   reclaims and records the leak)"
+                  c p.pool_id jobs_to_dry));
+          if peak > p.pool_capacity then
+            add Diag.Error ~task:tid
+              (Printf.sprintf
+                 "peak demand of %d live block(s) exceeds pool %d's capacity \
+                  %d even with the pool to itself: allocation denial is \
+                  certain"
+                 peak p.pool_id p.pool_capacity);
+          match Hashtbl.find_opt concurrent p.pool_id with
+          | Some (_, sum) -> Hashtbl.replace concurrent p.pool_id (p, sum + peak)
+          | None -> Hashtbl.add concurrent p.pool_id (p, peak))
+        held)
+    ctx.tasks;
+  Hashtbl.iter
+    (fun _ ((p : Types.pool), sum) ->
+      if sum > p.pool_capacity then
+        add Diag.Warning
+          (Printf.sprintf
+             "pool %d: combined peak demand %d exceeds capacity %d; \
+              preemption can exhaust the pool and deny an allocation"
+             p.pool_id sum p.pool_capacity))
+    concurrent;
+  !diags

@@ -1,0 +1,26 @@
+(** Per-task block-pool allocation discipline.
+
+    Walks each thread program with an exact held-block count per pool
+    (the memory analogue of {!Lock_balance}) and flags:
+
+    - a [Free] of a pool the job holds no block of — double-free or
+      free-of-unallocated; the kernel raises [Invalid_argument] at run
+      time (error);
+    - blocks still held when the job ends: a leak repeated every job,
+      reported with the number of jobs until the pool runs dry
+      (error — the kernel reclaims and records it, but the program is
+      wrong);
+    - a per-task peak demand above the pool's capacity: the task
+      cannot obtain its blocks even with the pool to itself, so a
+      denied allocation is certain (error);
+    - a combined peak demand (sum of per-task peaks) above capacity:
+      preemption can interleave jobs at their peaks and exhaust the
+      pool (warning — a quota/sizing infeasibility, not a certainty).
+
+    The analyzer's interval version of the same quantity lives in
+    [Absint.Exec] ([peak_live]); the campaign's [mem] oracle checks
+    the two against the kernel's observed high-water marks. *)
+
+val name : string
+
+val run : Ctx.t -> Diag.t list

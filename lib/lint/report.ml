@@ -1,6 +1,7 @@
 let checks =
   [
     Lock_balance.run;
+    Alloc_discipline.run;
     Deadlock.run;
     Hygiene.run;
     State_discipline.run;

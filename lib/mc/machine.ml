@@ -12,6 +12,8 @@ type instr =
   | ISread_begin of int
   | ISread_end of int
   | IDelay of int
+  | IAlloc of int
+  | IFree of int
 
 type release_model = Periodic | Sporadic of { min_ia : int; max_ia : int }
 
@@ -48,6 +50,8 @@ type t = {
   mb_cap : int array;
   sm_ids : int array;
   sm_depth : int array;
+  pool_ids : int array;
+  pool_cap : int array;
   irqs : irq_src array;
   sched : sched;
   hyperperiod : int;
@@ -92,6 +96,7 @@ let of_scenario ?(sched = Fp) ?(read_span = 0) ?(sporadic = []) (s : Workload.Sc
   let wqs = registry () in
   let mbs = registry () in
   let sms = registry () in
+  let pools = registry () in
   let compile_instr (i : Emeralds.Types.instr) : instr list =
     match i with
     | Emeralds.Types.Compute d -> [ ICompute d ]
@@ -109,6 +114,8 @@ let of_scenario ?(sched = Fp) ?(read_span = 0) ?(sporadic = []) (s : Workload.Sc
       if read_span > 0 then [ ISread_begin i; ICompute read_span; ISread_end i ]
       else [ ISread_begin i; ISread_end i ]
     | Emeralds.Types.Delay d -> [ IDelay d ]
+    | Emeralds.Types.Alloc p -> [ IAlloc (intern pools p) ]
+    | Emeralds.Types.Free p -> [ IFree (intern pools p) ]
   in
   let task_rows = Array.to_list (Model.Taskset.tasks s.taskset) in
   let tasks =
@@ -170,6 +177,7 @@ let of_scenario ?(sched = Fp) ?(read_span = 0) ?(sporadic = []) (s : Workload.Sc
   let wq_objs = contents wqs in
   let mb_objs = contents mbs in
   let sm_objs = contents sms in
+  let pool_objs = contents pools in
   {
     model_name = s.name;
     tasks;
@@ -180,6 +188,10 @@ let of_scenario ?(sched = Fp) ?(read_span = 0) ?(sporadic = []) (s : Workload.Sc
     mb_cap = Array.map (fun (m : Emeralds.Types.mailbox) -> m.mb_capacity) mb_objs;
     sm_ids = Array.map Emeralds.State_msg.id sm_objs;
     sm_depth = Array.map Emeralds.State_msg.depth sm_objs;
+    pool_ids =
+      Array.map (fun (p : Emeralds.Types.pool) -> p.pool_id) pool_objs;
+    pool_cap =
+      Array.map (fun (p : Emeralds.Types.pool) -> p.pool_capacity) pool_objs;
     irqs;
     sched;
     hyperperiod = Model.Taskset.hyperperiod s.taskset;

@@ -29,6 +29,8 @@ type instr =
   | ISread_begin of int       (** snapshot the published sequence *)
   | ISread_end of int         (** tear check: writes completed mid-read *)
   | IDelay of int
+  | IAlloc of int             (** block-pool index; denied when empty *)
+  | IFree of int              (** faults when the job holds no block *)
 
 type release_model =
   | Periodic
@@ -73,6 +75,8 @@ type t = {
   mb_cap : int array;
   sm_ids : int array;
   sm_depth : int array;
+  pool_ids : int array;
+  pool_cap : int array;
   irqs : irq_src array;
   sched : sched;
   hyperperiod : int;

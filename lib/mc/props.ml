@@ -208,6 +208,53 @@ let tear =
         | _ -> None);
   }
 
+(* --- memory safety ---------------------------------------------------- *)
+
+let mem =
+  {
+    name = "mem";
+    doc = "block pools never over-commit, deny, or leak";
+    timing_sensitive = false;
+    on_state =
+      (fun m st ->
+        let fail = ref None in
+        let check cond msg =
+          if !fail = None && not cond then fail := Some (msg ())
+        in
+        Array.iteri
+          (fun p occ ->
+            check
+              (occ >= 0 && occ <= m.Machine.pool_cap.(p))
+              (fun () ->
+                Printf.sprintf "pool %d occupancy %d outside [0,%d]"
+                  m.Machine.pool_ids.(p) occ m.Machine.pool_cap.(p));
+            let owned =
+              Array.fold_left
+                (fun acc (t : State.tstate) ->
+                  acc
+                  + (match List.assoc_opt p t.live with Some n -> n | None -> 0))
+                0 st.tasks
+            in
+            check (owned = occ) (fun () ->
+                Printf.sprintf
+                  "pool %d: tasks hold %d block(s) yet occupancy is %d"
+                  m.Machine.pool_ids.(p) owned occ))
+          st.pool_occ;
+        !fail);
+    on_note =
+      (fun m ~at -> function
+        | State.Oom { idx; pool } ->
+          Some
+            (Printf.sprintf "%s denied a block of pool %d (exhausted) at %dns"
+               m.tasks.(idx).task_name m.Machine.pool_ids.(pool) at)
+        | State.Leak { idx; pool; count } ->
+          Some
+            (Printf.sprintf
+               "%s leaked %d block(s) of pool %d at job end"
+               m.tasks.(idx).task_name count m.Machine.pool_ids.(pool))
+        | _ -> None);
+  }
+
 (* --- deadline safety -------------------------------------------------- *)
 
 let deadline =
@@ -225,7 +272,7 @@ let deadline =
         | _ -> None);
   }
 
-let all = [ deadlock; pi; invariants; tear; deadline ]
+let all = [ deadlock; pi; invariants; tear; mem; deadline ]
 let names = List.map (fun p -> p.name) all
 let by_name n = List.find_opt (fun p -> p.name = n) all
 

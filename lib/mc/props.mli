@@ -40,6 +40,12 @@ val tear : t
     [N >= ceil(read/write) + 2] is exactly what makes this
     unreachable. *)
 
+val mem : t
+(** Block-pool memory safety: every pool's occupancy stays within
+    [0, capacity] and equals the sum of blocks tasks hold (no lost or
+    duplicated blocks), no allocation is denied (OOM), and no job
+    completes still holding blocks (leak). *)
+
 val deadline : t
 (** No deadline miss up to the horizon.  Timing-sensitive. *)
 

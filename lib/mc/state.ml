@@ -26,6 +26,8 @@ type tstate = {
   dl_check : int;
   read_sm : int;
   read_seq : int;
+  live : (int * int) list;
+      (* pool index -> blocks this job holds; sorted, no zero entries *)
 }
 
 type t = {
@@ -36,6 +38,7 @@ type t = {
   wq_sig : int array;
   mb_occ : int array;
   sm_seq : int array;
+  pool_occ : int array;
   irq_next : nr array;
 }
 
@@ -43,6 +46,8 @@ type note =
   | Job_done of { idx : int; response : int }
   | Miss of { idx : int }
   | Torn of { idx : int; sm : int; writes : int }
+  | Oom of { idx : int; pool : int }
+  | Leak of { idx : int; pool : int; count : int }
   | Fault of string
 
 let init (m : Machine.t) =
@@ -74,6 +79,7 @@ let init (m : Machine.t) =
           dl_check = max_int;
           read_sm = -1;
           read_seq = 0;
+          live = [];
         })
       m.tasks
   in
@@ -85,6 +91,7 @@ let init (m : Machine.t) =
     wq_sig = Array.make (Array.length m.wq_ids) 0;
     mb_occ = Array.make (Array.length m.mb_ids) 0;
     sm_seq = Array.make (Array.length m.sm_ids) 0;
+    pool_occ = Array.make (Array.length m.pool_ids) 0;
     irq_next =
       Array.map (fun (s : Machine.irq_src) -> Choose (s.min_ia, s.max_ia)) m.irqs;
   }
@@ -153,6 +160,7 @@ let key (m : Machine.t) st =
       List.map (fun r -> r - now) t.pending,
       rel_t now t.dl_check,
       (t.read_sm, read_delta),
+      t.live,
       i )
   in
   let v =
@@ -162,6 +170,7 @@ let key (m : Machine.t) st =
       Array.to_list st.sem_holder,
       Array.to_list st.wq_sig,
       Array.to_list st.mb_occ,
+      Array.to_list st.pool_occ,
       Array.to_list (Array.map (canon_nr now) st.irq_next) )
   in
   Marshal.to_string v []
@@ -199,6 +208,11 @@ let pp (m : Machine.t) fmt st =
         | -1 -> "-"
         | h -> m.tasks.(h).task_name))
     st.sem_val;
+  Array.iteri
+    (fun p occ ->
+      Format.fprintf fmt "  pool%d: live=%d/%d@," m.pool_ids.(p) occ
+        m.pool_cap.(p))
+    st.pool_occ;
   Format.fprintf fmt "@]"
 
 let pp_note (m : Machine.t) fmt = function
@@ -211,4 +225,10 @@ let pp_note (m : Machine.t) fmt = function
     Format.fprintf fmt
       "%s: TORN READ of state msg %d (%d writes completed mid-read, depth %d)"
       m.tasks.(idx).task_name m.sm_ids.(sm) writes m.sm_depth.(sm)
+  | Oom { idx; pool } ->
+    Format.fprintf fmt "%s: POOL OOM on pool %d" m.tasks.(idx).task_name
+      m.pool_ids.(pool)
+  | Leak { idx; pool; count } ->
+    Format.fprintf fmt "%s: LEAK of %d block(s) of pool %d at job end"
+      m.tasks.(idx).task_name count m.pool_ids.(pool)
   | Fault msg -> Format.fprintf fmt "FAULT: %s" msg

@@ -52,6 +52,10 @@ type tstate = {
   dl_check : int;  (** absolute miss-probe instant; [max_int] = none *)
   read_sm : int;  (** state message mid-read, -1 = none *)
   read_seq : int;  (** sequence snapshot taken at [ISread_begin] *)
+  live : (int * int) list;
+      (** blocks the current job holds, [(pool index, count)]; sorted
+          by pool index with zero entries dropped, so it is canonical
+          as stored *)
 }
 
 type t = {
@@ -62,6 +66,7 @@ type t = {
   wq_sig : int array;  (** pending (saved) signals *)
   mb_occ : int array;
   sm_seq : int array;
+  pool_occ : int array;  (** blocks live pool-wide *)
   irq_next : nr array;
 }
 
@@ -72,6 +77,10 @@ type note =
   | Miss of { idx : int }
   | Torn of { idx : int; sm : int; writes : int }
       (** a read at depth [d] saw [writes >= d - 1] completed writes *)
+  | Oom of { idx : int; pool : int }
+      (** an allocation was denied: the pool was exhausted *)
+  | Leak of { idx : int; pool : int; count : int }
+      (** blocks still live when the job completed (then reclaimed) *)
   | Fault of string
       (** executed an operation the kernel would reject (e.g. releasing
           a semaphore held by someone else) *)

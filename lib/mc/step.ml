@@ -26,6 +26,7 @@ type ctx = {
   wq_sig : int array;
   mb_occ : int array;
   sm_seq : int array;
+  pool_occ : int array;
   irq_next : nr array;
   mutable notes : (int * note) list; (* reversed *)
   trace : int -> Sim.Trace.entry -> unit;
@@ -42,6 +43,7 @@ let thaw ?(emit = fun _ _ -> ()) m (st : State.t) =
     wq_sig = Array.copy st.wq_sig;
     mb_occ = Array.copy st.mb_occ;
     sm_seq = Array.copy st.sm_seq;
+    pool_occ = Array.copy st.pool_occ;
     irq_next = Array.copy st.irq_next;
     notes = [];
     trace = emit;
@@ -57,6 +59,7 @@ let freeze c : State.t =
     wq_sig = Array.copy c.wq_sig;
     mb_occ = Array.copy c.mb_occ;
     sm_seq = Array.copy c.sm_seq;
+    pool_occ = Array.copy c.pool_occ;
     irq_next = Array.copy c.irq_next;
   }
 
@@ -185,11 +188,21 @@ let release_task c i =
 
 let job_complete c i =
   let t = c.tasks.(i) in
+  (* mirror of the kernel's reclaim-and-record: blocks still live at
+     job end are a leak, noted then reclaimed, before the completion *)
+  List.iter
+    (fun (p, n) ->
+      c.pool_occ.(p) <- max 0 (c.pool_occ.(p) - n);
+      note c (Leak { idx = i; pool = p; count = n });
+      emit c
+        (Sim.Trace.Pool_leak
+           { tid = tid c i; job = job_no c i; pool = c.m.pool_ids.(p); count = n }))
+    t.live;
   let response = c.now - t.rel in
   note c (Job_done { idx = i; response });
   emit c
     (Sim.Trace.Job_complete { tid = tid c i; job = job_no c i; response });
-  set c i { t with dl_check = max_int };
+  set c i { t with dl_check = max_int; live = [] };
   match t.pending with
   | [] -> set c i { (c.tasks.(i)) with mode = Idle }
   | r :: rest ->
@@ -539,6 +552,46 @@ let exec_instr c i ~horizon =
         emit c (Sim.Trace.Thread_block { tid = tid c i; reason = "delay" })
       end;
       `Ok
+    | Machine.IAlloc p ->
+      if c.pool_occ.(p) < c.m.pool_cap.(p) then begin
+        c.pool_occ.(p) <- c.pool_occ.(p) + 1;
+        let mine =
+          (match List.assoc_opt p t.live with Some n -> n | None -> 0) + 1
+        in
+        let live = List.sort compare ((p, mine) :: List.remove_assoc p t.live) in
+        set c i { t with pc = t.pc + 1; live };
+        emit c
+          (Sim.Trace.Block_alloc
+             { tid = tid c i; pool = c.m.pool_ids.(p); live = c.pool_occ.(p) })
+      end
+      else begin
+        note c (Oom { idx = i; pool = p });
+        emit c (Sim.Trace.Pool_oom { tid = tid c i; pool = c.m.pool_ids.(p) });
+        set c i { t with pc = t.pc + 1 }
+      end;
+      `Ok
+    | Machine.IFree p -> (
+      match List.assoc_opt p t.live with
+      | None | Some 0 ->
+        (* the kernel faults here (invalid_arg); the checker records the
+           fault and runs on so one trace can carry several findings *)
+        note c
+          (Fault
+             (Printf.sprintf "%s frees a block of pool %d it does not hold"
+                mt.task_name c.m.pool_ids.(p)));
+        set c i { t with pc = t.pc + 1 };
+        `Ok
+      | Some mine ->
+        c.pool_occ.(p) <- c.pool_occ.(p) - 1;
+        let rest = List.remove_assoc p t.live in
+        let live =
+          if mine = 1 then rest else List.sort compare ((p, mine - 1) :: rest)
+        in
+        set c i { t with pc = t.pc + 1; live };
+        emit c
+          (Sim.Trace.Block_free
+             { tid = tid c i; pool = c.m.pool_ids.(p); live = c.pool_occ.(p) });
+        `Ok)
 
 (* --- the crank ------------------------------------------------------- *)
 

@@ -5,6 +5,7 @@ type t = {
   irq_lat : Util.Hist.t;
   depth : Util.Hist.t;
   ovh : (string, Util.Hist.t) Hashtbl.t;
+  live : (int, Util.Hist.t) Hashtbl.t; (* pool -> pool-wide live blocks *)
   (* pairing state *)
   open_blocks : (int, Model.Time.t) Hashtbl.t; (* tid -> block time *)
   mutable pending_irqs : Model.Time.t list; (* newest first *)
@@ -19,6 +20,7 @@ let create () =
     irq_lat = Util.Hist.create ();
     depth = Util.Hist.create ();
     ovh = Hashtbl.create 8;
+    live = Hashtbl.create 4;
     open_blocks = Hashtbl.create 8;
     pending_irqs = [];
     released = 0;
@@ -62,9 +64,12 @@ let observe t ({ at; entry } : Sim.Trace.stamped) =
     t.pending_irqs <- []
   | Overhead { category; cost } ->
     Util.Hist.observe (hist_for t.ovh category) cost
+  | Block_alloc { pool; live; _ } | Block_free { pool; live; _ } ->
+    Util.Hist.observe (hist_for t.live pool) live
   | Deadline_miss _ | Budget_overrun _ | Job_shed _ | Sem_acquired _
   | Sem_blocked _ | Sem_released _ | Priority_inherit _ | Priority_restore _
-  | Msg_sent _ | Msg_received _ | State_written _ | State_read _ | Note _ ->
+  | Msg_sent _ | Msg_received _ | State_written _ | State_read _ | Pool_oom _
+  | Pool_leak _ | Quota_exceeded _ | Note _ ->
     ()
 
 let attach t probe = Probe.subscribe probe ~mask:Probe.all_mask (observe t)
@@ -78,11 +83,13 @@ let counters t =
   |> List.sort compare
 
 let response t ~tid = Hashtbl.find_opt t.resp tid
+let live_blocks t ~pool = Hashtbl.find_opt t.live pool
 
 let sorted_keys tbl =
   Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
 
 let response_tids t = sorted_keys t.resp
+let live_pools t = sorted_keys t.live
 let blocking t ~tid = Hashtbl.find_opt t.block tid
 let blocking_tids t = sorted_keys t.block
 let irq_latency t = t.irq_lat
@@ -120,6 +127,7 @@ let merge a b =
   merge_tbl m.resp a.resp b.resp;
   merge_tbl m.block a.block b.block;
   merge_tbl m.ovh a.ovh b.ovh;
+  merge_tbl m.live a.live b.live;
   {
     m with
     irq_lat = Util.Hist.merge a.irq_lat b.irq_lat;
@@ -147,6 +155,13 @@ let pp_summary ppf t =
     Format.fprintf ppf "irq-latency: %a@," Util.Hist.pp t.irq_lat;
   if Util.Hist.count t.depth > 0 then
     Format.fprintf ppf "ready-depth: %a@," Util.Hist.pp t.depth;
+  List.iter
+    (fun pool ->
+      match live_blocks t ~pool with
+      | Some h ->
+        Format.fprintf ppf "live-blks pool%d: %a@," pool Util.Hist.pp h
+      | None -> ())
+    (live_pools t);
   List.iter
     (fun (cat, h) ->
       Format.fprintf ppf "overhead  %s: %a@," cat Util.Hist.pp h)

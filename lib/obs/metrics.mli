@@ -36,6 +36,14 @@ val blocking : t -> tid:int -> Util.Hist.t option
 
 val blocking_tids : t -> int list
 
+val live_blocks : t -> pool:int -> Util.Hist.t option
+(** Distribution of one pool's pool-wide live-block count, sampled at
+    every grant and free; its max is the observed high-water the
+    analyzer's peak-live interval must dominate. *)
+
+val live_pools : t -> int list
+(** Pools with at least one allocation event, ascending. *)
+
 val irq_latency : t -> Util.Hist.t
 (** Interrupt-to-dispatch latency: for every [Interrupt], the delay
     until the next [Context_switch], ns.  Interrupts with no

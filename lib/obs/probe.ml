@@ -1,6 +1,7 @@
-type category = Job | Sched | Sync | Ipc | Irq | Overhead | Enforce | Meta
+type category = Job | Sched | Sync | Ipc | Irq | Overhead | Enforce | Mem | Meta
 
-let all_categories = [ Job; Sched; Sync; Ipc; Irq; Overhead; Enforce; Meta ]
+let all_categories =
+  [ Job; Sched; Sync; Ipc; Irq; Overhead; Enforce; Mem; Meta ]
 
 let category_name = function
   | Job -> "job"
@@ -10,6 +11,7 @@ let category_name = function
   | Irq -> "irq"
   | Overhead -> "overhead"
   | Enforce -> "enforce"
+  | Mem -> "mem"
   | Meta -> "meta"
 
 let category_of_name s =
@@ -25,6 +27,9 @@ let category_of_entry : Sim.Trace.entry -> category = function
   | Interrupt _ -> Irq
   | Overhead _ -> Overhead
   | Budget_overrun _ | Job_killed _ | Job_shed _ -> Enforce
+  | Block_alloc _ | Block_free _ | Pool_oom _ | Pool_leak _ | Quota_exceeded _
+    ->
+    Mem
   | Note _ -> Meta
 
 type mask = int
@@ -37,7 +42,8 @@ let bit = function
   | Irq -> 16
   | Overhead -> 32
   | Enforce -> 64
-  | Meta -> 128
+  | Mem -> 128
+  | Meta -> 256
 
 let mask_of cats = List.fold_left (fun m c -> m lor bit c) 0 cats
 let all_mask = mask_of all_categories

@@ -18,6 +18,7 @@ type category =
   | Irq  (** interrupt arrivals *)
   | Overhead  (** charged kernel-overhead entries *)
   | Enforce  (** budget overruns, job kills, shed releases *)
+  | Mem  (** block-pool allocations: grants, frees, OOM, leaks, quota *)
   | Meta  (** free-form notes *)
 
 val all_categories : category list

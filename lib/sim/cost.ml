@@ -27,6 +27,7 @@ type t = {
   state_read_base : Model.Time.t;
   state_read_per_word : Model.Time.t;
   timer_service : Model.Time.t;
+  pool_admin : Model.Time.t;
 }
 
 let us = Model.Time.of_us_f
@@ -61,6 +62,7 @@ let m68040 =
     state_read_base = us 1.5;
     state_read_per_word = us 0.2;
     timer_service = us 1.5;
+    pool_admin = us 1.8;
   }
 
 let zero =
@@ -93,6 +95,7 @@ let zero =
     state_read_base = 0;
     state_read_per_word = 0;
     timer_service = 0;
+    pool_admin = 0;
   }
 
 let scale c f =
@@ -126,6 +129,7 @@ let scale c f =
     state_read_base = s c.state_read_base;
     state_read_per_word = s c.state_read_per_word;
     timer_service = s c.timer_service;
+    pool_admin = s c.pool_admin;
   }
 
 let edf_ts c ~n = c.edf_ts_base + (c.edf_ts_per_task * n)

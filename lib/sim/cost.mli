@@ -64,6 +64,10 @@ type t = {
   state_read_base : Model.Time.t;
   state_read_per_word : Model.Time.t;
   timer_service : Model.Time.t;
+  pool_admin : Model.Time.t;
+      (** block-pool bookkeeping per alloc/free — O(1) by construction
+          (a K0BA-style fixed-size block allocator: pop/push on a free
+          list), so a single constant on top of [syscall_entry] *)
 }
 
 val m68040 : t

@@ -30,6 +30,13 @@ type entry =
     }
   | Job_killed of { tid : int; job : int }
   | Job_shed of { tid : int; job : int; reason : string }
+  | Block_alloc of { tid : int; pool : int; live : int }
+      (* [live] = pool-wide blocks outstanding after the grant *)
+  | Block_free of { tid : int; pool : int; live : int }
+  | Pool_oom of { tid : int; pool : int } (* allocation denied: exhausted *)
+  | Pool_leak of { tid : int; job : int; pool : int; count : int }
+      (* blocks still live when the job completed (reclaimed) *)
+  | Quota_exceeded of { tid : int; job : int; live : int; quota : int }
   | Note of string
 
 type stamped = { at : Model.Time.t; entry : entry }
@@ -118,7 +125,8 @@ let emit t ~at entry =
   | Job_release _ | Job_complete _ | Thread_block _ | Thread_unblock _
   | Sem_acquired _ | Sem_blocked _ | Sem_released _ | Priority_inherit _
   | Priority_restore _ | Msg_sent _ | Msg_received _ | State_written _
-  | State_read _ | Interrupt _ | Note _ ->
+  | State_read _ | Interrupt _ | Block_alloc _ | Block_free _ | Pool_oom _
+  | Pool_leak _ | Quota_exceeded _ | Note _ ->
     ());
   if t.keep then t.entries <- stamped :: t.entries
 
@@ -189,6 +197,17 @@ let pp_entry ppf = function
   | Job_killed { tid; job } -> Format.fprintf ppf "KILL      tau%d#%d" tid job
   | Job_shed { tid; job; reason } ->
     Format.fprintf ppf "SHED      tau%d#%d (%s)" tid job reason
+  | Block_alloc { tid; pool; live } ->
+    Format.fprintf ppf "alloc     tau%d pool%d (live %d)" tid pool live
+  | Block_free { tid; pool; live } ->
+    Format.fprintf ppf "free      tau%d pool%d (live %d)" tid pool live
+  | Pool_oom { tid; pool } ->
+    Format.fprintf ppf "OOM       tau%d pool%d (exhausted)" tid pool
+  | Pool_leak { tid; job; pool; count } ->
+    Format.fprintf ppf "LEAK      tau%d#%d pool%d (%d blocks)" tid job pool
+      count
+  | Quota_exceeded { tid; job; live; quota } ->
+    Format.fprintf ppf "QUOTA     tau%d#%d (%d live of %d)" tid job live quota
   | Note s -> Format.fprintf ppf "note      %s" s
 
 let timeline_relevant = function
@@ -198,7 +217,8 @@ let timeline_relevant = function
   | Thread_block _ | Thread_unblock _ | Sem_acquired _ | Sem_blocked _
   | Sem_released _ | Priority_inherit _ | Priority_restore _ | Msg_sent _
   | Msg_received _ | State_written _ | State_read _ | Interrupt _
-  | Overhead _ | Note _ ->
+  | Overhead _ | Block_alloc _ | Block_free _ | Pool_oom _ | Pool_leak _
+  | Quota_exceeded _ | Note _ ->
     false
 
 let pp_stamped ppf { at; entry } =
@@ -264,6 +284,15 @@ let csv_fields = function
   | Job_killed { tid; job } -> ("kill", tid, Printf.sprintf "job=%d" job)
   | Job_shed { tid; job; reason } ->
     ("shed", tid, Printf.sprintf "job=%d reason=%s" job reason)
+  | Block_alloc { tid; pool; live } ->
+    ("alloc", tid, Printf.sprintf "pool=%d live=%d" pool live)
+  | Block_free { tid; pool; live } ->
+    ("free", tid, Printf.sprintf "pool=%d live=%d" pool live)
+  | Pool_oom { tid; pool } -> ("oom", tid, Printf.sprintf "pool=%d" pool)
+  | Pool_leak { tid; job; pool; count } ->
+    ("leak", tid, Printf.sprintf "job=%d pool=%d count=%d" job pool count)
+  | Quota_exceeded { tid; job; live; quota } ->
+    ("quota", tid, Printf.sprintf "job=%d live=%d quota=%d" job live quota)
   | Note s -> ("note", -1, s)
 
 let to_csv t =

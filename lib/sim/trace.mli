@@ -39,6 +39,16 @@ type entry =
       (** Enforcement: a job was aborted by an overrun or miss policy. *)
   | Job_shed of { tid : int; job : int; reason : string }
       (** Enforcement: a release was dropped (skip-over shedding). *)
+  | Block_alloc of { tid : int; pool : int; live : int }
+      (** A block was granted; [live] is the pool-wide count after. *)
+  | Block_free of { tid : int; pool : int; live : int }
+  | Pool_oom of { tid : int; pool : int }
+      (** An allocation was denied: the pool was exhausted. *)
+  | Pool_leak of { tid : int; job : int; pool : int; count : int }
+      (** [count] blocks were still live when the job completed; the
+          kernel reclaims them after recording the leak. *)
+  | Quota_exceeded of { tid : int; job : int; live : int; quota : int }
+      (** Memory enforcement: a job exceeded its live-block quota. *)
   | Note of string
 
 type stamped = { at : Model.Time.t; entry : entry }

@@ -65,6 +65,8 @@ type seg =
   | S_state_write of int
   | S_state_read of int
   | S_delay of int
+  | S_alloc of int
+  | S_free of int
 
 type task_spec = {
   g_id : int;
@@ -88,6 +90,7 @@ type spec = {
   s_waitqs : int;
   s_mailboxes : (int * int) list;
   s_state_msgs : (int * int) list;
+  s_pools : (int * int) list;
   s_tasks : task_spec list;
   s_irqs : irq_spec list;
 }
@@ -126,6 +129,7 @@ let seg_charge (cost : Sim.Cost.t) spec seg =
     let _, words = List.nth spec.s_state_msgs sm in
     sys + Sim.Cost.state_read cost ~words
   | S_delay _ -> cost.timer_service
+  | S_alloc _ | S_free _ -> sys + cost.pool_admin
 
 let random_period_of_family rng family =
   let p =
@@ -343,6 +347,34 @@ let spec_of ~rng ~index ?family ?n ?target_u () =
     let i = pick_periodic () in
     push core i (S_delay (max 1_000 (period.(i) / 20)))
   end;
+  (* block pools: 1-2 periodic users each; every user allocates its
+     blocks up front and frees them all in the tail, so each job
+     returns exactly what it took — alloc/free balance is a stream
+     invariant (leaks and double frees are demo-only flavours).
+     Capacity is the sum of per-user peaks: even a preemption that
+     parks every user at its own peak cannot exhaust the pool, so
+     generated scenarios stay clean under the mem oracle and the
+     model checker's mem property. *)
+  let n_pools = if n_periodic = 0 then 0 else d 1 in
+  let pools =
+    List.init n_pools (fun p ->
+        let k = 1 + Util.Rng.int rng (min 2 n_periodic) in
+        let users = List.map (List.nth periodic) (sample rng n_periodic k) in
+        let capacity =
+          List.fold_left
+            (fun acc u ->
+              let peak = 1 + Util.Rng.int rng 2 in
+              for _ = 1 to peak do
+                push front u (S_alloc p)
+              done;
+              for _ = 1 to peak do
+                push tail u (S_free p)
+              done;
+              acc + peak)
+            0 users
+        in
+        (capacity, Util.Rng.choose rng [| 16; 32; 64 |]))
+  in
   (* compute slots and budget distribution *)
   let min_slot = 10_000 (* 10 us *) in
   let proto =
@@ -353,6 +385,7 @@ let spec_of ~rng ~index ?family ?n ?target_u () =
       s_waitqs = n_wqs;
       s_mailboxes = mailboxes;
       s_state_msgs = state_msgs;
+      s_pools = pools;
       s_tasks = [];
       s_irqs = [];
     }
@@ -453,6 +486,12 @@ let realize ?(cost = Sim.Cost.m68040) spec =
       (List.map (fun (depth, words) -> State_msg.create ~depth ~words)
          spec.s_state_msgs)
   in
+  let pool =
+    Array.of_list
+      (List.map
+         (fun (cap, bytes) -> Objects.pool ~block_bytes:bytes ~capacity:cap ())
+         spec.s_pools)
+  in
   let instrs_of seg =
     let open Program in
     match seg with
@@ -476,6 +515,8 @@ let realize ?(cost = Sim.Cost.m68040) spec =
       [ state_write sm.(k) (words w) ]
     | S_state_read k -> [ state_read sm.(k) ]
     | S_delay d -> [ delay d ]
+    | S_alloc p -> [ alloc pool.(p) ]
+    | S_free p -> [ free pool.(p) ]
   in
   let progs = Hashtbl.create 8 in
   let tasks =

@@ -73,6 +73,8 @@ type seg =
   | S_state_write of int  (** state-message index *)
   | S_state_read of int
   | S_delay of int  (** blocking sleep, ns *)
+  | S_alloc of int  (** take one block from a pool (pool index) *)
+  | S_free of int  (** return one block to a pool *)
 
 type task_spec = {
   g_id : int;
@@ -98,6 +100,13 @@ type spec = {
   s_waitqs : int;
   s_mailboxes : (int * int) list;  (** capacity, payload words *)
   s_state_msgs : (int * int) list;  (** depth, words *)
+  s_pools : (int * int) list;
+      (** capacity (blocks), block bytes.  Generated pools are sized to
+          the sum of their users' peaks, and every user's allocations
+          sit in the job's front with the matching frees in its tail —
+          balance, no double free, and denial-freedom are stream
+          invariants; leak / double-free flavours exist only as demo
+          scenarios, never in the generated stream. *)
   s_tasks : task_spec list;
   s_irqs : irq_spec list;
 }

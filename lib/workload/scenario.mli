@@ -81,6 +81,27 @@ val overrun_demo : unit -> t
     the static response-time bounds.  Excluded from {!names} /
     {!all}. *)
 
+val alloc_demo : unit -> t
+(** An allocation-heavy but disciplined three-task set: blocks taken
+    up front, all returned before job end, pool capacity (8) above the
+    summed per-task peaks (5).  Runs denial- and leak-free — the
+    canvas for the mem trace category, live-block metrics, the
+    analyzer's pool-sizing table, and quota enforcement
+    ([--mem-policy]).  Excluded from {!names} / {!all}; the CLI
+    exposes it as ["alloc-demo"]. *)
+
+val leak_demo : unit -> t
+(** A per-job leak: tau1 allocates two blocks and frees one, so every
+    completion leaves a block live.  The kernel reclaims and records
+    it, the alloc-discipline lint proves it statically, and the
+    campaign's mem oracle demands the verdicts agree.  Excluded from
+    {!names} / {!all}; the CLI exposes it as ["leak-demo"]. *)
+
+val double_free_demo : unit -> t
+(** A double free the lint walk flags exactly (the kernel raises on it
+    at run time) — for the static analyzers only.  Excluded from
+    {!names} / {!all}; the CLI exposes it as ["double-free-demo"]. *)
+
 val storm_demo : unit -> t
 (** An IRQ-driven sampler (waits a sample event delivered every 4-5 ms
     by irq 9), a periodic worker, and a sporadic task whose phase lies

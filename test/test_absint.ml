@@ -380,6 +380,62 @@ let test_mc_domination () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* peak-live block bounds *)
+
+let test_peak_live () =
+  let open Program in
+  let p = Objects.pool ~block_bytes:32 ~capacity:4 () in
+  let r =
+    analyze_zero
+      [
+        [ alloc p; alloc p; compute (us 10); free p; free p; alloc p; free p ];
+        [ alloc p; compute (us 5); free p ];
+      ]
+  in
+  (* the lower end is 0: any grant may be denied by a concurrently
+     exhausted pool, so only the upper end is a guarantee *)
+  check itv "tau1 peaks at two live blocks" (Absint.Itv.range 0 2)
+    (List.assoc p.Types.pool_id r.tasks.(0).summary.peak_live);
+  check itv "tau2 peaks at one" (Absint.Itv.range 0 1)
+    (List.assoc p.Types.pool_id r.tasks.(1).summary.peak_live);
+  (match r.pools with
+  | [ pb ] ->
+    check int "capacity derived" 4 pb.capacity;
+    check int "block bytes derived" 32 pb.block_bytes;
+    (* pool-wide bound: preemption can park every task at its peak *)
+    check itv "pool bound sums the per-task peaks" (Absint.Itv.range 0 3)
+      pb.peak
+  | l -> failf "expected one pool bound, got %d" (List.length l));
+  check int "a covered pool raises no diagnostic" 0
+    (List.length (diags_with "pool-sizing" r));
+  (* kernel charges: each alloc/free costs syscall entry + pool admin *)
+  let c = Sim.Cost.m68040 in
+  let r2 =
+    Absint.Report.analyze ~cost:c
+      (scenario_of [ [ alloc p; compute (us 100); free p ] ])
+  in
+  check itv "alloc and free are charged"
+    (Absint.Itv.const (us 100 + (2 * (c.syscall_entry + c.pool_admin))))
+    r2.tasks.(0).summary.exec;
+  (* a per-task peak above capacity is a certain denial: error *)
+  let tiny = Objects.pool ~block_bytes:16 ~capacity:1 () in
+  let r3 =
+    analyze_zero [ [ alloc tiny; alloc tiny; free tiny; free tiny ] ]
+  in
+  check bool "oversubscribed pool is an error" true
+    (List.exists
+       (fun (d : Lint.Diag.t) -> d.severity = Lint.Diag.Error)
+       (diags_with "pool-sizing" r3));
+  (* summed peaks above capacity across preempting tasks: warning *)
+  let shared = Objects.pool ~block_bytes:16 ~capacity:2 () in
+  let two = [ alloc shared; alloc shared; free shared; free shared ] in
+  let r4 = analyze_zero [ two; two ] in
+  check bool "combined oversubscription warns" true
+    (List.exists
+       (fun (d : Lint.Diag.t) -> d.severity = Lint.Diag.Warning)
+       (diags_with "pool-sizing" r4))
+
+(* ------------------------------------------------------------------ *)
 (* the failing demos *)
 
 let test_under_declared_demo () =
@@ -461,6 +517,7 @@ let suite =
     test_case "absint contains simulated execution" `Quick
       test_sim_containment;
     test_case "absint dominates the model checker" `Quick test_mc_domination;
+    test_case "peak-live block bounds" `Quick test_peak_live;
     test_case "under-declared WCET demo fails" `Quick test_under_declared_demo;
     test_case "over-budget demo fails" `Quick test_over_budget_demo;
     test_case "footprint derivation" `Quick test_footprint_derivation;

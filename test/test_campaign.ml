@@ -121,6 +121,25 @@ let test_rta_ablation_detected () =
   check bool "dropped blocking terms are falsified" true
     (Campaign.Driver.falsifications s > 0)
 
+let test_mem_ablation_detected () =
+  let s =
+    Campaign.Driver.run
+      {
+        Campaign.Driver.default_config with
+        seed = 42;
+        count = 60;
+        oracles = [ Campaign.Oracle.Validity; Campaign.Oracle.Mem ];
+        ablation = Campaign.Oracle.Mem_peak;
+      }
+  in
+  check bool "halved peak-live bounds are falsified" true
+    (Campaign.Driver.falsifications s > 0);
+  List.iter
+    (fun (r : Campaign.Driver.report_finding) ->
+      check bool "ablated finding hits the mem oracle" true
+        (r.finding.oracle = Campaign.Oracle.Mem))
+    s.findings
+
 (* --- shrinking -------------------------------------------------------- *)
 
 let test_shrink () =
@@ -188,6 +207,7 @@ let suite =
       test_spec_streams_split_invariant;
     test_case "absint ablation is detected" `Quick test_ablation_detected;
     test_case "rta ablation is detected" `Quick test_rta_ablation_detected;
+    test_case "mem ablation is detected" `Quick test_mem_ablation_detected;
     test_case "falsifications shrink" `Quick test_shrink;
     test_case "sarif report shape" `Quick test_sarif_shape;
     test_case "json and text reports" `Quick test_json_and_text;

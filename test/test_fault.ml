@@ -147,6 +147,38 @@ let test_miss_kill () =
   check bool "late jobs killed by the miss policy" true (s.e_kills > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Live-block quota enforcement *)
+
+(* alloc-demo's mixer holds 3 blocks at once: a 1-block quota must
+   trip (Quota_exceeded in the trace, quota_hits counted), while the
+   analyzer's own declared quotas — the peak-live upper bounds — never
+   fire on the conforming program. *)
+let test_mem_quota () =
+  let sc = Workload.Scenario.alloc_demo () in
+  let run quota_of =
+    let cfg =
+      Fault.Inject.default_config ~scenario:sc
+        ~mem_enforcement:{ Emeralds.Kernel.quota_of; on_exceed = Notify_only }
+        ()
+    in
+    (Fault.Inject.run cfg).kernel
+  in
+  let tight = run (fun _ -> Some 1) in
+  let hits k =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 (Emeralds.Kernel.quota_hits k)
+  in
+  check bool "1-block quota trips" true (hits tight > 0);
+  check bool "Quota_exceeded traced" true
+    (List.exists
+       (fun (s : Sim.Trace.stamped) ->
+         match s.entry with
+         | Sim.Trace.Quota_exceeded { quota = 1; _ } -> true
+         | _ -> false)
+       (Sim.Trace.entries (Emeralds.Kernel.trace tight)));
+  let declared = run (Fault.Inject.declared_quotas sc) in
+  check int "declared peak-live quotas never fire" 0 (hits declared)
+
+(* ------------------------------------------------------------------ *)
 (* Skip-over shedding bound *)
 
 (* A permanently overloaded task (program demands 1.5 periods every
@@ -271,6 +303,7 @@ let suite =
     test_case "policy: kill-job" `Quick test_policy_kill;
     test_case "policy: skip-next" `Quick test_policy_skip_next;
     test_case "policy: miss-kill" `Quick test_miss_kill;
+    test_case "mem: live-block quota enforcement" `Quick test_mem_quota;
     test_case "shed: skip-over bound" `Quick test_shed_ratio;
     test_case "shed: graceful degradation" `Quick
       test_shedding_degrades_gracefully;

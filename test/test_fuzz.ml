@@ -413,6 +413,79 @@ let prop_absint_sound =
     "absint WCET and footprint bounds cover random executions" gen_case
     run_absint_sound
 
+(* --- memory cross-checks --------------------------------------------- *)
+
+(* Realize each generated spec ONCE and feed the same scenario to the
+   abstract interpreter, the lint and the kernel, so pool ids line up
+   without any rank mapping.  Soundness: the absint per-(task, pool)
+   peak-live upper bound dominates the high-water mark the kernel
+   observed; agreement: any block the kernel reclaimed at job end was
+   predicted by the exact alloc-discipline walk. *)
+let lint_predicts_leak diags tid =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  List.exists
+    (fun (d : Lint.Diag.t) ->
+      d.check = "alloc-discipline"
+      && d.task = Some tid
+      && contains d.message "still held at job end")
+    diags
+
+let run_mem_sound seed =
+  let spec = List.hd (Workload.Generator.scenario_specs ~seed ~count:1 ()) in
+  let sc = Workload.Generator.realize spec in
+  let rep = Absint.Report.analyze sc in
+  let diags =
+    Lint.Report.run
+      (Lint.Ctx.make ~irq_signals:sc.irq_signals ~irq_writes:sc.irq_writes
+         ~taskset:sc.taskset ~programs:sc.programs ())
+  in
+  let horizon =
+    let tasks = Model.Taskset.tasks sc.taskset in
+    let maxp =
+      Array.fold_left (fun a (t : Model.Task.t) -> max a t.period) 0 tasks
+    in
+    min (2 * maxp) (ms 500)
+  in
+  let cfg = Fault.Inject.default_config ~scenario:sc ~horizon ~seed:9 () in
+  let k = (Fault.Inject.run cfg).kernel in
+  let peak_bound tid pool =
+    match
+      Array.find_opt
+        (fun (tb : Absint.Report.task_bound) ->
+          tb.task.Model.Task.id = tid)
+        rep.tasks
+    with
+    | None -> None
+    | Some tb -> List.assoc_opt pool tb.summary.Absint.Exec.peak_live
+  in
+  List.for_all
+    (fun (m : Kernel.mem_stats) ->
+      let dominated =
+        match peak_bound m.m_tid m.m_pool with
+        | None -> false (* runtime allocation the analysis never saw *)
+        | Some itv -> (
+          match Absint.Itv.hi_int itv with
+          | None -> true (* unbounded trivially dominates *)
+          | Some hi -> m.m_high_water <= hi)
+      in
+      let leak_agreed =
+        m.m_leaked = 0 || lint_predicts_leak diags m.m_tid
+      in
+      dominated && leak_agreed)
+    (Kernel.mem_stats k)
+
+let prop_mem_sound =
+  qtest ~count:40
+    "absint peak-live bounds dominate pool high-water and lint sees leaks"
+    QCheck2.Gen.(int_range 1 5_000)
+    run_mem_sound
+
 (* --- enforcement cross-checks ---------------------------------------- *)
 
 (* Kernel objects get globally fresh ids, so two replays of the same
@@ -563,7 +636,8 @@ let enforcement_regressions =
 let suite =
   [
     prop_kernel_fuzz; prop_busy_conservation; prop_lint_clean_runs;
-    prop_injected_cycle; prop_absint_sound; prop_enforcement_differential;
-    prop_enforcement_fuzz; enforcement_regressions;
+    prop_injected_cycle; prop_absint_sound; prop_mem_sound;
+    prop_enforcement_differential; prop_enforcement_fuzz;
+    enforcement_regressions;
   ]
 

@@ -65,6 +65,52 @@ let test_lock_balance () =
   check int "two units of a counting sem are fine" 0
     (count_errors "lock-balance" diags)
 
+let test_alloc_discipline () =
+  let p = Objects.pool ~block_bytes:32 ~capacity:4 () in
+  let open Program in
+  (* balanced alloc/free is clean *)
+  let diags =
+    Lint.Report.run
+      (ctx_of [ [ alloc p; alloc p; compute (us 100); free p; free p ] ])
+  in
+  check int "balanced use is clean" 0 (count_errors "alloc-discipline" diags);
+  (* a block held at job end is a leak *)
+  let diags =
+    Lint.Report.run (ctx_of [ [ alloc p; alloc p; compute (us 100); free p ] ])
+  in
+  check int "leak at job end" 1 (count_errors "alloc-discipline" diags);
+  (* freeing a block the job does not hold *)
+  let diags = Lint.Report.run (ctx_of [ [ alloc p; free p; free p ] ]) in
+  check int "double free" 1 (count_errors "alloc-discipline" diags);
+  (match findings_of "alloc-discipline" Lint.Diag.Error diags with
+  | [ d ] -> check (option int) "at the second free" (Some 2) d.pc
+  | _ -> fail "expected exactly one finding");
+  (* per-task peak above the pool's capacity: denial is certain *)
+  let tiny = Objects.pool ~block_bytes:16 ~capacity:1 () in
+  let greedy = [ alloc tiny; alloc tiny; free tiny; free tiny ] in
+  let diags = Lint.Report.run (ctx_of [ greedy ]) in
+  check int "peak above capacity" 1 (count_errors "alloc-discipline" diags);
+  (* summed peaks above capacity across tasks: a warning only *)
+  let shared = Objects.pool ~block_bytes:16 ~capacity:2 () in
+  let two = [ alloc shared; alloc shared; free shared; free shared ] in
+  let diags = Lint.Report.run (ctx_of [ two; two ]) in
+  check int "no per-task error" 0 (count_errors "alloc-discipline" diags);
+  check int "concurrent oversubscription warns" 1
+    (List.length (findings_of "alloc-discipline" Lint.Diag.Warning diags));
+  (* the demo scenarios carry exactly the seeded defects *)
+  let of_scenario (s : Workload.Scenario.t) =
+    Lint.Report.run
+      (Lint.Ctx.make ~irq_signals:s.irq_signals ~irq_writes:s.irq_writes
+         ~taskset:s.taskset ~programs:s.programs ())
+  in
+  check int "leak demo flagged" 1
+    (count_errors "alloc-discipline" (of_scenario (Workload.Scenario.leak_demo ())));
+  check int "double-free demo flagged" 1
+    (count_errors "alloc-discipline"
+       (of_scenario (Workload.Scenario.double_free_demo ())));
+  check int "alloc demo clean" 0
+    (count_errors "alloc-discipline" (of_scenario (Workload.Scenario.alloc_demo ())))
+
 let test_deadlock () =
   let a = Objects.sem () and b = Objects.sem () in
   let open Program in
@@ -442,6 +488,7 @@ let test_blocking_cross_validation () =
 let suite =
   [
     test_case "lock balance diagnostics" `Quick test_lock_balance;
+    test_case "alloc discipline diagnostics" `Quick test_alloc_discipline;
     test_case "lock-order deadlock detection" `Quick test_deadlock;
     test_case "blocking hygiene" `Quick test_hygiene;
     test_case "state-message discipline" `Quick test_state_discipline;

@@ -180,6 +180,48 @@ let test_kernel_trace_unperturbed () =
   check string "trace bit-identical with subscribers attached"
     (run ~observe:false) (run ~observe:true)
 
+(* The Mem category: alloc-demo's grants and frees reach a Mem-masked
+   subscriber, the live-blocks metric tracks pool occupancy within
+   capacity, and probing changes nothing in the kernel's own trace. *)
+let test_mem_category_and_live_metrics () =
+  (* one scenario for both runs: object ids are drawn from a global
+     counter, so two [alloc_demo ()] calls would differ in pool id *)
+  let scenario = Workload.Scenario.alloc_demo () in
+  let run ~probe_mem =
+    let m = Obs.Metrics.create () in
+    let seen = ref 0 in
+    let cfg =
+      {
+        (Fault.Inject.default_config ~scenario ~horizon:(ms 100) ~seed:7 ())
+        with
+        observer =
+          Some
+            (fun k ->
+              let p = Emeralds.Kernel.probe k in
+              if probe_mem then begin
+                Obs.Metrics.attach m p;
+                Obs.Probe.subscribe p
+                  ~mask:(Obs.Probe.mask_of [ Obs.Probe.Mem ])
+                  (fun _ -> incr seen)
+              end);
+      }
+    in
+    let outcome = Fault.Inject.run cfg in
+    (m, !seen, Sim.Trace.to_csv (Emeralds.Kernel.trace outcome.kernel))
+  in
+  let m, seen, csv = run ~probe_mem:true in
+  check bool "mem events reached the subscriber" true (seen > 0);
+  (match Obs.Metrics.live_pools m with
+  | [ pool ] ->
+    let h = Option.get (Obs.Metrics.live_blocks m ~pool) in
+    check bool "blocks were live" true (Util.Hist.max_value h >= 3);
+    check bool "high-water within the pool's 8 blocks" true
+      (Util.Hist.max_value h <= 8)
+  | l -> failf "expected one pool in the live metric, got %d" (List.length l));
+  let _, _, csv_plain = run ~probe_mem:false in
+  check string "kernel trace bit-identical with mem probes attached"
+    csv_plain csv
+
 (* ------------------------------------------------------------------ *)
 (* Metrics *)
 
@@ -573,6 +615,8 @@ let suite =
       test_probe_category_names;
     test_case "probe: kernel trace unperturbed by subscribers" `Quick
       test_kernel_trace_unperturbed;
+    test_case "probe: mem category and live-block metrics" `Quick
+      test_mem_category_and_live_metrics;
     test_case "metrics: percentiles match kept trace" `Quick
       test_metrics_percentiles_vs_trace;
     test_case "metrics: counters match trace" `Quick

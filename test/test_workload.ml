@@ -126,11 +126,44 @@ let prop_scenario_specs_well_formed =
             | S_state_write m | S_state_read m ->
               m >= 0 && m < List.length s.s_state_msgs
             | S_delay d -> d > 0
+            | S_alloc p | S_free p -> p >= 0 && p < List.length s.s_pools
+          in
+          (* alloc/free balance: every job returns what it took, and
+             each pool's capacity covers the sum of its users' peaks *)
+          let pools_balanced =
+            List.for_all
+              (fun (t : Workload.Generator.task_spec) ->
+                List.for_all
+                  (fun p ->
+                    let count tag =
+                      List.length
+                        (List.filter (fun s -> s = tag) t.g_segs)
+                    in
+                    count (Workload.Generator.S_alloc p)
+                    = count (Workload.Generator.S_free p))
+                  (List.init (List.length s.s_pools) Fun.id))
+              s.s_tasks
+            && List.for_all Fun.id
+                 (List.mapi
+                    (fun p (cap, bytes) ->
+                      let demand =
+                        List.fold_left
+                          (fun acc (t : Workload.Generator.task_spec) ->
+                            acc
+                            + List.length
+                                (List.filter
+                                   (fun s -> s = Workload.Generator.S_alloc p)
+                                   t.g_segs))
+                          0 s.s_tasks
+                      in
+                      cap >= demand && bytes > 0)
+                    s.s_pools)
           in
           let ids =
             List.map (fun (t : Workload.Generator.task_spec) -> t.g_id) s.s_tasks
           in
-          List.length (List.sort_uniq compare ids) = List.length ids
+          pools_balanced
+          && List.length (List.sort_uniq compare ids) = List.length ids
           && List.for_all
                (fun (t : Workload.Generator.task_spec) ->
                  t.g_period > 0 && List.for_all seg_ok t.g_segs)
