@@ -108,6 +108,14 @@ let absint_subject () =
   let sc = Option.get (Workload.Scenario.make "engine") in
   fun () -> ignore (Absint.Report.analyze sc)
 
+(* Path-sensitive analysis over structured control flow: the branchy
+   preset's branch joins, loop-bound multiplication and live-block
+   extrapolation — the marginal cost of path sensitivity relative to
+   absint/analyze-engine's straight-line programs. *)
+let absint_branchy_subject () =
+  let sc = Option.get (Workload.Scenario.make "branchy") in
+  fun () -> ignore (Absint.Report.analyze sc)
+
 (* Enforcement overhead: the Figure 2 simulation with per-task budgets
    installed.  With budgets equal to the declared WCETs no exhaustion
    event ever arms (an exact-budget job cannot cross), so the delta
@@ -201,6 +209,8 @@ let tests ~seed =
         (Staged.stage (state_msg_subject ()));
       Test.make ~name:"absint/analyze-engine"
         (Staged.stage (absint_subject ()));
+      Test.make ~name:"absint/branchy-analyze"
+        (Staged.stage (absint_branchy_subject ()));
       Test.make ~name:"campaign/gen-1k"
         (Staged.stage (campaign_gen_subject ~seed ()));
       Test.make ~name:"cyclic/table-generation"

@@ -129,9 +129,9 @@ let analyze_cmd =
       & opt (some string) None
       & info [ "preset" ] ~docv:"NAME"
           ~doc:
-            "Scenario to analyze: table2, engine, avionics, voice, \
+            "Scenario to analyze: table2, engine, avionics, voice, branchy, \
              under-declared-demo, over-budget-demo, deadlock-demo, \
-             alloc-demo, leak-demo or double-free-demo (default: the four \
+             alloc-demo, leak-demo or double-free-demo (default: the \
              shipped presets).")
   in
   let cost_name =
@@ -382,9 +382,9 @@ let lint_cmd =
       & opt (some string) None
       & info [ "preset" ] ~docv:"NAME"
           ~doc:
-            "Scenario to lint: table2, engine, avionics, voice or one of \
-             the demo scenarios (deadlock-demo, leak-demo, \
-             double-free-demo, ...); default: the four shipped presets.")
+            "Scenario to lint: table2, engine, avionics, voice, branchy or one \
+             of the demo scenarios (deadlock-demo, leak-demo, \
+             double-free-demo, ...); default: the shipped presets.")
   in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit findings as JSON.")
@@ -478,7 +478,7 @@ let check_cmd =
       & opt string "engine"
       & info [ "preset" ] ~docv:"NAME"
           ~doc:
-            "Scenario to check: table2, engine, avionics, voice, or \
+            "Scenario to check: table2, engine, avionics, voice, branchy, or \
              deadlock-demo (the intentionally buggy lock-order cycle).")
   in
   let sched =
@@ -1045,7 +1045,8 @@ let trace_cmd =
       & opt string "engine"
       & info [ "preset" ] ~docv:"NAME"
           ~doc:
-            "Scenario to record: table2, engine, avionics, voice, alloc-demo \
+            "Scenario to record: table2, engine, avionics, voice, branchy, \
+             alloc-demo \
              or leak-demo (full scenario replay: programs attached, IRQ \
              sources firing).")
   in

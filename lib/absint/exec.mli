@@ -1,11 +1,31 @@
 (** The abstract interpreter over one task program.
 
-    Task programs are loop-free instruction arrays, so abstract
-    execution is a single forward pass: the abstract state carries the
-    accumulated demand and suspension intervals, the stack of open
-    critical sections (each accumulating the interval of everything
-    that elapses while its semaphore is held), the lock/wait nesting
-    depth, and the longest non-preemptible kernel window seen.
+    Task programs are structured: straight-line leaves plus data-driven
+    two-way branches ([If_input]) and bounded loops ([Repeat]).
+    Abstract execution walks that tree compositionally.  The abstract
+    state carries the accumulated demand and suspension intervals, the
+    stack of open critical sections (each accumulating the interval of
+    everything that elapses while its semaphore is held), and per-pool
+    live-block counts.
+
+    - A branch interprets both arms from the same entry state and joins
+      the exits (interval hull; sections merged by semaphore, with a
+      section open on only one arm surviving the join — keeping it only
+      lengthens the derived hold).
+    - A bounded loop interprets its body once and scales the
+      per-iteration deltas by the remaining [n - 1] iterations
+      (loop-bound multiplication).  The deltas are exact because every
+      accumulator evolves by interval additions and joins of such, and
+      addition distributes over the hull ({!Itv.diff}); sections
+      spanning the loop have their per-iteration growth scaled the
+      same way.  A body that opens or closes sections unmatched across
+      iterations gets widened to unbounded spans (lock balance errors
+      on such programs).  Per-iteration live-block growth is
+      extrapolated linearly, so cross-iteration retention shows up in
+      [peak_live].
+
+    The interpretation of every construct over-approximates the kernel:
+    each concrete path's charge lies inside the derived intervals.
 
     Two quantities need whole-scenario knowledge and are supplied
     through {!env}:
@@ -30,6 +50,15 @@ type env = {
       (** sem id -> bound on blocked-in-acquire time *)
 }
 
+type lesion =
+  | Drop_loop_mult
+      (** charge loop bodies once instead of [n] times — the
+          loop-bound-multiplication ablation the campaign's [cfg-loop]
+          knob exercises *)
+  | Drop_branch_join
+      (** follow only the taken arm of every branch instead of joining
+          both — the [cfg-join] ablation *)
+
 type hold = {
   sem : Emeralds.Types.sem;
   span : Itv.t;  (** time held: demand + bounded suspension inside *)
@@ -51,10 +80,14 @@ type summary = {
           semaphore (those holds have [Inf] spans) *)
   peak_live : (int * Itv.t) list;
       (** pool id -> bound on the blocks one job of this task holds
-          live at once.  The upper end counts every [Alloc] as granted
-          (sound for runs where no grant is denied); the lower end is
-          0 because any grant can be denied by a pool other tasks
-          exhausted.  Sorted by pool id. *)
+          live at once, across all paths and loop iterations.  The
+          upper end counts every [Alloc] as granted (sound for runs
+          where no grant is denied); the lower end is 0 because any
+          grant can be denied by a pool other tasks exhausted.  Sorted
+          by pool id. *)
 }
 
-val interpret : env -> Emeralds.Types.instr array -> summary
+val interpret : ?lesion:lesion -> env -> Emeralds.Types.instr array -> summary
+(** [pc]s in the result index the top-level structured program;
+    instructions nested in branch arms or loop bodies inherit the
+    position of their outermost enclosing instruction. *)

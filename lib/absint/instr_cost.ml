@@ -6,7 +6,8 @@ let locally_unbounded = function
   | Types.Acquire _ | Types.Wait _ | Types.Send _ | Types.Recv _ -> true
   | Types.Compute _ | Types.Release _ | Types.Timed_wait _ | Types.Signal _
   | Types.Broadcast _ | Types.State_write _ | Types.State_read _
-  | Types.Delay _ | Types.Alloc _ | Types.Free _ ->
+  | Types.Delay _ | Types.Alloc _ | Types.Free _ | Types.If_input _
+  | Types.Repeat _ | Types.Br_input _ | Types.Jump _ ->
     false
 
 let of_instr ~(cost : Sim.Cost.t) ~mb_words (instr : Types.instr) =
@@ -68,3 +69,10 @@ let of_instr ~(cost : Sim.Cost.t) ~mb_words (instr : Types.instr) =
     (* O(1) free-list pop/push; an exhausted pool denies the request
        without blocking, so the charge is exact either way *)
     kernel (Itv.const (cost.syscall_entry + cost.pool_admin)) Itv.zero
+  | Types.Br_input _ | Types.Jump _ ->
+    (* user-mode jumps: no kernel entry, charged nothing *)
+    { demand = Itv.zero; suspend = Itv.zero; atomic = 0 }
+  | Types.If_input _ | Types.Repeat _ ->
+    (* structured nodes carry no cost of their own; [Exec.interpret]
+       combines the costs of their contents structurally *)
+    { demand = Itv.zero; suspend = Itv.zero; atomic = 0 }

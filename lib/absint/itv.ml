@@ -24,6 +24,22 @@ let add a b = { lo = a.lo + b.lo; hi = add_bound a.hi b.hi }
 
 let join a b = { lo = min a.lo b.lo; hi = max_bound a.hi b.hi }
 
+let scale n itv =
+  if n < 0 then invalid_arg "Itv.scale: negative factor";
+  {
+    lo = n * itv.lo;
+    hi = (match itv.hi with Fin h -> Fin (n * h) | Inf -> if n = 0 then Fin 0 else Inf);
+  }
+
+let diff a b =
+  let lo = max 0 (a.lo - b.lo) in
+  let hi =
+    match (a.hi, b.hi) with
+    | Fin ah, Fin bh -> Fin (max lo (ah - bh))
+    | _ -> Inf
+  in
+  { lo; hi }
+
 let equal a b = a.lo = b.lo && a.hi = b.hi
 
 let widen old next =

@@ -4,14 +4,14 @@
     execution demand, bounded self-suspension, per-semaphore hold
     times — is an interval [\[lo, hi\]] of nanoseconds whose upper end
     may be [Inf] (statically unbounded, e.g. a [Wait] no timeout
-    limits).  Programs are loop-free instruction arrays, so the
-    transfer functions are just [add] along the single path; [join] is
-    the convex hull (used to merge alternative outcomes such as
-    "pending signal: no wait" vs "block until the timeout", and to
-    aggregate holds across tasks); [widen] jumps a still-growing upper
-    bound to [Inf] — the convergence hammer for the nested-acquire
-    fixpoint, which cyclic lock orders would otherwise keep
-    inflating. *)
+    limits).  Transfer functions [add] along paths; [join] is the
+    convex hull (used to merge branch arms and alternative outcomes
+    such as "pending signal: no wait" vs "block until the timeout",
+    and to aggregate holds across tasks); [scale] multiplies a bounded
+    loop's per-iteration charge by its bound; [widen] jumps a
+    still-growing upper bound to [Inf] — the convergence hammer for
+    the nested-acquire and loop fixpoints, which cyclic lock orders or
+    iteration-carried state would otherwise keep inflating. *)
 
 type bound = Fin of int | Inf
 
@@ -35,6 +35,22 @@ val add : t -> t -> t
 
 val join : t -> t -> t
 (** Convex hull: [\[min lo, max hi\]]. *)
+
+val scale : int -> t -> t
+(** [scale n itv]: [n] repetitions of a charge — pointwise product,
+    [Inf] absorbing unless [n = 0].  The loop-bound multiplication of
+    bounded-loop analysis.  @raise Invalid_argument if [n < 0]. *)
+
+val diff : t -> t -> t
+(** [diff a b]: the charge accumulated between a snapshot [b] and a
+    later total [a], componentwise and clamped at 0.  Exact — not mere
+    interval subtraction — whenever [a] was produced from [b] by
+    interval additions and joins of such (addition distributes over
+    the hull), which is how every accumulator in [Exec] evolves; this
+    is what lets a loop's per-iteration delta be recovered from
+    before/after totals and scaled.  An [Inf] on either side yields an
+    [Inf] upper end, which over-approximates but never
+    under-approximates a real charge. *)
 
 val widen : t -> t -> t
 (** [widen old next]: keep stable ends, send a still-rising upper

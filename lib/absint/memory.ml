@@ -33,7 +33,9 @@ let derive ~nesting (sc : Workload.Scenario.t) =
   Array.iter
     (fun task ->
       let uses_clock = ref false in
-      List.iter
+      (* leaves only: branch arms and loop bodies use the same objects
+         whether or not a given job runs them *)
+      Program.iter_leaves
         (fun instr ->
           match instr with
           | Types.Compute _ -> ()
@@ -52,7 +54,10 @@ let derive ~nesting (sc : Workload.Scenario.t) =
               Imap.add p.Types.pool_id
                 (p.Types.pool_capacity, p.Types.pool_block_bytes)
                 !pools
-          | Types.Delay _ -> uses_clock := true)
+          | Types.Delay _ -> uses_clock := true
+          | Types.If_input _ | Types.Repeat _ | Types.Br_input _
+          | Types.Jump _ ->
+            ())
         (sc.programs task);
       if !uses_clock then incr clock_users)
     tasks;

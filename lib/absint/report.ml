@@ -54,29 +54,37 @@ let waits_of_holds holds =
 
 let waits_equal a b = Imap.equal Itv.equal a b
 
-let analyze ?(cost = Sim.Cost.m68040) ?(budget_bytes = Memory.budget_default)
-    (sc : Workload.Scenario.t) =
+let analyze ?lesion ?(cost = Sim.Cost.m68040)
+    ?(budget_bytes = Memory.budget_default) (sc : Workload.Scenario.t) =
   let tasks = Model.Taskset.tasks sc.taskset in
   let programs =
     Array.map (fun task -> Array.of_list (sc.programs task)) tasks
   in
+  (* whole-scenario scans walk the leaves: programs are structured, so
+     Sends/Allocs can sit inside branch arms and loop bodies *)
+  let fold_leaves f acc =
+    Array.fold_left
+      (fun acc code ->
+        let acc = ref acc in
+        Program.iter_leaves (fun instr -> acc := f !acc instr)
+          (Array.to_list code);
+        !acc)
+      acc programs
+  in
   let mb_words =
     (* largest payload any task sends to each mailbox *)
     let m =
-      Array.fold_left
-        (fun acc code ->
-          Array.fold_left
-            (fun acc instr ->
-              match instr with
-              | Types.Send (mb, data) ->
-                Imap.update mb.Types.mb_id
-                  (function
-                    | None -> Some (Array.length data)
-                    | Some w -> Some (max w (Array.length data)))
-                  acc
-              | _ -> acc)
-            acc code)
-        Imap.empty programs
+      fold_leaves
+        (fun acc instr ->
+          match instr with
+          | Types.Send (mb, data) ->
+            Imap.update mb.Types.mb_id
+              (function
+                | None -> Some (Array.length data)
+                | Some w -> Some (max w (Array.length data)))
+              acc
+          | _ -> acc)
+        Imap.empty
     in
     fun mb_id -> match Imap.find_opt mb_id m with Some w -> w | None -> 0
   in
@@ -87,7 +95,8 @@ let analyze ?(cost = Sim.Cost.m68040) ?(budget_bytes = Memory.budget_default)
       | None -> Itv.zero (* nobody holds it: acquire cannot block *)
     in
     Array.map
-      (fun code -> Exec.interpret { Exec.cost; mb_words; acquire_wait } code)
+      (fun code ->
+        Exec.interpret ?lesion { Exec.cost; mb_words; acquire_wait } code)
       programs
   in
   (* Nested-acquire fixpoint: hold times feed acquire waits feed hold
@@ -158,15 +167,12 @@ let analyze ?(cost = Sim.Cost.m68040) ?(budget_bytes = Memory.budget_default)
      peak at once, so the concurrent bound is the interval sum of the
      per-task peaks. *)
   let pool_objs =
-    Array.fold_left
-      (fun acc code ->
-        Array.fold_left
-          (fun acc instr ->
-            match instr with
-            | Types.Alloc p | Types.Free p -> Imap.add p.Types.pool_id p acc
-            | _ -> acc)
-          acc code)
-      Imap.empty programs
+    fold_leaves
+      (fun acc instr ->
+        match instr with
+        | Types.Alloc p | Types.Free p -> Imap.add p.Types.pool_id p acc
+        | _ -> acc)
+      Imap.empty
   in
   let pool_bounds =
     Imap.bindings pool_objs

@@ -65,12 +65,17 @@ type t = {
 }
 
 val analyze :
+  ?lesion:Exec.lesion ->
   ?cost:Sim.Cost.t ->
   ?budget_bytes:int ->
   Workload.Scenario.t ->
   t
 (** [cost] defaults to [Sim.Cost.m68040] (the paper's target);
-    [budget_bytes] to {!Memory.budget_default} (128 KB). *)
+    [budget_bytes] to {!Memory.budget_default} (128 KB).  [lesion]
+    deliberately weakens the interpreter (see {!Exec.lesion}) — the
+    campaign's [cfg-loop]/[cfg-join] ablations use it to prove the
+    oracles notice when loop-bound multiplication or branch joins are
+    dropped; production callers leave it unset. *)
 
 val errors : t -> int
 (** Error-severity diagnostics — non-zero means the scenario fails

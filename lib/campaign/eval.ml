@@ -106,15 +106,17 @@ let norm_sig k =
 let rta_eligible (sc : Workload.Scenario.t) =
   Array.map
     (fun (t : Model.Task.t) ->
-      List.for_all
+      let ok = ref true in
+      Emeralds.Program.iter_leaves
         (fun instr ->
           match instr with
           | Emeralds.Types.Wait _ | Emeralds.Types.Timed_wait _
           | Emeralds.Types.Recv _ | Emeralds.Types.Send _
           | Emeralds.Types.Delay _ ->
-            false
-          | _ -> true)
-        (sc.programs t))
+            ok := false
+          | _ -> ())
+        (sc.programs t);
+      !ok)
     (Model.Taskset.tasks sc.taskset)
 
 let sim_horizon tasks =
@@ -190,7 +192,16 @@ let run ?(oracles = Oracle.all) ?(ablation = Oracle.No_ablation)
       ~taskset:sc.taskset ~programs:sc.programs ()
   in
   let diags = Lint.Report.run ctx in
-  let rep = Absint.Report.analyze sc in
+  (* cfg ablations weaken the abstract interpreter itself (skip the
+     loop-bound multiplication / follow one branch arm); the resulting
+     under-approximate bounds must be caught by Demand and Mem below *)
+  let lesion =
+    match ablation with
+    | Oracle.Cfg_loop -> Some Absint.Exec.Drop_loop_mult
+    | Oracle.Cfg_join -> Some Absint.Exec.Drop_branch_join
+    | _ -> None
+  in
+  let rep = Absint.Report.analyze ?lesion sc in
   if wants oracles Validity then begin
     List.iter
       (fun (d : Lint.Diag.t) ->
@@ -356,13 +367,12 @@ let run ?(oracles = Oracle.all) ?(ablation = Oracle.No_ablation)
        materialize once the task completed a job with every grant
        honoured (an OOM anywhere voids the prediction: the leaked
        block may simply never have been granted) *)
-    let lint_leaks tid =
+    let leak_diag sub tid =
       List.exists
         (fun (d : Lint.Diag.t) ->
           d.check = "alloc-discipline"
           && d.task = Some tid
           && (let msg = d.message in
-              let sub = "still held at job end" in
               let n = String.length msg and m = String.length sub in
               let rec find i =
                 i + m <= n && (String.sub msg i m = sub || find (i + 1))
@@ -370,6 +380,12 @@ let run ?(oracles = Oracle.all) ?(ablation = Oracle.No_ablation)
               find 0))
         diags
     in
+    (* the path-sensitive lint distinguishes must-leaks ("still held at
+       job end", every path) from may-leaks ("may leak at job end",
+       some path).  A kernel-observed leak is predicted if either fired
+       for the task; only a must-leak is obliged to materialize. *)
+    let must_leak = leak_diag "still held at job end" in
+    let lint_leaks tid = must_leak tid || leak_diag "may leak at job end" tid in
     let any_oom = List.exists (fun ms -> ms.Emeralds.Kernel.m_oom > 0) mstats in
     let stats = Emeralds.Kernel.stats k in
     let completions tid =
@@ -390,7 +406,7 @@ let run ?(oracles = Oracle.all) ?(ablation = Oracle.No_ablation)
                 alloc-discipline lint predicted no leak"
                ms.m_leaked ms.m_pool);
         if
-          lint_leaks ms.m_tid && ms.m_leaked = 0 && (not any_oom)
+          must_leak ms.m_tid && ms.m_leaked = 0 && (not any_oom)
           && completions ms.m_tid > 0
         then
           add Mem ~task:ms.m_tid

@@ -45,15 +45,24 @@ let description = function
   | Rta_mc -> "RTA bounds dominate model-checked worst-case responses"
   | Crash -> "no oracle run raises (kernel invariants hold)"
 
-type ablation = No_ablation | Rta_blocking | Absint_demand | Mem_peak
+type ablation =
+  | No_ablation
+  | Rta_blocking
+  | Absint_demand
+  | Mem_peak
+  | Cfg_loop
+  | Cfg_join
 
-let ablations = [ No_ablation; Rta_blocking; Absint_demand; Mem_peak ]
+let ablations =
+  [ No_ablation; Rta_blocking; Absint_demand; Mem_peak; Cfg_loop; Cfg_join ]
 
 let ablation_name = function
   | No_ablation -> "none"
   | Rta_blocking -> "rta-blocking"
   | Absint_demand -> "absint-demand"
   | Mem_peak -> "mem"
+  | Cfg_loop -> "cfg-loop"
+  | Cfg_join -> "cfg-join"
 
 let ablation_of_string s =
   let s = String.lowercase_ascii (String.trim s) in

@@ -41,6 +41,14 @@ type ablation =
   | Rta_blocking  (** drop blocking terms from RTA: bounds too small *)
   | Absint_demand  (** halve the absint demand upper bounds *)
   | Mem_peak  (** halve the absint peak-live upper bounds *)
+  | Cfg_loop
+      (** interpret loop bodies once instead of [n] times
+          ([Absint.Exec.Drop_loop_mult]): demand and peak-live bounds
+          under-count loopy programs *)
+  | Cfg_join
+      (** follow only one branch arm instead of joining both
+          ([Absint.Exec.Drop_branch_join]): bounds miss the untaken
+          arm's charge *)
 
 val ablations : ablation list
 val ablation_name : ablation -> string

@@ -113,6 +113,12 @@ type t = {
   mutable fault_jitter : (tid:int -> job:int -> Model.Time.t) option;
   mutable fault_drop_signal : (wq_id:int -> bool) option;
   mutable drift_ppm : int; (* tick-clock drift, parts per million *)
+  (* branch decisions: each job of a branchy program draws one input
+     word from a stream keyed by (seed, tid, job); [Br_input] consumes
+     its bits.  The root rng is split, never advanced, so words are
+     independent of execution order. *)
+  input_root : Util.Rng.t;
+  mutable branch_oracle : (tid:int -> job:int -> idx:int -> bool option) option;
 }
 
 let now k = Sim.Engine.now k.engine
@@ -641,6 +647,15 @@ and begin_job k tcb ~job ~release =
   tcb.release_time <- release;
   tcb.pc <- 0;
   tcb.remaining <- 0;
+  tcb.branch_idx <- 0;
+  (* Branch-free programs draw nothing and emit nothing, so their
+     traces stay bit-identical to the pre-control-flow kernel. *)
+  if tcb.has_branches then begin
+    tcb.input_word <-
+      Util.Rng.bits64 (Util.Rng.split (Util.Rng.split k.input_root tcb.tid) job);
+    Obs.Probe.emit k.probe ~at:(now k)
+      (Input_word { tid = tcb.tid; job; word = tcb.input_word })
+  end;
   tcb.abs_deadline <- release + tcb.task.deadline;
   if not tcb.inherited then tcb.eff_deadline <- tcb.abs_deadline;
   (match k.enforcement with
@@ -838,6 +853,39 @@ and run_instrs k tcb =
            { tid = tcb.tid; pool = p.pool_id;
              live = p.pool_capacity - p.pool_free });
       step ()
+    | Br_input target ->
+      (* A user-mode conditional jump: no kernel entry, no charge.  The
+         decision comes from the job's input word (or a test/replay
+         oracle) and goes into the trace, so the same seed replays the
+         same path bit-for-bit. *)
+      let idx = tcb.branch_idx in
+      tcb.branch_idx <- idx + 1;
+      let word_bit =
+        Int64.logand (Int64.shift_right_logical tcb.input_word (idx mod 63)) 1L
+        = 1L
+      in
+      let taken =
+        match k.branch_oracle with
+        | Some f -> (
+          match f ~tid:tcb.tid ~job:tcb.job_no ~idx with
+          | Some b -> b
+          | None -> word_bit)
+        | None -> word_bit
+      in
+      Obs.Probe.emit k.probe ~at:(now k)
+        (Branch { tid = tcb.tid; pc = tcb.pc; idx; taken });
+      if taken then step ()
+      else begin
+        tcb.pc <- target;
+        run_instrs k tcb
+      end
+    | Jump target ->
+      tcb.pc <- target;
+      run_instrs k tcb
+    | If_input _ | Repeat _ ->
+      invalid_arg
+        "Kernel: structured instruction reached the interpreter (programs \
+         must be flattened)"
 
 and check_quota k tcb =
   match k.mem_enforcement with
@@ -1233,7 +1281,7 @@ and schedule_release k tcb ~job =
 let default_program (task : Model.Task.t) = [ Compute task.wcet ]
 
 let make_tcb rank (task : Model.Task.t) program =
-  let program = Array.of_list program in
+  let program = Program.flatten program in
   {
     tid = task.id;
     task;
@@ -1260,6 +1308,9 @@ let make_tcb rank (task : Model.Task.t) program =
     held_sems = [];
     waiting_on = None;
     live_blocks = [];
+    has_branches = Program.has_branches program;
+    input_word = 0L;
+    branch_idx = 0;
     inbox = None;
     completed_job = 0;
     pending_releases = Queue.create ();
@@ -1270,7 +1321,8 @@ let make_tcb rank (task : Model.Task.t) program =
   }
 
 let create ?(keep_trace = true) ?(stop_on_miss = false) ?(optimized_pi = true)
-    ?(priority_order = `Rm) ?tick ?programs ?engine ~cost ~spec ~taskset () =
+    ?(priority_order = `Rm) ?(input_seed = 0) ?tick ?programs ?engine ~cost
+    ~spec ~taskset () =
   (match tick with
   | Some t when t <= 0 -> invalid_arg "Kernel.create: tick must be positive"
   | Some _ | None -> ());
@@ -1345,6 +1397,8 @@ let create ?(keep_trace = true) ?(stop_on_miss = false) ?(optimized_pi = true)
       fault_jitter = None;
       fault_drop_signal = None;
       drift_ppm = 0;
+      input_root = Util.Rng.create ~seed:input_seed;
+      branch_oracle = None;
     }
   in
   sched.s_attach tcbs;
@@ -1492,6 +1546,10 @@ let set_mem_enforcement k e =
   k.mem_enforcement <- e
 
 let set_demand_fault k f = k.fault_demand <- f
+
+(* Force branch outcomes (tests, counterexample replay): the oracle is
+   consulted per consumed input bit; [None] falls back to the word. *)
+let set_branch_oracle k f = k.branch_oracle <- f
 let set_release_jitter k f = k.fault_jitter <- f
 let set_signal_drop k f = k.fault_drop_signal <- f
 let set_drift_ppm k ppm = k.drift_ppm <- ppm

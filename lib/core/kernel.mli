@@ -16,6 +16,7 @@ val create :
   ?stop_on_miss:bool ->
   ?optimized_pi:bool ->
   ?priority_order:[ `Rm | `Dm ] ->
+  ?input_seed:int ->
   ?tick:Model.Time.t ->
   ?programs:(Model.Task.t -> Program.t) ->
   ?engine:Sim.Engine.t ->
@@ -49,8 +50,12 @@ val create :
       deferred to the next tick boundary, adding up to one tick of
       release jitter.
     - [programs] gives each task its job body (default: a single
-      [compute wcet]).  Hints for EMERALDS semaphores are derived
-      automatically (the code parser). *)
+      [compute wcet]).  Structured control flow is lowered by
+      [Program.flatten] at TCB construction; hints for EMERALDS
+      semaphores are derived automatically (the code parser).
+    - [input_seed] (default 0): seeds the per-job input words that
+      decide [Program.if_input] branches.  Branch-free programs never
+      consume the stream, so the seed has no effect on them. *)
 
 val run : t -> until:Model.Time.t -> unit
 (** Simulate up to the horizon (inclusive of events at it). *)
@@ -309,3 +314,11 @@ val set_signal_drop : t -> (wq_id:int -> bool) option -> unit
 val set_drift_ppm : t -> int -> unit
 (** Stretch (positive) or shrink (negative) the tick clock by parts
     per million; no effect on event-precise kernels. *)
+
+val set_branch_oracle :
+  t -> (tid:int -> job:int -> idx:int -> bool option) option -> unit
+(** Force branch outcomes.  The oracle is consulted once per consumed
+    input bit ([idx] counts bits within the job); [Some taken] decides
+    the branch ([true] = fall through to the first arm), [None] falls
+    back to the job's input word.  Used by tests and by model-checker
+    counterexample replay to steer the kernel down a specific path. *)

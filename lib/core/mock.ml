@@ -33,6 +33,9 @@ let tcb ?prio ?deadline ?(state = Types.Ready) ~tid () =
     held_sems = [];
     waiting_on = None;
     live_blocks = [];
+    has_branches = false;
+    input_word = 0L;
+    branch_idx = 0;
     inbox = None;
     completed_job = 0;
     pending_releases = Queue.create ();

@@ -1,11 +1,14 @@
 (** Thread-body construction.
 
-    A task's job executes a straight-line program of instructions; the
-    kernel interprets one program run per job.  Smart constructors keep
-    user code readable, and [derive_hints] plays the role of EMERALDS'
-    code parser (§6.2.1): it annotates every blocking call with the
-    semaphore of the immediately following [acquire], or [-1]/[None]
-    when the next blocking call is not an acquire. *)
+    A task's job executes a program of instructions with structured
+    control flow: straight-line effect instructions, data-dependent
+    two-way branches ([if_input], decided per job by the kernel's
+    seeded input word) and bounded loops ([repeat]).  [flatten] lowers
+    a program to the forward-only instruction DAG the kernel
+    interprets, and [derive_hints] plays the role of EMERALDS' code
+    parser (§6.2.1): it annotates every blocking call with the
+    semaphore of the immediately following [acquire] — degrading to
+    [None] whenever the paths leaving the call disagree. *)
 
 type t = Types.instr list
 
@@ -35,6 +38,18 @@ val free : Types.pool -> Types.instr
     is a program bug the kernel faults on (like releasing a semaphore
     the thread does not hold). *)
 
+val if_input : t -> t -> Types.instr
+(** [if_input then_ else_]: a data-dependent branch.  Each executed
+    branch consumes the next bit of the job's input word (drawn by the
+    kernel from its input seed and recorded in the trace): 1 runs
+    [then_], 0 runs [else_].  Replaying the same seed replays the same
+    path. *)
+
+val repeat : int -> t -> Types.instr
+(** [repeat n body]: run [body] exactly [n] times.  [n] is a static
+    bound — analyses multiply per-iteration cost by it.  Negative
+    counts are rejected. *)
+
 val critical : Types.sem -> Model.Time.t -> t
 (** [critical s c] = acquire; compute c; release — a method invocation
     on a semaphore-protected object (§6's motivating pattern). *)
@@ -46,12 +61,36 @@ val condition_wait : Types.waitq -> Types.sem -> t
     semaphores save the re-acquisition context switch. *)
 
 val is_blocking : Types.instr -> bool
-(** Whether the instruction can block the caller. *)
+(** Whether the instruction can block the caller.  Structured forms
+    answer for their contents: a branch or loop is blocking when any
+    reachable leaf is. *)
+
+val is_structured : Types.instr -> bool
+(** Whether the instruction is a structured control-flow form
+    ([If_input]/[Repeat]) that [flatten] must lower before execution. *)
+
+val iter_leaves : (Types.instr -> unit) -> t -> unit
+(** Visit every leaf (effect) instruction of a program, descending
+    into branch arms and loop bodies.  Loop bodies are visited once,
+    not [n] times — use this for object-usage scans, not for cost. *)
+
+val flatten : t -> Types.instr array
+(** Lower structured control flow to the executable form: branches
+    become [Br_input]/[Jump] with absolute forward targets and loops
+    are unrolled, so the result is a forward-only DAG.  Rejects
+    programs whose flat form exceeds 65536 instructions and programs
+    that already contain lowered instructions. *)
+
+val has_branches : Types.instr array -> bool
+(** Whether lowered code contains any [Br_input] — i.e. whether a job
+    consumes input bits and the kernel must draw an input word. *)
 
 val derive_hints : Types.instr array -> Types.sem option array
-(** For each instruction position, the semaphore the *next* blocking
-    call will acquire — [Some s] only when a [Wait]/[Delay]/[Recv] is
-    followed (through non-blocking instructions) by [Acquire s].
+(** For each position of a *flattened* program, the semaphore the next
+    blocking call will acquire — [Some s] only when every path from
+    the position (through non-blocking instructions, across branches)
+    first blocks at [Acquire s].  Any path disagreement yields [None]:
+    a hint must never steer the thread into the wrong approach queue.
     Positions holding non-blocking instructions get [None]. *)
 
 val words : int -> int array

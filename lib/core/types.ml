@@ -53,6 +53,10 @@ type tcb = {
   (* block-pool allocator *)
   mutable live_blocks : (pool * int) list;
       (* blocks allocated by the current job and not yet freed, per pool *)
+  (* branch decisions *)
+  has_branches : bool;              (* flat program contains a Br_input *)
+  mutable input_word : int64;       (* per-job branch-decision word *)
+  mutable branch_idx : int;         (* input bits consumed this job *)
   mutable inbox : message option;   (* delivery slot for a granted Recv *)
   (* job accounting *)
   mutable completed_job : int;
@@ -82,6 +86,20 @@ and instr =
   | Delay of Model.Time.t  (* blocking sleep via the timer service *)
   | Alloc of pool          (* grab one fixed-size block; O(1), never blocks *)
   | Free of pool           (* return one block to the pool *)
+  (* Structured control flow (the program surface).  [Program.flatten]
+     lowers these before the kernel ever interprets a program; the
+     abstract interpreter analyzes them structurally. *)
+  | If_input of instr list * instr list
+      (* data-dependent two-way branch: the next bit of the job's input
+         word picks the arm (1 = first, 0 = second) *)
+  | Repeat of int * instr list
+      (* bounded loop: the body runs exactly [n] times *)
+  (* Lowered control flow (what the kernel executes).  Targets are
+     absolute pcs in the flattened array and always point forward, so
+     flat code is a DAG: pc only ever grows. *)
+  | Br_input of int
+      (* consume one input bit; 1 falls through, 0 jumps to the target *)
+  | Jump of int            (* unconditional forward jump *)
 
 (* K0BA-style fixed-size block pool: capacity blocks of block_bytes
    each, handed out and returned in O(1).  Allocation never blocks —

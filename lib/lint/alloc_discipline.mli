@@ -1,7 +1,10 @@
 (** Per-task block-pool allocation discipline.
 
-    Walks each thread program with an exact held-block count per pool
-    (the memory analogue of {!Lock_balance}) and flags:
+    Walks each thread program's flattened control-flow DAG with a
+    held-block interval per pool (the memory analogue of
+    {!Lock_balance}): counts and running peaks carry a [lo, hi] pair
+    joined at merges, so "certain" claims use the floor and "possible"
+    ones the ceiling.  Flags:
 
     - a [Free] of a pool the job holds no block of — double-free or
       free-of-unallocated; the kernel raises [Invalid_argument] at run

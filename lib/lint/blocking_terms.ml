@@ -1,6 +1,45 @@
 open Emeralds
 
-type section = { sem : Types.sem; mutable acc : int; mutable inner : int list }
+type sec = { sem : Types.sem; acc : int; inner : int list (* reversed *) }
+
+(* Walk state: open critical sections (innermost first), the id of the
+   back-to-back chain the next top-level section joins, and whether the
+   program can reach the next acquire without yielding the CPU. *)
+type st = { open_s : sec list; chain : int; linked : bool }
+
+(* Join at a control-flow merge.  Sections open on both paths take the
+   worse accumulated time and the union of nested acquires (per-path
+   maxima); a section open on only one path stays open — it may span
+   the merge on that path, and keeping it can only lengthen it.
+   [linked] joins with "or": if either path reaches the next acquire
+   without yielding, the hand-off chain is possible and a sound bound
+   must merge it. *)
+let join a b =
+  let rec merge xs ys =
+    match xs with
+    | [] -> ys
+    | x :: xs' -> (
+      let rec take acc = function
+        | [] -> None
+        | (y : sec) :: rest when y.sem.sem_id = x.sem.sem_id ->
+          Some (y, List.rev_append acc rest)
+        | y :: rest -> take (y :: acc) rest
+      in
+      match take [] ys with
+      | Some (y, ys') ->
+        {
+          x with
+          acc = max x.acc y.acc;
+          inner = x.inner @ List.filter (fun i -> not (List.mem i x.inner)) y.inner;
+        }
+        :: merge xs' ys'
+      | None -> x :: merge xs' ys)
+  in
+  {
+    open_s = merge a.open_s b.open_s;
+    chain = max a.chain b.chain;
+    linked = a.linked || b.linked;
+  }
 
 (* Walk one program, yielding every critical section.  Nested sections
    (closed while an enclosing one stays open) go to [emit_nested];
@@ -11,22 +50,20 @@ type section = { sem : Types.sem; mutable acc : int; mutable inner : int list }
    executes that span inside one kernel event, so the releasing task is
    already re-queued when the hand-off happens and can be re-granted
    ahead of higher-priority tasks that have not reached their own
-   acquire yet. *)
+   acquire yet.  Over branches the walk is a forward dataflow with
+   per-path maxima at merges; every emitted section is the worst over
+   the paths that reach its release. *)
 let walk (tp : Ctx.task_prog) ~emit_nested ~emit_top =
-  let open_sections = ref [] in
-  let chain_id = ref 0 in
-  let linked = ref false in
-  let close (s : Types.sem) =
+  let close st (s : Types.sem) =
     (* innermost matching acquisition *)
     let rec split acc = function
       | [] -> None
-      | (sec : section) :: rest when sec.sem.sem_id = s.Types.sem_id ->
+      | (sec : sec) :: rest when sec.sem.sem_id = s.Types.sem_id ->
         Some (sec, List.rev_append acc rest)
       | sec :: rest -> split (sec :: acc) rest
     in
-    match split [] !open_sections with
+    match split [] st.open_s with
     | Some (sec, rest) ->
-      open_sections := rest;
       let cs =
         Analysis.Blocking.
           {
@@ -38,53 +75,75 @@ let walk (tp : Ctx.task_prog) ~emit_nested ~emit_top =
           }
       in
       if rest = [] then begin
-        emit_top !chain_id cs;
-        linked := true
+        emit_top st.chain cs;
+        { st with open_s = rest; linked = true }
       end
-      else emit_nested cs
-    | None -> () (* unmatched release: lock balance reports it *)
+      else begin
+        emit_nested cs;
+        { st with open_s = rest }
+      end
+    | None -> st (* unmatched release: lock balance reports it *)
   in
-  Array.iter
-    (fun instr ->
-      (match instr with
+  let transfer ~pc:_ instr st =
+    let st =
+      match instr with
       | Types.Acquire s ->
-        if !open_sections = [] then begin
-          if not !linked then incr chain_id;
-          linked := false
-        end;
+        let st =
+          if st.open_s = [] then
+            { st with chain = (if st.linked then st.chain else st.chain + 1); linked = false }
+          else st
+        in
         (* every already-open section holds across the wait this
            acquire may incur *)
-        List.iter
-          (fun (sec : section) -> sec.inner <- s.sem_id :: sec.inner)
-          !open_sections;
-        open_sections := { sem = s; acc = 0; inner = [] } :: !open_sections
-      | Types.Release s -> close s
-      | _ -> ());
-      let bounded_time =
-        match instr with
-        | Types.Compute c -> c
-        | Types.Delay d -> d
-        | Types.Timed_wait (_, d) -> d
-        | _ -> 0
-      in
-      if bounded_time > 0 then
-        List.iter (fun sec -> sec.acc <- sec.acc + bounded_time) !open_sections;
-      (* at top level, only an instruction that *always* yields the CPU
-         breaks the chain: the task is then preempted before its next
-         acquire, so a hand-off cannot re-grant it within the same
-         blocking episode.  [Wait]/[Timed_wait]/[Recv] may complete
-         instantly off pending state (a buffered signal or queued
-         message) inside the same kernel event — the condition-variable
-         pattern's release/wait/re-acquire chains exactly this way —
-         and signals, sends and state-message accesses never yield. *)
+        {
+          st with
+          open_s =
+            { sem = s; acc = 0; inner = [] }
+            :: List.map
+                 (fun sec -> { sec with inner = s.sem_id :: sec.inner })
+                 st.open_s;
+        }
+      | Types.Release s -> close st s
+      | _ -> st
+    in
+    let bounded_time =
       match instr with
-      | Types.Compute c when c > 0 ->
-        if !open_sections = [] then linked := false
-      | Types.Delay _ -> if !open_sections = [] then linked := false
-      | _ -> ())
-    tp.code;
+      | Types.Compute c -> c
+      | Types.Delay d -> d
+      | Types.Timed_wait (_, d) -> d
+      | _ -> 0
+    in
+    let st =
+      if bounded_time > 0 then
+        {
+          st with
+          open_s =
+            List.map (fun sec -> { sec with acc = sec.acc + bounded_time }) st.open_s;
+        }
+      else st
+    in
+    (* at top level, only an instruction that *always* yields the CPU
+       breaks the chain: the task is then preempted before its next
+       acquire, so a hand-off cannot re-grant it within the same
+       blocking episode.  [Wait]/[Timed_wait]/[Recv] may complete
+       instantly off pending state (a buffered signal or queued
+       message) inside the same kernel event — the condition-variable
+       pattern's release/wait/re-acquire chains exactly this way —
+       and signals, sends and state-message accesses never yield. *)
+    match instr with
+    | Types.Compute c when c > 0 ->
+      if st.open_s = [] then { st with linked = false } else st
+    | Types.Delay _ -> if st.open_s = [] then { st with linked = false } else st
+    | _ -> st
+  in
+  let _, at_end =
+    Ctx.dataflow ~init:{ open_s = []; chain = 0; linked = false } ~join ~transfer tp
+  in
   (* sections never closed run to the end of the job *)
-  List.iter (fun (sec : section) -> close sec.sem) !open_sections
+  let rec drain st =
+    match st.open_s with [] -> () | sec :: _ -> drain (close st sec.sem)
+  in
+  drain at_end
 
 let critical_sections (ctx : Ctx.t) =
   let out = ref [] in

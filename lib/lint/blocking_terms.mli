@@ -9,7 +9,10 @@
     spent *waiting to acquire* a nested inner lock is likewise excluded,
     matching the classical one-critical-section blocking bound under
     priority inheritance that {!Analysis.Blocking.blocking_terms}
-    implements.
+    implements.  Over branching programs the walk is a forward
+    dataflow on the flattened DAG with per-path maxima at merges: a
+    section spanning a branch is measured along its worst arm, and a
+    section open on only one arm survives the join.
 
     The result feeds response-time analysis directly: instead of
     hand-declaring who locks what for how long, the verifier derives it

@@ -1,0 +1,79 @@
+open Emeralds
+
+let name = "dead-branch"
+
+(* Behavioural signature of an instruction: object ids, durations and
+   payload sizes — everything the kernel's semantics depend on.
+   Payload *contents* are excluded on purpose (no checked property
+   reads them), and the comparison avoids polymorphic equality, which
+   could chase the cyclic mutable kernel records inside. *)
+let rec instr_sig (i : Types.instr) =
+  match i with
+  | Types.Compute d -> Printf.sprintf "compute:%d" d
+  | Types.Acquire s -> Printf.sprintf "acquire:%d" s.sem_id
+  | Types.Release s -> Printf.sprintf "release:%d" s.sem_id
+  | Types.Wait w -> Printf.sprintf "wait:%d" w.wq_id
+  | Types.Timed_wait (w, d) -> Printf.sprintf "timed_wait:%d:%d" w.wq_id d
+  | Types.Signal w -> Printf.sprintf "signal:%d" w.wq_id
+  | Types.Broadcast w -> Printf.sprintf "broadcast:%d" w.wq_id
+  | Types.Send (mb, data) ->
+    Printf.sprintf "send:%d:%d" mb.mb_id (Array.length data)
+  | Types.Recv mb -> Printf.sprintf "recv:%d" mb.mb_id
+  | Types.State_write (sm, data) ->
+    Printf.sprintf "swrite:%d:%d" (State_msg.id sm) (Array.length data)
+  | Types.State_read sm -> Printf.sprintf "sread:%d" (State_msg.id sm)
+  | Types.Delay d -> Printf.sprintf "delay:%d" d
+  | Types.Alloc p -> Printf.sprintf "alloc:%d" p.pool_id
+  | Types.Free p -> Printf.sprintf "free:%d" p.pool_id
+  | Types.If_input (a, b) ->
+    Printf.sprintf "if(%s)(%s)" (sig_of a) (sig_of b)
+  | Types.Repeat (n, body) -> Printf.sprintf "repeat:%d(%s)" n (sig_of body)
+  | Types.Br_input t -> Printf.sprintf "br:%d" t
+  | Types.Jump t -> Printf.sprintf "jump:%d" t
+
+and sig_of instrs = String.concat ";" (List.map instr_sig instrs)
+
+let run (ctx : Ctx.t) =
+  let diags = ref [] in
+  Array.iter
+    (fun (tp : Ctx.task_prog) ->
+      let tid = tp.task.id in
+      let add sev ?pc msg =
+        diags := Diag.make sev ~check:name ~task:tid ?pc msg :: !diags
+      in
+      (* [pc] is the instruction's position in the structured program
+         at top level; nested nodes inherit the position of their
+         outermost enclosing instruction. *)
+      let rec scan ?pc instrs =
+        List.iteri
+          (fun i instr ->
+            let pc = match pc with Some p -> Some p | None -> Some i in
+            match instr with
+            | Types.If_input (a, b) ->
+              (if a = [] && b = [] then
+                 add Diag.Warning ?pc
+                   "branch with two empty arms: the input bit is consumed \
+                    but decides nothing"
+               else if sig_of a = sig_of b then
+                 add Diag.Warning ?pc
+                   "both branch arms are behaviourally identical: the \
+                    decision is dead and the analysis pays for two paths");
+              scan ?pc a;
+              scan ?pc b
+            | Types.Repeat (0, body) ->
+              if body <> [] then
+                add Diag.Warning ?pc
+                  (Printf.sprintf
+                     "loop body of %d instruction(s) is unreachable: the \
+                      repeat count is 0"
+                     (List.length body))
+              (* the body is dead — do not descend *)
+            | Types.Repeat (_, []) ->
+              add Diag.Info ?pc "empty loop body: the repeat is a no-op"
+            | Types.Repeat (_, body) -> scan ?pc body
+            | _ -> ())
+          instrs
+      in
+      scan tp.prog)
+    ctx.tasks;
+  !diags

@@ -1,0 +1,21 @@
+(** Dead control flow in structured thread programs.
+
+    Works on the structured source form (the flattened DAG cannot
+    carry these: {!Emeralds.Program.flatten} already elides a
+    [Repeat 0] body, so the waste is invisible downstream).  Flags:
+
+    - a branch whose two arms are behaviourally identical — same
+      object ids, durations and payload sizes — so the consumed input
+      bit decides nothing while path-sensitive analyses still pay for
+      both paths (warning);
+    - a branch with two empty arms (warning);
+    - a [Repeat 0] with a non-empty body: the body is unreachable
+      code the kernel will never execute (warning);
+    - a [Repeat] with an empty body: a no-op (info).
+
+    All findings are advisory — the program is still valid and runs —
+    which is why none of them is an error. *)
+
+val name : string
+
+val run : Ctx.t -> Diag.t list

@@ -56,6 +56,8 @@ let run (ctx : Ctx.t) =
           match instr with
           | Types.Acquire s2 ->
             Hashtbl.replace nodes s2.sem_id ();
+            (* may-held: a nesting on any feasible path is a real edge
+               in some execution, and a cycle needs only one *)
             List.iter
               (fun (s1 : Types.sem) ->
                 if s1.sem_id <> s2.sem_id then begin
@@ -70,7 +72,7 @@ let run (ctx : Ctx.t) =
                   in
                   witnesses := (tp.task.id, pc) :: !witnesses
                 end)
-              before.(pc)
+              before.(pc).Ctx.may
           | Types.Release s -> Hashtbl.replace nodes s.sem_id ()
           | _ -> ())
         tp.code)

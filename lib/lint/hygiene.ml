@@ -8,7 +8,10 @@ let sem_ids held =
        (List.map (fun (s : Types.sem) -> string_of_int s.Types.sem_id) held))
 
 let run (ctx : Ctx.t) =
-  (* All signal sites per waitq: (task id, held sems at the site). *)
+  (* All signal sites per waitq: (task id, held sems at the site).
+     Sites record must-held sems — the "certain deadlock" verdict
+     below needs every signaller provably inside its critical
+     section. *)
   let signal_sites : (int, (int * Types.sem list) list ref) Hashtbl.t =
     Hashtbl.create 8
   in
@@ -32,7 +35,7 @@ let run (ctx : Ctx.t) =
         (fun pc instr ->
           match instr with
           | Types.Signal wq | Types.Broadcast wq ->
-            site wq.wq_id (tp.task.id, before.(pc))
+            site wq.wq_id (tp.task.id, before.(pc).Ctx.must)
           | _ -> ())
         tp.code)
     walks;
@@ -48,7 +51,11 @@ let run (ctx : Ctx.t) =
       let tid = tp.task.id in
       Array.iteri
         (fun pc instr ->
-          let held = before.(pc) in
+          (* warn off the may-held set: a critical section stretched on
+             any feasible path is worth hearing about; the error below
+             additionally demands must-held on every side *)
+          let held = before.(pc).Ctx.may in
+          let must = before.(pc).Ctx.must in
           if held <> [] then
             match instr with
             | Types.Wait wq ->
@@ -58,7 +65,7 @@ let run (ctx : Ctx.t) =
                     List.exists
                       (fun (h : Types.sem) -> h.sem_id = m.sem_id)
                       site_held)
-                  held
+                  must
               in
               let sites =
                 match Hashtbl.find_opt signal_sites wq.wq_id with
@@ -66,7 +73,8 @@ let run (ctx : Ctx.t) =
                 | None -> []
               in
               if
-                sites <> []
+                must <> []
+                && sites <> []
                 && (not (irq_signalled wq.wq_id))
                 && List.for_all (fun (_, h) -> holds_one_of h) sites
               then
@@ -76,7 +84,7 @@ let run (ctx : Ctx.t) =
                       of waitq %d signals only inside a critical section on \
                       a held sem: certain deadlock — release the mutex \
                       before waiting (Program.condition_wait)"
-                     wq.wq_id (sem_ids held) wq.wq_id)
+                     wq.wq_id (sem_ids must) wq.wq_id)
               else
                 add Diag.Warning ~task:tid ~pc
                   (Printf.sprintf

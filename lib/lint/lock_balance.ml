@@ -2,53 +2,87 @@ open Emeralds
 
 let name = "lock-balance"
 
+module Imap = Map.Make (Int)
+
+(* Per-sem held units as an interval [lo, hi]: lo on the stingiest
+   path to the point, hi on the greediest.  Input bits make every path
+   feasible, so hi-findings are real executions, not artefacts. *)
+let find held (s : Types.sem) =
+  match Imap.find_opt s.sem_id held with Some row -> row | None -> (s, 0, 0)
+
+let join a b =
+  Imap.merge
+    (fun _ x y ->
+      match (x, y) with
+      | Some (s, lo1, hi1), Some (_, lo2, hi2) ->
+        Some (s, min lo1 lo2, max hi1 hi2)
+      | Some (s, lo, hi), None | None, Some (s, lo, hi) ->
+        Some (s, min lo 0, max hi 0)
+      | None, None -> None)
+    a b
+
 let run (ctx : Ctx.t) =
   let diags = ref [] in
-  let add sev ~task ?pc msg = diags := Diag.make sev ~check:name ~task ?pc msg :: !diags in
+  let add sev ~task ?pc msg =
+    diags := Diag.make sev ~check:name ~task ?pc msg :: !diags
+  in
   Array.iter
     (fun (tp : Ctx.task_prog) ->
       let tid = tp.task.id in
-      (* sem_id -> (sem, held units) *)
-      let held : (int, Types.sem * int) Hashtbl.t = Hashtbl.create 4 in
-      let units (s : Types.sem) =
-        match Hashtbl.find_opt held s.sem_id with
-        | Some (_, c) -> c
-        | None -> 0
-      in
-      Array.iteri
-        (fun pc instr ->
-          match instr with
-          | Types.Acquire s ->
-            let c = units s in
-            if c >= s.sem_initial then
-              add Diag.Error ~task:tid ~pc
-                (if s.sem_initial = 1 then
+      let transfer ~pc instr held =
+        match instr with
+        | Types.Acquire s ->
+          let _, lo, hi = find held s in
+          if hi >= s.sem_initial then
+            add Diag.Error ~task:tid ~pc
+              (if s.sem_initial = 1 then
+                 if lo >= s.sem_initial then
                    Printf.sprintf
                      "double acquire of sem %d: the job blocks on itself"
                      s.sem_id
                  else
                    Printf.sprintf
-                     "acquire of sem %d exceeds its %d units with none released"
-                     s.sem_id s.sem_initial);
-            Hashtbl.replace held s.sem_id (s, c + 1)
-          | Types.Release s ->
-            let c = units s in
-            if c = 0 then
-              add Diag.Error ~task:tid ~pc
-                (Printf.sprintf
-                   "release of sem %d never acquired (kernel raises at run time)"
-                   s.sem_id)
-            else Hashtbl.replace held s.sem_id (s, c - 1)
-          | _ -> ())
-        tp.code;
-      Hashtbl.iter
-        (fun _ ((s : Types.sem), c) ->
-          if c > 0 then
+                     "double acquire of sem %d on some path: the job blocks \
+                      on itself when that branch is taken"
+                     s.sem_id
+               else
+                 Printf.sprintf
+                   "acquire of sem %d exceeds its %d units with none released%s"
+                   s.sem_id s.sem_initial
+                   (if lo >= s.sem_initial then "" else " on some path"));
+          Imap.add s.sem_id (s, lo + 1, hi + 1) held
+        | Types.Release s ->
+          let _, lo, hi = find held s in
+          if lo = 0 then
+            add Diag.Error ~task:tid ~pc
+              (if hi = 0 then
+                 Printf.sprintf
+                   "release of sem %d never acquired (kernel raises at run \
+                    time)"
+                   s.sem_id
+               else
+                 Printf.sprintf
+                   "release of sem %d not acquired on some path (kernel \
+                    raises at run time when that branch is taken)"
+                   s.sem_id);
+          Imap.add s.sem_id (s, max 0 (lo - 1), max 0 (hi - 1)) held
+        | _ -> held
+      in
+      let _, at_end = Ctx.dataflow ~init:Imap.empty ~join ~transfer tp in
+      Imap.iter
+        (fun _ ((s : Types.sem), lo, hi) ->
+          if lo > 0 then
             add Diag.Error ~task:tid
               (Printf.sprintf
                  "sem %d still held at job end: the next job self-deadlocks \
                   re-acquiring it"
+                 s.sem_id)
+          else if hi > 0 then
+            add Diag.Error ~task:tid
+              (Printf.sprintf
+                 "sem %d may be held at job end on some paths: the next job \
+                  self-deadlocks re-acquiring it when that branch is taken"
                  s.sem_id))
-        held)
+        at_end)
     ctx.tasks;
   !diags

@@ -1,7 +1,10 @@
 (** Per-task lock balance.
 
-    Walks each thread program with an exact held-lock multiset and
-    flags, as errors:
+    Walks each thread program's flattened control-flow DAG with a
+    per-semaphore held-units interval — the least and greatest count
+    over the paths reaching each point, joined at merges — and flags,
+    as errors (input bits make every path feasible, so "on some path"
+    findings are real executions):
 
     - a [Release] of a semaphore the job does not hold (the kernel
       raises [Invalid_argument] for mutexes at run time);

@@ -6,6 +6,7 @@ let checks =
     Hygiene.run;
     State_discipline.run;
     Liveness.run;
+    Dead_branch.run;
   ]
 
 let run ctx =

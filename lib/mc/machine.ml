@@ -14,6 +14,10 @@ type instr =
   | IDelay of int
   | IAlloc of int
   | IFree of int
+  | IBr_input of int
+      (* nondeterministic two-way branch: the checker explores both
+         outcomes; the target is a machine pc (forward) *)
+  | IJump of int  (* unconditional forward jump, machine pc *)
 
 type release_model = Periodic | Sporadic of { min_ia : int; max_ia : int }
 
@@ -116,6 +120,30 @@ let of_scenario ?(sched = Fp) ?(read_span = 0) ?(sporadic = []) (s : Workload.Sc
     | Emeralds.Types.Delay d -> [ IDelay d ]
     | Emeralds.Types.Alloc p -> [ IAlloc (intern pools p) ]
     | Emeralds.Types.Free p -> [ IFree (intern pools p) ]
+    | Emeralds.Types.Br_input t -> [ IBr_input t ] (* remapped below *)
+    | Emeralds.Types.Jump t -> [ IJump t ] (* remapped below *)
+    | Emeralds.Types.If_input _ | Emeralds.Types.Repeat _ ->
+      invalid_arg "Mc.Machine: structured instruction survived flattening"
+  in
+  (* Compile the kernel's own executable form.  A source instruction
+     may expand to several machine instructions (State_read), so branch
+     targets — source pcs — are remapped through a pc table. *)
+  let compile_flat (flat : Emeralds.Types.instr array) : instr array =
+    let n = Array.length flat in
+    let compiled = Array.map compile_instr flat in
+    let pc_map = Array.make (n + 1) 0 in
+    let cursor = ref 0 in
+    Array.iteri
+      (fun i chunk ->
+        pc_map.(i) <- !cursor;
+        cursor := !cursor + List.length chunk)
+      compiled;
+    pc_map.(n) <- !cursor;
+    Array.to_list compiled |> List.concat |> Array.of_list
+    |> Array.map (function
+         | IBr_input t -> IBr_input pc_map.(t)
+         | IJump t -> IJump pc_map.(t)
+         | i -> i)
   in
   let task_rows = Array.to_list (Model.Taskset.tasks s.taskset) in
   let tasks =
@@ -123,7 +151,7 @@ let of_scenario ?(sched = Fp) ?(read_span = 0) ?(sporadic = []) (s : Workload.Sc
       (List.mapi
          (fun idx (task : Model.Task.t) ->
            let prog = s.programs task in
-           let code = Array.of_list (List.concat_map compile_instr prog) in
+           let code = compile_flat (Emeralds.Program.flatten prog) in
            let n = Array.length code in
            let pure_from = Array.make (n + 1) true in
            for pc = n - 1 downto 0 do

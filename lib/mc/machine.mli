@@ -31,6 +31,11 @@ type instr =
   | IDelay of int
   | IAlloc of int             (** block-pool index; denied when empty *)
   | IFree of int              (** faults when the job holds no block *)
+  | IBr_input of int
+      (** data-dependent branch: a nondeterminism source.  The checker
+          forks over both outcomes (fall through / jump to the machine
+          pc) where the kernel consults its input word. *)
+  | IJump of int              (** unconditional forward jump (machine pc) *)
 
 type release_model =
   | Periodic

@@ -28,6 +28,10 @@ type tstate = {
   read_seq : int;
   live : (int * int) list;
       (* pool index -> blocks this job holds; sorted, no zero entries *)
+  brs : int;
+      (* branch outcomes consumed this job — labels replayed [Branch]
+         trace entries with the kernel's input-bit index; excluded from
+         the canonical key because the pc alone determines the future *)
 }
 
 type t = {
@@ -80,6 +84,7 @@ let init (m : Machine.t) =
           read_sm = -1;
           read_seq = 0;
           live = [];
+          brs = 0;
         })
       m.tasks
   in

@@ -56,6 +56,10 @@ type tstate = {
       (** blocks the current job holds, [(pool index, count)]; sorted
           by pool index with zero entries dropped, so it is canonical
           as stored *)
+  brs : int;
+      (** branch outcomes consumed this job, labelling replayed
+          {!Sim.Trace.Branch} entries with the kernel's input-bit
+          index; excluded from {!key} — the pc determines the future *)
 }
 
 type t = {

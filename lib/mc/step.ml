@@ -4,6 +4,7 @@ type choice =
   | Arm_irq of { src : int; at : int }
   | Arm_task of { idx : int; at : State.nr }
   | Tie of int
+  | Take_branch of { idx : int; taken : bool }
 
 type expansion = {
   state : State.t;
@@ -162,6 +163,7 @@ let begin_job c i ~release =
       dl;
       effdl = (if t.inh then t.effdl else dl);
       dl_check;
+      brs = 0;
     };
   emit c (Sim.Trace.Job_release { tid = tid c i; job = job_no c i; deadline = dl });
   if late then begin
@@ -592,6 +594,13 @@ let exec_instr c i ~horizon =
           (Sim.Trace.Block_free
              { tid = tid c i; pool = c.m.pool_ids.(p); live = c.pool_occ.(p) });
         `Ok)
+    | Machine.IBr_input _ ->
+      (* a data-dependent branch is a nondeterminism source: stop here
+         and let the crank fork over both outcomes *)
+      `Fork
+    | Machine.IJump target ->
+      set c i { t with pc = target };
+      `Ok
 
 (* --- the crank ------------------------------------------------------- *)
 
@@ -616,6 +625,12 @@ let rec crank ~horizon ~probe c =
         dispatch c i;
         match exec_instr c i ~horizon with
         | `Capped -> `Leaf
+        | `Fork ->
+          `Branch
+            [
+              Take_branch { idx = i; taken = true };
+              Take_branch { idx = i; taken = false };
+            ]
         | `Ok ->
           (* A job whose program just ran out finishes *now*, even if a
              same-instant release is about to preempt the task —
@@ -654,6 +669,9 @@ let pp_choice (m : Machine.t) fmt = function
   | Arm_task { idx; at = _ } ->
     Format.fprintf fmt "sporadic %s stays silent" m.tasks.(idx).task_name
   | Tie i -> Format.fprintf fmt "tie-break: dispatch %s" m.tasks.(i).task_name
+  | Take_branch { idx; taken } ->
+    Format.fprintf fmt "branch in %s: %s" m.tasks.(idx).task_name
+      (if taken then "taken" else "not taken")
 
 let choice_to_string m c = Format.asprintf "%a" (pp_choice m) c
 
@@ -664,5 +682,15 @@ let apply ?emit m st choice =
   | Arm_irq { src; at } -> c.irq_next.(src) <- At at
   | Arm_task { idx; at } ->
     set c idx { (c.tasks.(idx)) with next_rel = at }
-  | Tie i -> dispatch c i);
+  | Tie i -> dispatch c i
+  | Take_branch { idx; taken } ->
+    let t = c.tasks.(idx) in
+    let target =
+      match c.m.tasks.(idx).code.(t.pc) with
+      | Machine.IBr_input target -> target
+      | _ -> invalid_arg "Mc.Step.apply: Take_branch at a non-branch pc"
+    in
+    c.trace c.now
+      (Sim.Trace.Branch { tid = tid c idx; pc = t.pc; idx = t.brs; taken });
+    set c idx { t with pc = (if taken then t.pc + 1 else target); brs = t.brs + 1 });
   freeze c

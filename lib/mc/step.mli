@@ -25,6 +25,10 @@ type choice =
   | Arm_task of { idx : int; at : State.nr }
       (** sporadic task arrival ([At t]) or silence ([Never]) *)
   | Tie of int  (** dispatch this task among equal-key candidates *)
+  | Take_branch of { idx : int; taken : bool }
+      (** outcome of the data-dependent branch task [idx] sits on:
+          where the kernel consults a bit of its per-job input word,
+          the checker forks over both outcomes *)
 
 type expansion = {
   state : State.t;  (** at the decision point (or final state) *)

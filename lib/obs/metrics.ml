@@ -69,7 +69,7 @@ let observe t ({ at; entry } : Sim.Trace.stamped) =
   | Deadline_miss _ | Budget_overrun _ | Job_shed _ | Sem_acquired _
   | Sem_blocked _ | Sem_released _ | Priority_inherit _ | Priority_restore _
   | Msg_sent _ | Msg_received _ | State_written _ | State_read _ | Pool_oom _
-  | Pool_leak _ | Quota_exceeded _ | Note _ ->
+  | Pool_leak _ | Quota_exceeded _ | Input_word _ | Branch _ | Note _ ->
     ()
 
 let attach t probe = Probe.subscribe probe ~mask:Probe.all_mask (observe t)

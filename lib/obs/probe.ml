@@ -1,7 +1,7 @@
-type category = Job | Sched | Sync | Ipc | Irq | Overhead | Enforce | Mem | Meta
+type category = Job | Sched | Sync | Ipc | Irq | Overhead | Enforce | Mem | Ctl | Meta
 
 let all_categories =
-  [ Job; Sched; Sync; Ipc; Irq; Overhead; Enforce; Mem; Meta ]
+  [ Job; Sched; Sync; Ipc; Irq; Overhead; Enforce; Mem; Ctl; Meta ]
 
 let category_name = function
   | Job -> "job"
@@ -12,6 +12,7 @@ let category_name = function
   | Overhead -> "overhead"
   | Enforce -> "enforce"
   | Mem -> "mem"
+  | Ctl -> "ctl"
   | Meta -> "meta"
 
 let category_of_name s =
@@ -30,6 +31,7 @@ let category_of_entry : Sim.Trace.entry -> category = function
   | Block_alloc _ | Block_free _ | Pool_oom _ | Pool_leak _ | Quota_exceeded _
     ->
     Mem
+  | Input_word _ | Branch _ -> Ctl
   | Note _ -> Meta
 
 type mask = int
@@ -43,7 +45,8 @@ let bit = function
   | Overhead -> 32
   | Enforce -> 64
   | Mem -> 128
-  | Meta -> 256
+  | Ctl -> 256
+  | Meta -> 512
 
 let mask_of cats = List.fold_left (fun m c -> m lor bit c) 0 cats
 let all_mask = mask_of all_categories

@@ -19,6 +19,7 @@ type category =
   | Overhead  (** charged kernel-overhead entries *)
   | Enforce  (** budget overruns, job kills, shed releases *)
   | Mem  (** block-pool allocations: grants, frees, OOM, leaks, quota *)
+  | Ctl  (** control flow: per-job input words, branch decisions *)
   | Meta  (** free-form notes *)
 
 val all_categories : category list

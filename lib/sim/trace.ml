@@ -37,6 +37,11 @@ type entry =
   | Pool_leak of { tid : int; job : int; pool : int; count : int }
       (* blocks still live when the job completed (reclaimed) *)
   | Quota_exceeded of { tid : int; job : int; live : int; quota : int }
+  | Input_word of { tid : int; job : int; word : int64 }
+      (* the seeded word whose bits decide the job's branches; emitted
+         only for programs that contain branches *)
+  | Branch of { tid : int; pc : int; idx : int; taken : bool }
+      (* one Br_input decision: input bit [idx], [taken] = fell through *)
   | Note of string
 
 type stamped = { at : Model.Time.t; entry : entry }
@@ -126,7 +131,7 @@ let emit t ~at entry =
   | Sem_acquired _ | Sem_blocked _ | Sem_released _ | Priority_inherit _
   | Priority_restore _ | Msg_sent _ | Msg_received _ | State_written _
   | State_read _ | Interrupt _ | Block_alloc _ | Block_free _ | Pool_oom _
-  | Pool_leak _ | Quota_exceeded _ | Note _ ->
+  | Pool_leak _ | Quota_exceeded _ | Input_word _ | Branch _ | Note _ ->
     ());
   if t.keep then t.entries <- stamped :: t.entries
 
@@ -208,6 +213,11 @@ let pp_entry ppf = function
       count
   | Quota_exceeded { tid; job; live; quota } ->
     Format.fprintf ppf "QUOTA     tau%d#%d (%d live of %d)" tid job live quota
+  | Input_word { tid; job; word } ->
+    Format.fprintf ppf "input     tau%d#%d word=0x%Lx" tid job word
+  | Branch { tid; pc; idx; taken } ->
+    Format.fprintf ppf "branch    tau%d pc=%d bit%d %s" tid pc idx
+      (if taken then "taken" else "not-taken")
   | Note s -> Format.fprintf ppf "note      %s" s
 
 let timeline_relevant = function
@@ -218,7 +228,7 @@ let timeline_relevant = function
   | Sem_released _ | Priority_inherit _ | Priority_restore _ | Msg_sent _
   | Msg_received _ | State_written _ | State_read _ | Interrupt _
   | Overhead _ | Block_alloc _ | Block_free _ | Pool_oom _ | Pool_leak _
-  | Quota_exceeded _ | Note _ ->
+  | Quota_exceeded _ | Input_word _ | Branch _ | Note _ ->
     false
 
 let pp_stamped ppf { at; entry } =
@@ -293,6 +303,11 @@ let csv_fields = function
     ("leak", tid, Printf.sprintf "job=%d pool=%d count=%d" job pool count)
   | Quota_exceeded { tid; job; live; quota } ->
     ("quota", tid, Printf.sprintf "job=%d live=%d quota=%d" job live quota)
+  | Input_word { tid; job; word } ->
+    ("input", tid, Printf.sprintf "job=%d word=0x%Lx" job word)
+  | Branch { tid; pc; idx; taken } ->
+    ("branch", tid,
+     Printf.sprintf "pc=%d bit=%d taken=%b" pc idx taken)
   | Note s -> ("note", -1, s)
 
 let to_csv t =

@@ -49,6 +49,13 @@ type entry =
           kernel reclaims them after recording the leak. *)
   | Quota_exceeded of { tid : int; job : int; live : int; quota : int }
       (** Memory enforcement: a job exceeded its live-block quota. *)
+  | Input_word of { tid : int; job : int; word : int64 }
+      (** The seeded word whose bits decide the job's branches; emitted
+          at job start, and only for programs containing branches, so
+          branch-free traces are unchanged. *)
+  | Branch of { tid : int; pc : int; idx : int; taken : bool }
+      (** One branch decision: the [Br_input] at [pc] consumed input
+          bit [idx]; [taken] means it fell through to the first arm. *)
   | Note of string
 
 type stamped = { at : Model.Time.t; entry : entry }

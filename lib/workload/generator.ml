@@ -67,6 +67,8 @@ type seg =
   | S_delay of int
   | S_alloc of int
   | S_free of int
+  | S_branch of seg list * seg list
+  | S_repeat of int * seg list
 
 type task_spec = {
   g_id : int;
@@ -102,10 +104,18 @@ let sporadic_phase = Model.Time.sec 3600
    declared WCET of [sum (seg_charge ...)] is exactly the abstract
    interpreter's derived exec bound, so [wcet-declaration] can never
    fire on a generated scenario. *)
-let seg_charge (cost : Sim.Cost.t) spec seg =
+let rec seg_charge (cost : Sim.Cost.t) spec seg =
   let sys = cost.syscall_entry in
   let lockpair = 2 * (sys + cost.sem_admin) in
+  let sum segs =
+    List.fold_left (fun a s -> a + seg_charge cost spec s) 0 segs
+  in
   match seg with
+  | S_branch (a, b) ->
+    (* worst-case demand is path-wise: the heavier arm, exactly what
+       the abstract interpreter's branch join derives *)
+    max (sum a) (sum b)
+  | S_repeat (n, body) -> n * sum body
   | S_compute c -> c
   | S_critical { body; nested; _ } ->
     lockpair + body
@@ -457,10 +467,73 @@ let spec_of ~rng ~index ?family ?n ?target_u () =
           g_segs = segs;
         })
   in
+  (* ---- structured control flow (appended draws) ------------------
+     Every draw below happens after the whole legacy stream, so specs
+     generated by older seeds replay their legacy portion byte for
+     byte; the structured segments are appended to the end of a task's
+     program and to the end of the pool table. *)
+  let tasks = Array.of_list tasks in
+  let append i extra =
+    tasks.(i) <- { tasks.(i) with g_segs = tasks.(i).g_segs @ extra }
+  in
+  (* small enough that even several augmentations on one task stay
+     well under the utilization headroom left by the 0.85 clamp *)
+  let small_compute i =
+    max 2_000 (Util.Rng.int rng (max 4_000 (period.(i) / 256)))
+  in
+  (* branchy: a data-dependent detour with deliberately asymmetric
+     arms, so a path-insensitive both-arms bound is measurably loose
+     and a dropped branch join is measurably unsound *)
+  if Util.Rng.int rng 10 < 4 then begin
+    let i = Util.Rng.int rng n in
+    let light = [ S_compute (small_compute i) ] in
+    let heavy = [ S_compute (small_compute i); S_compute (small_compute i) ] in
+    let arms =
+      if Util.Rng.int rng 10 < 3 then
+        (* one level of nesting: a branch inside the light arm *)
+        (S_branch (light, heavy) :: light, heavy)
+      else (light, heavy)
+    in
+    append i [ S_branch (fst arms, snd arms) ]
+  end;
+  (* loopy: a bounded burst of computation whose demand only a
+     loop-bound multiplication can cover *)
+  if Util.Rng.int rng 10 < 4 then begin
+    let i = Util.Rng.int rng n in
+    let iters = 2 + Util.Rng.int rng 5 in
+    append i [ S_repeat (iters, [ S_compute (small_compute i) ]) ]
+  end;
+  (* burst allocation: each iteration grabs [grab] blocks and returns
+     all but [keep] — the retained blocks accumulate across iterations
+     and are freed together after the loop.  A fresh pool sized to the
+     exact cross-iteration peak keeps the stream denial- and
+     leak-free. *)
+  let pools =
+    if n_periodic > 0 && Util.Rng.int rng 10 < 3 then begin
+      let i = List.nth periodic (Util.Rng.int rng n_periodic) in
+      let iters = 2 + Util.Rng.int rng 3 in
+      let keep = 1 in
+      let grab = keep + 1 + Util.Rng.int rng 2 in
+      let p = List.length pools in
+      let body =
+        List.init grab (fun _ -> S_alloc p)
+        @ [ S_compute (small_compute i) ]
+        @ List.init (grab - keep) (fun _ -> S_free p)
+      in
+      append i
+        (S_repeat (iters, body) :: List.init (iters * keep) (fun _ -> S_free p));
+      (* peak live: all prior iterations' retained blocks plus the last
+         iteration's in-flight grab *)
+      let capacity = ((iters - 1) * keep) + grab in
+      pools @ [ (capacity, Util.Rng.choose rng [| 16; 32; 64 |]) ]
+    end
+    else pools
+  in
   {
     proto with
     s_name = Printf.sprintf "gen-%d-%s" index (family_name family);
-    s_tasks = tasks;
+    s_pools = pools;
+    s_tasks = Array.to_list tasks;
     s_irqs = Array.to_list irqs;
   }
 
@@ -492,9 +565,12 @@ let realize ?(cost = Sim.Cost.m68040) spec =
          (fun (cap, bytes) -> Objects.pool ~block_bytes:bytes ~capacity:cap ())
          spec.s_pools)
   in
-  let instrs_of seg =
+  let rec instrs_of seg =
     let open Program in
     match seg with
+    | S_branch (a, b) ->
+      [ if_input (List.concat_map instrs_of a) (List.concat_map instrs_of b) ]
+    | S_repeat (n, body) -> [ repeat n (List.concat_map instrs_of body) ]
     | S_compute c -> [ compute c ]
     | S_critical { lock = l; body; nested = None } -> critical lock.(l) body
     | S_critical { lock = l; body; nested = Some (l2, b2) } ->

@@ -75,6 +75,15 @@ type seg =
   | S_delay of int  (** blocking sleep, ns *)
   | S_alloc of int  (** take one block from a pool (pool index) *)
   | S_free of int  (** return one block to a pool *)
+  | S_branch of seg list * seg list
+      (** a data-dependent two-way branch ([Program.if_input]); the
+          kernel decides per job from the seeded input word.  Generated
+          arms hold only computes (deliberately asymmetric, so
+          path-insensitive bounds are measurably loose) *)
+  | S_repeat of int * seg list
+      (** a bounded loop ([Program.repeat]).  Generated bodies hold
+          computes, or alloc/free bursts with cross-iteration
+          retention (the burst-allocation family) *)
 
 type task_spec = {
   g_id : int;
@@ -133,8 +142,11 @@ val spec_of :
 
 val seg_charge : Sim.Cost.t -> spec -> seg -> int
 (** The exact worst-case kernel demand of one segment, ns — computes
-    plus per-instruction charges, mirroring [Absint.Instr_cost].
-    {!realize} sums this over a task's segments to declare its WCET. *)
+    plus per-instruction charges, mirroring [Absint.Instr_cost]; the
+    heavier arm for a branch (worst case is path-wise), [n] times the
+    body for a bounded loop.  {!realize} sums this over a task's
+    segments to declare its WCET, which therefore equals the abstract
+    interpreter's derived demand bound exactly. *)
 
 val realize : ?cost:Sim.Cost.t -> spec -> Scenario.t
 (** Allocate kernel objects and build the scenario.  [cost] (default

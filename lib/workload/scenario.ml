@@ -138,10 +138,44 @@ let voice () =
   in
   with_sources ~name:"voice" ~taskset:Presets.voice ~programs []
 
+(* Structured control flow end to end: the estimator takes a cheap or
+   expensive path per job, decided by the kernel from the seeded input
+   word; the filter runs a bounded inner loop; and the burst task
+   grabs frame blocks in a loop, retaining one per iteration until the
+   tail returns them all (peak 4 of the pool's 8).  Declared WCETs
+   cover the heavier arm and the full iteration count — the worst-path
+   demand the path-sensitive analyzer derives — so lint, absint, RTA,
+   the model checker and the footprint report all stay clean. *)
+let branchy () =
+  let frames = Objects.pool ~block_bytes:32 ~capacity:8 () in
+  let taskset =
+    Model.Taskset.of_list
+      [
+        Model.Task.make ~id:1 ~name:"estimator" ~period:(ms 10)
+          ~wcet:(us 2600) ();
+        Model.Task.make ~id:2 ~name:"filter" ~period:(ms 20) ~wcet:(us 3800)
+          ();
+        Model.Task.make ~id:3 ~name:"burst" ~period:(ms 50) ~wcet:(us 3100) ();
+      ]
+  in
+  let programs (task : Model.Task.t) =
+    let open Program in
+    match task.id with
+    | 1 -> [ if_input [ compute (ms 1) ] [ compute (ms 2); compute (us 500) ] ]
+    | 2 -> [ compute (us 500); repeat 4 [ compute (us 800) ] ]
+    | 3 ->
+      [
+        repeat 3 [ alloc frames; alloc frames; compute (ms 1); free frames ];
+        free frames; free frames; free frames;
+      ]
+    | _ -> [ compute task.wcet ]
+  in
+  with_sources ~name:"branchy" ~taskset ~programs []
+
 let scenarios =
   [
     ("table2", table2); ("engine", engine); ("avionics", avionics);
-    ("voice", voice);
+    ("voice", voice); ("branchy", branchy);
   ]
 
 let names = List.map fst scenarios

@@ -41,7 +41,7 @@ type t = {
 }
 
 val names : string list
-(** ["table2"; "engine"; "avionics"; "voice"] — matches the CLI's
+(** ["table2"; "engine"; "avionics"; "voice"; "branchy"] — matches the CLI's
     [--preset] vocabulary. *)
 
 val make : string -> t option

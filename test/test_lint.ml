@@ -485,6 +485,62 @@ let test_blocking_cross_validation () =
     true
     (!max_wait <= static_b.(0))
 
+(* ------------------------------------------------------------------ *)
+(* dead-branch: structurally useless control flow *)
+
+let test_dead_branch () =
+  let open Program in
+  let warns diags =
+    findings_of "dead-branch" Lint.Diag.Warning diags
+    @ findings_of "dead-branch" Lint.Diag.Info diags
+  in
+  let diags =
+    Lint.Report.run
+      (ctx_of [ [ if_input [ compute (us 100) ] [ compute (us 100) ] ] ])
+  in
+  check int "identical arms flagged" 1 (List.length (warns diags));
+  check int "never as an error (advisory only)" 0
+    (count_errors "dead-branch" diags);
+  (* the warning routes into SARIF with its rule id and level *)
+  let sarif = Lint.Sarif.of_diags diags in
+  check bool "SARIF carries the dead-branch rule" true
+    (List.exists
+       (fun (r : Lint.Sarif.result) ->
+         r.rule_id = "dead-branch" && r.level = Lint.Sarif.Warning)
+       sarif);
+  let diags = Lint.Report.run (ctx_of [ [ if_input [] [] ] ]) in
+  check int "two empty arms flagged" 1 (List.length (warns diags));
+  let diags =
+    Lint.Report.run (ctx_of [ [ repeat 0 [ compute (us 100) ] ] ])
+  in
+  check int "unreachable repeat-0 body flagged" 1 (List.length (warns diags));
+  let diags = Lint.Report.run (ctx_of [ [ repeat 3 [] ] ]) in
+  check int "empty loop body noted" 1 (List.length (warns diags));
+  (* nested dead decisions are still found *)
+  let diags =
+    Lint.Report.run
+      (ctx_of
+         [
+           [
+             repeat 2
+               [ if_input [ compute (us 50) ] [ compute (us 50) ] ];
+           ];
+         ])
+  in
+  check int "dead branch inside a live loop" 1 (List.length (warns diags));
+  (* live control flow stays silent *)
+  let diags =
+    Lint.Report.run
+      (ctx_of
+         [
+           [
+             if_input [ compute (us 100) ] [ compute (us 200) ];
+             repeat 3 [ compute (us 50) ];
+           ];
+         ])
+  in
+  check int "live branch and loop not flagged" 0 (List.length (warns diags))
+
 let suite =
   [
     test_case "lock balance diagnostics" `Quick test_lock_balance;
@@ -500,4 +556,5 @@ let suite =
     test_case "derived terms feed RTA" `Quick test_blocking_feeds_rta;
     test_case "static blocking bounds simulated blocking" `Quick
       test_blocking_cross_validation;
+    test_case "dead-branch diagnostics" `Quick test_dead_branch;
   ]

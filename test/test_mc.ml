@@ -326,6 +326,69 @@ let snapshot_determinism () =
       (List.mem mode [ "ready"; "running"; "dormant" ]
       || String.length mode >= 8 && String.sub mode 0 8 = "blocked:")
 
+(* --- branch forking: the checker explores both arms ----------------- *)
+
+(* A violation hiding behind one branch outcome: the taken arm
+   over-commits a one-block pool, the untaken arm is innocuous.  The
+   checker must fork on the branch, pin the guilty outcome in the
+   witness's choice list, and replay must steer the kernel down that
+   exact path — visible as [Branch] trace entries matching the
+   choices. *)
+let branch_fork_and_replay () =
+  let pool = Emeralds.Objects.pool ~block_bytes:16 ~capacity:1 () in
+  let ts =
+    Model.Taskset.of_list
+      [ Model.Task.make ~id:1 ~period:(ms 10) ~wcet:(ms 3) () ]
+  in
+  let programs (_ : Model.Task.t) =
+    let open Emeralds.Program in
+    [
+      compute (us 100);
+      if_input
+        [ alloc pool; alloc pool; compute (us 100); free pool; free pool ]
+        [ compute (us 200) ];
+    ]
+  in
+  let s =
+    {
+      Workload.Scenario.name = "branch-overcommit";
+      taskset = ts;
+      programs;
+      irq_sources = [];
+      irq_signals = [];
+      irq_writes = [];
+    }
+  in
+  let m = Mc.Machine.of_scenario s in
+  let bounds =
+    { Mc.Explorer.horizon = ms 10; max_states = 1_000; max_depth = 500 }
+  in
+  let props = [ Mc.Props.mem ] in
+  let r = Mc.Explorer.check ~props ~bounds m in
+  match r.verdict with
+  | `Ok -> Alcotest.fail "checker missed the over-commit behind the branch"
+  | `Violation cex ->
+    check "mem property violated" true (cex.prop = "mem");
+    let chosen =
+      List.filter_map
+        (function
+          | Mc.Step.Take_branch { taken; _ } -> Some taken | _ -> None)
+        cex.choices
+    in
+    check "witness pins exactly the guilty branch outcome" true
+      (chosen = [ true ]);
+    let trace = Mc.Counterexample.replay m ~props cex in
+    let recorded =
+      List.filter_map
+        (fun (st : Sim.Trace.stamped) ->
+          match st.entry with
+          | Sim.Trace.Branch { tid; idx; taken; _ } -> Some (tid, idx, taken)
+          | _ -> None)
+        (Sim.Trace.entries trace)
+    in
+    check "replay reproduces the exact taken path" true
+      (recorded = [ (1, 0, true) ])
+
 let suite =
   [
     Alcotest.test_case "seeded deadlock: lint and MC agree" `Quick
@@ -341,4 +404,6 @@ let suite =
       kernel_differential;
     Alcotest.test_case "kernel snapshots are deterministic" `Quick
       snapshot_determinism;
+    Alcotest.test_case "branch fork and counterexample replay" `Quick
+      branch_fork_and_replay;
   ]

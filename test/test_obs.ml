@@ -180,6 +180,33 @@ let test_kernel_trace_unperturbed () =
   check string "trace bit-identical with subscribers attached"
     (run ~observe:false) (run ~observe:true)
 
+(* Branch decisions are part of the deterministic replay contract:
+   with probes disabled, two runs of the branchy preset from the same
+   input seed must be bit-identical — same branch outcomes, same
+   everything — while a different input seed steers jobs down
+   different paths. *)
+let test_branchy_replay_bit_identical () =
+  (* one scenario for both runs: object ids are drawn from a global
+     counter, so two [branchy] realizations would differ in pool id *)
+  let scenario = Option.get (Workload.Scenario.make "branchy") in
+  let run ~input_seed =
+    let k =
+      Emeralds.Kernel.create ~cost:Sim.Cost.m68040 ~spec:Emeralds.Sched.Rm
+        ~taskset:scenario.taskset ~programs:scenario.programs ~input_seed ()
+    in
+    Emeralds.Kernel.run k ~until:(ms 100);
+    Sim.Trace.to_csv (Emeralds.Kernel.trace k)
+  in
+  let a = run ~input_seed:7 in
+  check string "same seed replays bit-identically" a (run ~input_seed:7);
+  check bool "the trace records branch decisions" true
+    (let rec find i =
+       i >= 0 && (String.length a - i >= 6 && String.sub a i 6 = "branch" || find (i - 1))
+     in
+     find (String.length a - 6));
+  check bool "a different input seed takes different paths" true
+    (a <> run ~input_seed:8)
+
 (* The Mem category: alloc-demo's grants and frees reach a Mem-masked
    subscriber, the live-blocks metric tracks pool occupancy within
    capacity, and probing changes nothing in the kernel's own trace. *)
@@ -615,6 +642,8 @@ let suite =
       test_probe_category_names;
     test_case "probe: kernel trace unperturbed by subscribers" `Quick
       test_kernel_trace_unperturbed;
+    test_case "branchy replay is bit-identical per input seed" `Quick
+      test_branchy_replay_bit_identical;
     test_case "probe: mem category and live-block metrics" `Quick
       test_mem_category_and_live_metrics;
     test_case "metrics: percentiles match kept trace" `Quick
