@@ -180,6 +180,37 @@ let obs_flightrec_subject () =
 let campaign_gen_subject ~seed () =
  fun () -> ignore (Workload.Generator.scenario_specs ~seed ~count:1000 ())
 
+(* lib/fabric: the steady three-shard fabric (the CLI's `fabric
+   --preset steady`) run fault-free to 100 ms.  Times the whole
+   multikernel stack — three kernels interleaved on one engine plus the
+   heartbeat/detector traffic through the CAN model and the reliable
+   layer — so it is the baseline cost any failover measurement sits on
+   top of. *)
+let fabric_steady_subject () =
+  let task ~id ~period_ms ~wcet_ms =
+    Model.Task.make ~id
+      ~period:(Model.Time.ms period_ms)
+      ~wcet:(Model.Time.ms wcet_ms) ()
+  in
+  let assignments =
+    [
+      (0, [ task ~id:1 ~period_ms:20 ~wcet_ms:2;
+            task ~id:2 ~period_ms:40 ~wcet_ms:4 ]);
+      (1, [ task ~id:3 ~period_ms:20 ~wcet_ms:2;
+            task ~id:4 ~period_ms:50 ~wcet_ms:5 ]);
+      (2, [ task ~id:5 ~period_ms:25 ~wcet_ms:2 ]);
+    ]
+  in
+  fun () ->
+    let engine = Sim.Engine.create () in
+    let bus = Fieldbus.Bus.create ~engine ~bitrate_bps:1_000_000 () in
+    let cluster =
+      Fabric.Cluster.create ~engine ~bus ~cost:Sim.Cost.m68040
+        ~spec:Emeralds.Sched.Edf ~seed:11 ~assignments ()
+    in
+    Fabric.Cluster.install_plan cluster Fault.Plan.empty;
+    Fabric.Cluster.run cluster ~until:(Model.Time.ms 100)
+
 let tests ~seed =
   Test.make_grouped ~name:"emeralds"
     [
@@ -213,6 +244,8 @@ let tests ~seed =
         (Staged.stage (absint_branchy_subject ()));
       Test.make ~name:"campaign/gen-1k"
         (Staged.stage (campaign_gen_subject ~seed ()));
+      Test.make ~name:"fieldbus/fabric-steady-100ms"
+        (Staged.stage (fabric_steady_subject ()));
       Test.make ~name:"cyclic/table-generation"
         (Staged.stage (fun () ->
              ignore

@@ -1397,6 +1397,134 @@ let campaign_cmd =
       const run $ count $ seed $ tasks $ target_u $ family $ oracles $ shrink
       $ ablate $ json $ format $ metrics)
 
+(* ------------------------------------------------------------------ *)
+(* fabric (multikernel fault-tolerance demos) *)
+
+let fabric_cmd =
+  let preset_name =
+    Arg.(
+      value & opt string "steady"
+      & info [ "preset" ] ~docv:"NAME"
+          ~doc:
+            "Fabric preset: steady (3 shards, no faults), migrate (steady \
+             plus one planned task migration), crash (one seeded node \
+             crash with failover), crash-storm (4 shards, two staggered \
+             crashes under frame loss and corruption), partition (a \
+             timed link partition under frame loss).")
+  in
+  let plan_spec =
+    Arg.(
+      value & opt (some string) None
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "Extra fault clauses appended to the preset's plan \
+             (semicolon-separated; e.g. \
+             'frame-drop:one-in=16;node-crash:node=2,at=80ms').")
+  in
+  let horizon_ms =
+    Arg.(
+      value & opt int 400
+      & info [ "horizon" ] ~docv:"MS" ~doc:"Simulated horizon, milliseconds.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the scorecard as JSON.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format: sarif (SARIF 2.1.0).")
+  in
+  let run preset_name plan_spec horizon_ms seed json format =
+    (match format with
+    | None | Some "sarif" -> ()
+    | Some f -> bad_invocation "unknown format %S (expected: sarif)" f);
+    if horizon_ms <= 0 then bad_invocation "--horizon must be positive";
+    let ms = Model.Time.ms in
+    let task ~id ~period_ms ~wcet_ms =
+      Model.Task.make ~id ~period:(ms period_ms) ~wcet:(ms wcet_ms) ()
+    in
+    (* three light shards; the storm preset adds a fourth *)
+    let base_assignments =
+      [
+        (0, [ task ~id:1 ~period_ms:20 ~wcet_ms:2;
+              task ~id:2 ~period_ms:40 ~wcet_ms:4 ]);
+        (1, [ task ~id:3 ~period_ms:20 ~wcet_ms:2;
+              task ~id:4 ~period_ms:50 ~wcet_ms:5 ]);
+        (2, [ task ~id:5 ~period_ms:25 ~wcet_ms:2 ]);
+      ]
+    in
+    let assignments, preset_plan, migration =
+      match preset_name with
+      | "steady" -> (base_assignments, "", None)
+      | "migrate" -> (base_assignments, "", Some (ms 50, 5, 0))
+      | "crash" -> (base_assignments, "node-crash:node=1,at=50ms", None)
+      | "crash-storm" ->
+        ( base_assignments
+          @ [ (3, [ task ~id:6 ~period_ms:40 ~wcet_ms:2 ]) ],
+          "frame-drop:one-in=16;frame-corrupt:one-in=64;\
+           node-crash:node=1,at=60ms;node-crash:node=2,at=160ms",
+          None )
+      | "partition" ->
+        ( base_assignments,
+          "frame-drop:one-in=16;link-partition:a=0,b=2,from=30ms,until=90ms",
+          None )
+      | p -> bad_invocation "unknown preset %S" p
+    in
+    let plan_str =
+      match plan_spec with
+      | None -> preset_plan
+      | Some extra when preset_plan = "" -> extra
+      | Some extra -> preset_plan ^ ";" ^ extra
+    in
+    let plan =
+      match Fault.Plan.parse plan_str with
+      | Ok p -> p
+      | Error e -> bad_invocation "bad --plan: %s" e
+    in
+    let engine = Sim.Engine.create () in
+    let bus = Fieldbus.Bus.create ~engine ~bitrate_bps:1_000_000 () in
+    let cluster =
+      Fabric.Cluster.create ~engine ~bus ~cost:Sim.Cost.m68040
+        ~spec:Emeralds.Sched.Edf ~seed ~assignments ()
+    in
+    Fabric.Cluster.install_plan cluster plan;
+    (match migration with
+    | None -> ()
+    | Some (at, tid, dst) ->
+      ignore
+        (Sim.Engine.schedule engine ~at (fun () ->
+             ignore (Fabric.Cluster.migrate cluster ~tid ~dst))));
+    let horizon = ms horizon_ms in
+    Fabric.Cluster.run cluster ~until:horizon;
+    let score = Fabric.Cluster.score cluster ~horizon in
+    if format = Some "sarif" then
+      print_endline
+        (Lint.Sarif.render ~tool_name:"emeralds-fabric"
+           (Fault.Report.net_to_sarif score))
+    else if json then print_endline (Fault.Report.net_to_json score)
+    else print_string (Fault.Report.render_net score);
+    let fault_activity =
+      Fabric.Cluster.crashes cluster <> []
+      || Fabric.Cluster.shed cluster <> []
+      || score.Fault.Report.n_dropped > 0
+      || score.Fault.Report.n_corrupt > 0
+      || score.Fault.Report.n_timeouts > 0
+    in
+    if (not (Fault.Report.net_ok score)) || fault_activity then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fabric"
+       ~doc:
+         "Run several kernel shards on one fieldbus as a fault-tolerant \
+          multikernel fabric: heartbeat failure detection, reliable \
+          frame delivery with retry/backoff, task migration with RTA \
+          re-admission, and an end-to-end scorecard checking observed \
+          failover latency against the static migration-cost bound")
+    Term.(
+      const run $ preset_name $ plan_spec $ horizon_ms $ seed $ json $ format)
+
 let () =
   let info =
     Cmd.info "emeralds_cli" ~version:"1.0.0"
@@ -1408,5 +1536,5 @@ let () =
           [
             experiment_cmd; schedulability_cmd; analyze_cmd; simulate_cmd;
             sensitivity_cmd; lint_cmd; check_cmd; inject_cmd; trace_cmd;
-            footprint_cmd; campaign_cmd;
+            footprint_cmd; campaign_cmd; fabric_cmd;
           ]))

@@ -60,6 +60,28 @@ let candidates ~mode ~queues ~n =
   |> List.sort (fun a b ->
          compare (List.fold_left ( + ) 0 a) (List.fold_left ( + ) 0 b))
 
+(* Greedy bin assignment in the caller's preference order: each item
+   tries bins front to back and lands in the first whose admission test
+   accepts it given what the bin already holds.  The fabric's failover
+   placer feeds it orphaned tasks (utilization-descending) against the
+   surviving shards with an RTA re-check as [fits]; an unplaceable item
+   pairs with [None] (Koren-Shasha shedding, not a hard error). *)
+let first_fit ~bins ~fits items =
+  let placed = List.map (fun b -> (b, ref [])) bins in
+  List.map
+    (fun item ->
+      let rec try_bins = function
+        | [] -> (item, None)
+        | (b, held) :: rest ->
+          if fits b (List.rev !held) item then begin
+            held := item :: !held;
+            (item, Some b)
+          end
+          else try_bins rest
+      in
+      try_bins placed)
+    items
+
 let exhaustive_best ~cost ~queues taskset =
   let n = Model.Taskset.size taskset in
   let rec try_all = function

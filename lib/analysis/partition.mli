@@ -17,6 +17,17 @@ val candidates : mode:mode -> queues:int -> n:int -> int list list
     include the all-DP split (CSD degenerates to EDF plus queue-parse
     overhead, its §5.3 worst case). *)
 
+val first_fit :
+  bins:'b list ->
+  fits:('b -> 'a list -> 'a -> bool) ->
+  'a list ->
+  ('a * 'b option) list
+(** Greedy first-fit: place each item (in the given order) into the
+    first bin whose [fits bin already_placed item] accepts it; items no
+    bin accepts pair with [None].  Generic so the multikernel failover
+    placer can use an RTA re-admission test as [fits] while sharing
+    this module's search vocabulary. *)
+
 val exhaustive_best :
   cost:Sim.Cost.t ->
   queues:int ->

@@ -125,6 +125,86 @@ let sim_horizon tasks =
   in
   min (2 * maxp) (Model.Time.ms 1000)
 
+(* -- e2e fabric oracle -------------------------------------------- *)
+
+(* The e2e oracle runs a canonical three-shard fabric whose timing
+   parameters derive from the scenario (periods cycled from its tasks,
+   seeds from the stream index) but whose utilization is capped so the
+   survivors' admission check always accepts the orphan: the claim
+   under test is the failover machinery and its static bound, not the
+   placer's shedding decision, which has its own unit tests.
+
+   The fabric parameters are chosen so the halved-bound ablation is
+   deterministically detected: detection dominates the bound
+   (miss_threshold 10 x 2 ms heartbeats) and the reliable layer is
+   tight (1 retry, 200 us ack timeout), so the observed failover sits
+   between half the bound and the bound for every scenario. *)
+let e2e_cluster_config =
+  {
+    Fabric.Cluster.hb_period = Model.Time.ms 2;
+    miss_threshold = 10;
+    net =
+      {
+        Fabric.Net.window = 1;
+        retry_limit = 1;
+        ack_timeout = Model.Time.us 200;
+        backoff_base = Model.Time.us 100;
+        backoff_jitter = Model.Time.us 50;
+      };
+  }
+
+let e2e_horizon = Model.Time.ms 200
+let e2e_plan = "frame-drop:one-in=31;node-crash:node=1,at=40ms"
+
+(* Periods cycled from the scenario's tasks (clamped to [10ms, 50ms] so
+   several post-failover jobs fit the horizon), utilization 12.5% each.
+   Node 2 carries less load than node 0, so the util-ordered placer
+   sends the orphan over the wire rather than re-admitting it locally
+   on the coordinator — the image-transfer path is exercised on every
+   e2e run. *)
+let e2e_assignments (spec : Workload.Generator.spec) =
+  let periods =
+    match
+      List.map (fun (t : Workload.Generator.task_spec) -> t.g_period)
+        spec.s_tasks
+    with
+    | [] -> [ Model.Time.ms 20 ]
+    | ps -> ps
+  in
+  let period i =
+    let p = List.nth periods (i mod List.length periods) in
+    min (Model.Time.ms 50) (max (Model.Time.ms 10) p)
+  in
+  let task i =
+    let p = period i in
+    Model.Task.make ~id:(i + 1) ~period:p ~wcet:(p / 8) ()
+  in
+  [ (0, [ task 0; task 1 ]); (1, [ task 2 ]); (2, [ task 3 ]) ]
+
+let run_e2e ~index ~ablation (spec : Workload.Generator.spec) =
+  let engine = Sim.Engine.create () in
+  let bus = Fieldbus.Bus.create ~engine ~bitrate_bps:1_000_000 () in
+  let cluster =
+    Fabric.Cluster.create ~config:e2e_cluster_config ~engine ~bus
+      ~cost:Sim.Cost.m68040 ~spec:Emeralds.Sched.Edf ~seed:(1000 + index)
+      ~assignments:(e2e_assignments spec) ()
+  in
+  (match Fault.Plan.parse e2e_plan with
+  | Ok plan -> Fabric.Cluster.install_plan cluster plan
+  | Error e -> failwith ("e2e plan: " ^ e));
+  Fabric.Cluster.run cluster ~until:e2e_horizon;
+  let score = Fabric.Cluster.score cluster ~horizon:e2e_horizon in
+  let score =
+    if ablation = Oracle.E2e_bound then
+      {
+        score with
+        Fault.Report.n_failover_bound =
+          Option.map (fun b -> b / 2) score.Fault.Report.n_failover_bound;
+      }
+    else score
+  in
+  (cluster, score)
+
 (* Sporadic arrivals are part of the scenario, not the engine: an
    observer triggers them from a dedicated split stream so both
    simulation runs and reruns see identical arrival times. *)
@@ -424,6 +504,37 @@ let run ?(oracles = Oracle.all) ?(ablation = Oracle.No_ablation)
       Some m
     | _ -> None
   in
+  (* -- e2e fabric phase --------------------------------------------- *)
+  if wants oracles Oracle.E2e then begin
+    let cluster, net = run_e2e ~index ~ablation spec in
+    if net.Fault.Report.n_e2e_misses > 0 then
+      add Oracle.E2e
+        (Printf.sprintf
+           "%d post-failover deadline miss(es) across surviving shards"
+           net.Fault.Report.n_e2e_misses);
+    if not (Fault.Report.net_within_bound net) then
+      add Oracle.E2e
+        (Printf.sprintf
+           "observed failover latency %sns exceeds static bound %sns"
+           (match net.Fault.Report.n_failover_latency with
+           | Some l -> string_of_int l
+           | None -> "?")
+           (match net.Fault.Report.n_failover_bound with
+           | Some b -> string_of_int b
+           | None -> "?"));
+    (match Fabric.Cluster.failover_latency cluster with
+    | Some _ -> ()
+    | None ->
+      add Oracle.E2e
+        "planned node crash never completed failover (orphan neither \
+         migrated nor re-admitted)");
+    if Fabric.Cluster.shed cluster <> [] then
+      add Oracle.E2e
+        (Printf.sprintf
+           "admission rejected the orphan (shed %d task(s)) despite capped \
+            utilization"
+           (List.length (Fabric.Cluster.shed cluster)))
+  end;
   (* -- model-checking phase ---------------------------------------- *)
   let need_mc = wants oracles Mc_props || wants oracles Rta_mc in
   let t0 = now_us () in

@@ -25,6 +25,16 @@ val norm_sig :
     realizations of the same spec compare bit-identically; returns the
     normalized entries, busy time and context-switch count. *)
 
+val run_e2e :
+  index:int ->
+  ablation:Oracle.ablation ->
+  Workload.Generator.spec ->
+  Fabric.Cluster.t * Fault.Report.net_score
+(** The e2e oracle's fabric run in isolation: a canonical three-shard
+    fabric derived from the scenario, one node crashed under frame
+    loss.  Returns the cluster (for latency/bound introspection) and
+    the scored outcome; [E2e_bound] halves the bound in the score. *)
+
 val run :
   ?oracles:Oracle.key list ->
   ?ablation:Oracle.ablation ->

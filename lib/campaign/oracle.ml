@@ -1,6 +1,15 @@
-type key = Validity | Rta_sim | Demand | Mem | Ident | Mc_props | Rta_mc | Crash
+type key =
+  | Validity
+  | Rta_sim
+  | Demand
+  | Mem
+  | Ident
+  | Mc_props
+  | Rta_mc
+  | E2e
+  | Crash
 
-let all = [ Validity; Rta_sim; Demand; Mem; Ident; Mc_props; Rta_mc; Crash ]
+let all = [ Validity; Rta_sim; Demand; Mem; Ident; Mc_props; Rta_mc; E2e; Crash ]
 
 let name = function
   | Validity -> "validity"
@@ -10,6 +19,7 @@ let name = function
   | Ident -> "ident"
   | Mc_props -> "mc"
   | Rta_mc -> "rta-mc"
+  | E2e -> "e2e"
   | Crash -> "crash"
 
 let of_string s =
@@ -43,6 +53,10 @@ let description = function
   | Mc_props ->
     "model checker finds no deadlock / PI / invariant / tear violation"
   | Rta_mc -> "RTA bounds dominate model-checked worst-case responses"
+  | E2e ->
+    "fabric crash failover: surviving shards keep every post-failover \
+     deadline and observed failover latency stays within the static \
+     migration-cost bound"
   | Crash -> "no oracle run raises (kernel invariants hold)"
 
 type ablation =
@@ -52,9 +66,13 @@ type ablation =
   | Mem_peak
   | Cfg_loop
   | Cfg_join
+  | E2e_bound
 
 let ablations =
-  [ No_ablation; Rta_blocking; Absint_demand; Mem_peak; Cfg_loop; Cfg_join ]
+  [
+    No_ablation; Rta_blocking; Absint_demand; Mem_peak; Cfg_loop; Cfg_join;
+    E2e_bound;
+  ]
 
 let ablation_name = function
   | No_ablation -> "none"
@@ -63,6 +81,7 @@ let ablation_name = function
   | Mem_peak -> "mem"
   | Cfg_loop -> "cfg-loop"
   | Cfg_join -> "cfg-join"
+  | E2e_bound -> "e2e-bound"
 
 let ablation_of_string s =
   let s = String.lowercase_ascii (String.trim s) in

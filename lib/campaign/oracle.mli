@@ -18,6 +18,13 @@ type key =
   | Ident  (** enforcement at declared budgets is trace-bit-identical *)
   | Mc_props  (** deadlock / PI / invariant / tear properties hold *)
   | Rta_mc  (** RTA bounds >= model-checked worst-case responses *)
+  | E2e
+      (** fabric crash failover: a canonical three-shard fabric derived
+          from the scenario (periods cycled from its tasks, utilization
+          capped) crashes one node under frame loss; every surviving
+          shard keeps its post-failover deadlines, the orphan migrates
+          rather than sheds, and the observed failover latency stays
+          within the static migration-cost bound *)
   | Crash  (** no oracle evaluation raises *)
 
 val all : key list
@@ -49,6 +56,9 @@ type ablation =
       (** follow only one branch arm instead of joining both
           ([Absint.Exec.Drop_branch_join]): bounds miss the untaken
           arm's charge *)
+  | E2e_bound
+      (** halve the static failover bound: the observed failover
+          latency of the e2e fabric run must exceed it *)
 
 val ablations : ablation list
 val ablation_name : ablation -> string

@@ -97,6 +97,8 @@ type t = {
   mutable need_dispatch : bool;
   stop_on_miss : bool;
   mutable stopped : bool;
+  origin : Model.Time.t; (* phase 0 of every task; nonzero for shards
+                            (re)provisioned mid-run on a shared engine *)
   tick : Model.Time.t option; (* None = event-precise timers (EMERALDS) *)
   irq_handlers : (int, irq_entry) Hashtbl.t;
   (* enforcement: [None] leaves every code path below bit-identical to
@@ -179,6 +181,12 @@ let total_live (tcb : tcb) =
 let trace k = k.tr
 let probe k = k.probe
 let stopped k = k.stopped
+
+(* Every event path — releases, dispatches, deadline checks — tests
+   [k.stopped] before acting, so halting leaves the shared engine's
+   queue full of events that arrive and do nothing.  This is how a
+   fabric crashes one shard without disturbing its engine-mates. *)
+let halt k = k.stopped <- true
 
 let tcb k ~tid =
   match Hashtbl.find_opt k.by_tid tid with
@@ -1266,7 +1274,9 @@ let rec release_event k tcb ~job () =
    nominal instant, clamped so a delayed chain never schedules into
    the past. *)
 and schedule_release k tcb ~job =
-  let at = quantize k (tcb.task.phase + ((job - 1) * tcb.task.period)) in
+  let at =
+    quantize k (k.origin + tcb.task.phase + ((job - 1) * tcb.task.period))
+  in
   let at =
     match k.fault_jitter with
     | None -> at
@@ -1280,7 +1290,7 @@ and schedule_release k tcb ~job =
 
 let default_program (task : Model.Task.t) = [ Compute task.wcet ]
 
-let make_tcb rank (task : Model.Task.t) program =
+let make_tcb ~origin rank (task : Model.Task.t) program =
   let program = Program.flatten program in
   {
     tid = task.id;
@@ -1288,8 +1298,8 @@ let make_tcb rank (task : Model.Task.t) program =
     state = Dormant;
     base_prio = rank;
     eff_prio = rank;
-    abs_deadline = task.phase + task.deadline;
-    eff_deadline = task.phase + task.deadline;
+    abs_deadline = origin + task.phase + task.deadline;
+    eff_deadline = origin + task.phase + task.deadline;
     release_time = 0;
     job_no = 0;
     program;
@@ -1321,11 +1331,12 @@ let make_tcb rank (task : Model.Task.t) program =
   }
 
 let create ?(keep_trace = true) ?(stop_on_miss = false) ?(optimized_pi = true)
-    ?(priority_order = `Rm) ?(input_seed = 0) ?tick ?programs ?engine ~cost
-    ~spec ~taskset () =
+    ?(priority_order = `Rm) ?(input_seed = 0) ?(origin = 0) ?tick ?programs
+    ?engine ~cost ~spec ~taskset () =
   (match tick with
   | Some t when t <= 0 -> invalid_arg "Kernel.create: tick must be positive"
   | Some _ | None -> ());
+  if origin < 0 then invalid_arg "Kernel.create: origin must be >= 0";
   Sched.validate_partition spec ~n_tasks:(Model.Taskset.size taskset);
   let programs =
     match programs with Some f -> f | None -> default_program
@@ -1335,7 +1346,9 @@ let create ?(keep_trace = true) ?(stop_on_miss = false) ?(optimized_pi = true)
   (match priority_order with
   | `Rm -> () (* the task set is already in RM order *)
   | `Dm -> Array.sort Model.Task.dm_compare tasks);
-  let tcbs = Array.mapi (fun rank task -> make_tcb rank task (programs task)) tasks in
+  let tcbs =
+    Array.mapi (fun rank task -> make_tcb ~origin rank task (programs task)) tasks
+  in
   let by_tid = Hashtbl.create (Array.length tcbs) in
   Array.iter (fun tcb -> Hashtbl.replace by_tid tcb.tid tcb) tcbs;
   if Hashtbl.length by_tid <> Array.length tcbs then
@@ -1386,6 +1399,7 @@ let create ?(keep_trace = true) ?(stop_on_miss = false) ?(optimized_pi = true)
       need_dispatch = false;
       stop_on_miss;
       stopped = false;
+      origin;
       tick;
       irq_handlers = Hashtbl.create 8;
       enforcement = None;

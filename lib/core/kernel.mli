@@ -17,6 +17,7 @@ val create :
   ?optimized_pi:bool ->
   ?priority_order:[ `Rm | `Dm ] ->
   ?input_seed:int ->
+  ?origin:Model.Time.t ->
   ?tick:Model.Time.t ->
   ?programs:(Model.Task.t -> Program.t) ->
   ?engine:Sim.Engine.t ->
@@ -55,7 +56,12 @@ val create :
       semaphores are derived automatically (the code parser).
     - [input_seed] (default 0): seeds the per-job input words that
       decide [Program.if_input] branches.  Branch-free programs never
-      consume the stream, so the seed has no effect on them. *)
+      consume the stream, so the seed has no effect on them.
+    - [origin] (default 0): absolute instant treated as time zero for
+      every task phase.  A kernel created mid-run on a shared engine
+      (a restarted or failed-over fabric shard) must pass
+      [origin >= Engine.now]: first releases then land at
+      [origin + phase] and the engine never sees a past event. *)
 
 val run : t -> until:Model.Time.t -> unit
 (** Simulate up to the horizon (inclusive of events at it). *)
@@ -78,6 +84,13 @@ val probe : t -> Obs.Probe.t
     post-mortem recording without touching the trace itself. *)
 
 val stopped : t -> bool
+
+val halt : t -> unit
+(** Freeze this kernel permanently: already-queued engine events still
+    fire but are ignored, no new work is scheduled, and no further
+    trace entries (deadline misses included) are emitted.  Models a
+    node crash in a multikernel fabric — other kernels sharing the
+    engine are unaffected. *)
 
 (** Per-task outcome. *)
 type task_stats = {

@@ -1,0 +1,95 @@
+(** The fault-tolerant multikernel fabric: several kernel shards on one
+    shared engine and one fieldbus, a heartbeat failure detector with a
+    bounded detection latency, fabric fault installation from a
+    {!Fault.Plan}, and a crash-failover protocol — orphaned tasks are
+    placed on survivors by first-fit over an RTA admission check,
+    their images are moved as reliable ≤2-word frames, and tasks no
+    survivor admits are shed (Koren–Shasha: drop load, not surviving
+    deadlines).
+
+    The fabric's bookkeeping (assignment table, handled-crash set) is
+    shared state standing in for a small consensus layer; the protocol
+    under test is the wire part — heartbeats, image transfer, acks,
+    retries, commits. *)
+
+type config = {
+  hb_period : Model.Time.t;  (** heartbeat broadcast period *)
+  miss_threshold : int;  (** silent periods before a peer is suspect *)
+  net : Net.config;  (** reliable-delivery parameters *)
+}
+
+val default_config : config
+(** 5 ms heartbeats, 3 missed beats to suspect, {!Net.default_config}. *)
+
+type t
+
+val create :
+  ?probe:Obs.Probe.t ->
+  ?config:config ->
+  engine:Sim.Engine.t ->
+  bus:Fieldbus.Bus.t ->
+  cost:Sim.Cost.t ->
+  spec:Emeralds.Sched.spec ->
+  seed:int ->
+  assignments:(int * Model.Task.t list) list ->
+  unit ->
+  t
+(** Build one shard per [(node id, tasks)] assignment: a fieldbus
+    station, a reliable endpoint, and (for non-empty task lists) a
+    kernel on the shared engine.  Heartbeats are staggered by node id
+    so the first instant stays deterministic.  [seed] drives the
+    per-endpoint backoff jitter via split streams.  [probe], when
+    given, receives the [net] tracepoints; without it the fabric runs
+    bit-identically and emits nothing.
+    @raise Invalid_argument on an empty assignment list, a node id
+    outside [0..15], or a duplicate id (via the bus registry). *)
+
+val install_plan : t -> Fault.Plan.t -> unit
+(** Install the fabric clauses of a fault plan: [frame-drop] /
+    [frame-corrupt] as deterministic counter-based wire hooks,
+    [link-partition] as a clock-gated link filter, [node-crash] /
+    [node-restart] as scheduled events.  Also fixes the static
+    failover bound for the planned crashes (worst over crashed nodes);
+    non-fabric clauses are ignored.  An empty plan clears the hooks. *)
+
+val run : t -> until:Model.Time.t -> unit
+(** Advance the shared engine to the horizon. *)
+
+val migrate : t -> tid:int -> dst:int -> bool
+(** Planned migration: freeze the task at its next job boundary on its
+    current owner, transfer its image, and re-admit on [dst].  Returns
+    [false] (and sheds the task) when [dst]'s RTA check rejects the
+    combined set.
+    @raise Invalid_argument when no live shard owns [tid] or [dst] is
+    down. *)
+
+val score : t -> horizon:Model.Time.t -> Fault.Report.net_score
+(** End-to-end scorecard: post-failover deadline misses across
+    surviving shards, frame/drop/corrupt/retry/timeout counts, retry
+    amplification, bus utilization, observed detection and failover
+    latencies, and the static bound. *)
+
+val static_bound : t -> Model.Time.t option
+(** The bound fixed by {!install_plan} (None without planned crashes). *)
+
+val detect_latency : t -> Model.Time.t option
+(** First crash to first suspicion, once observed. *)
+
+val failover_latency : t -> Model.Time.t option
+(** Worst crash-to-last-re-admission over handled crashes. *)
+
+val migrations : t -> (int * int * Model.Time.t) list
+(** [(tid, target node, re-admission instant)], in occurrence order. *)
+
+val shed : t -> int list
+(** Task ids dropped because no survivor admitted them. *)
+
+val crashes : t -> (int * Model.Time.t) list
+(** [(node, instant)] for every executed [node-crash]. *)
+
+val shards_alive : t -> int list
+(** Live node ids, ascending. *)
+
+val kernel : t -> node:int -> Emeralds.Kernel.t option
+(** The shard's current kernel ([None]: crashed or taskless).
+    @raise Invalid_argument on an unknown node. *)

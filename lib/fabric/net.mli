@@ -1,0 +1,77 @@
+(** Reliable delivery over {!Fieldbus.Bus}.
+
+    Each endpoint pairs a bus station with: a per-destination send
+    window, per-seq acks, retransmission on ack silence with
+    seeded-jitter exponential backoff, a retry cap that turns
+    persistent loss into a link-suspect signal, and in-order
+    exactly-once delivery (duplicates from lost acks are re-acked and
+    dropped; out-of-order arrivals are held until the gap fills).
+
+    Heartbeats and acks ride the unreliable path: one transmission,
+    no seq tracking — losing one is the condition the failure detector
+    is built to tolerate.
+
+    Sequence numbers are 16-bit and the reorder logic does not handle
+    wraparound; a fabric run sends far fewer than 65k frames per
+    peer pair. *)
+
+type config = {
+  window : int;  (** in-flight frames per destination, >= 1 *)
+  retry_limit : int;  (** retransmissions before the link is suspect *)
+  ack_timeout : Model.Time.t;  (** ack silence before retransmitting *)
+  backoff_base : Model.Time.t;  (** k-th retry adds [base * 2^k] *)
+  backoff_jitter : Model.Time.t;  (** seeded uniform extra in [0, jitter] *)
+}
+
+val default_config : config
+(** Stop-and-wait (window 1), 4 retries, 2 ms ack timeout, 0.5 ms
+    backoff base, 0.2 ms jitter — sized for a 1 Mbit/s CAN wire. *)
+
+type t
+
+val create :
+  ?probe:Obs.Probe.t ->
+  node:Fieldbus.Node.t ->
+  rng:Util.Rng.t ->
+  ?config:config ->
+  unit ->
+  t
+(** Attach an endpoint to a station.  [probe] receives the [net]
+    tracepoints ([Net_frame]/[Net_retry]/[Net_timeout]); without one
+    the endpoint emits nothing and behaves identically.  [rng] seeds
+    the backoff jitter (pass a split-stable stream). *)
+
+val id : t -> int
+
+val send : t -> dst:int -> kind:Wire.kind -> arg:int -> data:int -> unit
+(** Queue one message for reliable delivery.  Messages to one
+    destination deliver in send order. *)
+
+val broadcast : t -> kind:Wire.kind -> arg:int -> data:int -> unit
+(** Unreliable broadcast (heartbeats): transmitted once, never
+    retried, delivered to every live endpoint. *)
+
+val on_deliver : t -> (Wire.msg -> unit) -> unit
+(** Receive handler: intact unicast messages in order, plus every
+    broadcast (heartbeats included — dispatch on [msg.kind]). *)
+
+val on_suspect : t -> (int -> unit) -> unit
+(** Called when a send to the given destination exhausts its retry
+    budget. *)
+
+val set_alive : t -> bool -> unit
+(** A dead endpoint neither transmits (sends, retries, acks,
+    heartbeats) nor receives — the station-side half of a node
+    crash. *)
+
+val alive : t -> bool
+
+val suspects : t -> int list
+(** Destinations currently marked link-suspect, ascending. *)
+
+val unique_sends : t -> int
+(** First transmissions (data, acks and heartbeats; retries
+    excluded). *)
+
+val retries : t -> int
+val timeouts : t -> int

@@ -1,0 +1,110 @@
+(* Fabric frame format over the 2-word CAN payload.
+
+   Word 0 is the header, word 1 the optional data word.  Header layout
+   (low to high): arg:16 | seq:16 | dst:6 | src:6 | kind:3 | check:4.
+   The 4-bit checksum is an xor-fold of every other header field and
+   the data word — deliberately weak (CRC-style, not cryptographic):
+   the wire fault flips payload bits and the receiver must detect it. *)
+
+type kind =
+  | Heartbeat
+  | Ack
+  | Task_begin
+  | Task_word
+  | Task_end
+  | Commit
+
+type msg = {
+  kind : kind;
+  src : int;
+  dst : int; (* [broadcast_dst] = everyone *)
+  seq : int;
+  arg : int;
+  data : int;
+}
+
+let broadcast_dst = 63
+let max_node = 15
+
+let kind_code = function
+  | Heartbeat -> 0
+  | Ack -> 1
+  | Task_begin -> 2
+  | Task_word -> 3
+  | Task_end -> 4
+  | Commit -> 5
+
+let kind_of_code = function
+  | 0 -> Some Heartbeat
+  | 1 -> Some Ack
+  | 2 -> Some Task_begin
+  | 3 -> Some Task_word
+  | 4 -> Some Task_end
+  | 5 -> Some Commit
+  | _ -> None
+
+let kind_name = function
+  | Heartbeat -> "heartbeat"
+  | Ack -> "ack"
+  | Task_begin -> "task-begin"
+  | Task_word -> "task-word"
+  | Task_end -> "task-end"
+  | Commit -> "commit"
+
+(* xor-fold a word down to 4 bits *)
+let fold4 w =
+  let rec go acc w = if w = 0 then acc land 0xf else go (acc lxor w) (w lsr 4) in
+  go 0 (w land max_int)
+
+let checksum ~kind ~src ~dst ~seq ~arg ~data =
+  fold4
+    (kind_code kind lxor (src lsl 1) lxor (dst lsl 2) lxor (seq lsl 3)
+   lxor (arg lsl 4) lxor data lxor fold4 data)
+
+let header m =
+  let check =
+    checksum ~kind:m.kind ~src:m.src ~dst:m.dst ~seq:m.seq ~arg:m.arg
+      ~data:m.data
+  in
+  (m.arg land 0xffff)
+  lor ((m.seq land 0xffff) lsl 16)
+  lor ((m.dst land 0x3f) lsl 32)
+  lor ((m.src land 0x3f) lsl 38)
+  lor (kind_code m.kind lsl 44)
+  lor (check lsl 47)
+
+let pack m =
+  if m.src < 0 || m.src > max_node then invalid_arg "Wire.pack: bad src";
+  if m.dst < 0 || (m.dst > max_node && m.dst <> broadcast_dst) then
+    invalid_arg "Wire.pack: bad dst";
+  if m.seq < 0 || m.seq > 0xffff then invalid_arg "Wire.pack: bad seq";
+  if m.arg < 0 || m.arg > 0xffff then invalid_arg "Wire.pack: bad arg";
+  if m.data = 0 then [| header m |] else [| header m; m.data |]
+
+let unpack payload =
+  if Array.length payload < 1 || Array.length payload > 2 then None
+  else
+    let h = payload.(0) in
+    let data = if Array.length payload = 2 then payload.(1) else 0 in
+    match kind_of_code ((h lsr 44) land 0x7) with
+    | None -> None
+    | Some kind ->
+      let arg = h land 0xffff in
+      let seq = (h lsr 16) land 0xffff in
+      let dst = (h lsr 32) land 0x3f in
+      let src = (h lsr 38) land 0x3f in
+      let check = (h lsr 47) land 0xf in
+      if check <> checksum ~kind ~src ~dst ~seq ~arg ~data then None
+      else Some { kind; src; dst; seq; arg; data }
+
+(* Arbitration classes: heartbeats (failure detection) beat acks beat
+   data — on CAN a lower id wins, and liveness traffic must not starve
+   behind a bulk image transfer. *)
+let frame_id m =
+  match m.kind with
+  | Heartbeat -> 64 + m.src
+  | Ack -> 128 + m.src
+  | Task_begin | Task_word | Task_end | Commit ->
+    512 + (m.src * 16) + (if m.dst = broadcast_dst then 15 else m.dst)
+
+let words m = Array.length (pack m)

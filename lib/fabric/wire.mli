@@ -1,0 +1,47 @@
+(** Fabric frame format over the fieldbus' 2-word CAN payload.
+
+    Word 0 carries kind/src/dst/seq/arg and a 4-bit xor-fold checksum;
+    word 1 (when present) one data word.  The checksum is the
+    CRC-style detection the [frame-corrupt] fault exercises: a
+    corrupted frame fails {!unpack} at every receiver and is
+    discarded, turning corruption into loss the reliable layer then
+    retries. *)
+
+type kind =
+  | Heartbeat  (** unreliable liveness broadcast *)
+  | Ack  (** per-seq acknowledgement of a data frame *)
+  | Task_begin  (** migration: image of task [arg] opens, [data] words follow *)
+  | Task_word  (** migration: image word [arg] *)
+  | Task_end  (** migration: image of task [arg] closes *)
+  | Commit  (** migration: re-admit everything transferred *)
+
+type msg = {
+  kind : kind;
+  src : int;
+  dst : int;  (** [broadcast_dst] = everyone *)
+  seq : int;  (** reliable-layer sequence number, 16 bits *)
+  arg : int;  (** kind-specific argument, 16 bits *)
+  data : int;  (** optional data word; 0 = absent *)
+}
+
+val broadcast_dst : int
+val max_node : int
+(** Station ids are 0..15 (the 6-bit dst field reserves 63 for
+    broadcast). *)
+
+val kind_name : kind -> string
+
+val pack : msg -> int array
+(** 1- or 2-word payload for {!Fieldbus.Node.send}.
+    @raise Invalid_argument when a field exceeds its width. *)
+
+val unpack : int array -> msg option
+(** [None] on a malformed or checksum-failing payload — the receiver's
+    corruption detection. *)
+
+val frame_id : msg -> int
+(** CAN arbitration id: heartbeats < acks < data, so liveness traffic
+    never starves behind an image transfer. *)
+
+val words : msg -> int
+(** Payload length in words (1 or 2). *)

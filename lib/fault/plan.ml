@@ -24,6 +24,19 @@ type fault =
       spacing : Model.Time.t;
     }
   | Clock_drift of { ppm : int }
+  (* fabric faults — pure data here; [lib/fabric] interprets them (the
+     injector in this library drives single-node kernels and treats
+     them as inert) *)
+  | Frame_drop of { one_in : int }
+  | Frame_corrupt of { one_in : int }
+  | Node_crash of { node : int; at : Model.Time.t }
+  | Node_restart of { node : int; at : Model.Time.t }
+  | Link_partition of {
+      a : int;
+      b : int;
+      from_ : Model.Time.t;
+      until : Model.Time.t;
+    }
 
 type t = fault list
 
@@ -129,6 +142,26 @@ let parse_clause clause =
       | "drift" ->
         let* ppm = int_field "ppm" in
         Ok (Clock_drift { ppm })
+      | "frame-drop" ->
+        let* one_in = int_field "one-in" in
+        Ok (Frame_drop { one_in })
+      | "frame-corrupt" ->
+        let* one_in = int_field "one-in" in
+        Ok (Frame_corrupt { one_in })
+      | "node-crash" ->
+        let* node = int_field "node" in
+        let* at = dur_field "at" in
+        Ok (Node_crash { node; at })
+      | "node-restart" ->
+        let* node = int_field "node" in
+        let* at = dur_field "at" in
+        Ok (Node_restart { node; at })
+      | "link-partition" ->
+        let* a = int_field "a" in
+        let* b = int_field "b" in
+        let* from_ = dur_field "from" in
+        let* until = dur_field "until" in
+        Ok (Link_partition { a; b; from_; until })
         | k -> fail "clause %S: unknown fault kind %S" clause k
       in
       (* structural sanity beyond syntax *)
@@ -157,7 +190,19 @@ let parse_clause clause =
         else if at < 0 then bad "at must be non-negative"
         else Ok f
       | Clock_drift { ppm } ->
-        if ppm <= -1_000_000 then bad "ppm must exceed -1000000" else Ok f)
+        if ppm <= -1_000_000 then bad "ppm must exceed -1000000" else Ok f
+      | Frame_drop { one_in } | Frame_corrupt { one_in } ->
+        if one_in < 2 then bad "one-in must be >= 2" else Ok f
+      | Node_crash { node; at } | Node_restart { node; at } ->
+        if node < 0 then bad "node must be non-negative"
+        else if at < 0 then bad "at must be non-negative"
+        else Ok f
+      | Link_partition { a; b; from_; until } ->
+        if a < 0 || b < 0 then bad "node ids must be non-negative"
+        else if a = b then bad "a and b must differ"
+        else if from_ < 0 then bad "from must be non-negative"
+        else if until < from_ then bad "until must be >= from"
+        else Ok f)
 
 let parse s =
   let clauses =
@@ -203,6 +248,16 @@ let render_fault = function
     Printf.sprintf "burst:tid=%d,at=%s,count=%d,spacing=%s" tid (dur at) count
       (dur spacing)
   | Clock_drift { ppm } -> Printf.sprintf "drift:ppm=%d" ppm
+  | Frame_drop { one_in } -> Printf.sprintf "frame-drop:one-in=%d" one_in
+  | Frame_corrupt { one_in } ->
+    Printf.sprintf "frame-corrupt:one-in=%d" one_in
+  | Node_crash { node; at } ->
+    Printf.sprintf "node-crash:node=%d,at=%s" node (dur at)
+  | Node_restart { node; at } ->
+    Printf.sprintf "node-restart:node=%d,at=%s" node (dur at)
+  | Link_partition { a; b; from_; until } ->
+    Printf.sprintf "link-partition:a=%d,b=%d,from=%s,until=%s" a b (dur from_)
+      (dur until)
 
 let render t = String.concat ";" (List.map render_fault t)
 
@@ -222,6 +277,14 @@ let label = function
   | Sporadic_burst { tid; count; _ } ->
     Printf.sprintf "burst tau%d x%d" tid count
   | Clock_drift { ppm } -> Printf.sprintf "drift %+dppm" ppm
+  | Frame_drop { one_in } -> Printf.sprintf "frame-drop 1-in-%d" one_in
+  | Frame_corrupt { one_in } -> Printf.sprintf "frame-corrupt 1-in-%d" one_in
+  | Node_crash { node; at } ->
+    Printf.sprintf "node-crash node%d @%s" node (dur at)
+  | Node_restart { node; at } ->
+    Printf.sprintf "node-restart node%d @%s" node (dur at)
+  | Link_partition { a; b; _ } ->
+    Printf.sprintf "link-partition node%d<->node%d" a b
 
 let json_fault = function
   | Wcet_scale { tid; pct; from_job } ->
@@ -251,5 +314,19 @@ let json_fault = function
        \"spacing_ns\":%d}"
       tid at count spacing
   | Clock_drift { ppm } -> Printf.sprintf "{\"kind\":\"drift\",\"ppm\":%d}" ppm
+  | Frame_drop { one_in } ->
+    Printf.sprintf "{\"kind\":\"frame-drop\",\"one_in\":%d}" one_in
+  | Frame_corrupt { one_in } ->
+    Printf.sprintf "{\"kind\":\"frame-corrupt\",\"one_in\":%d}" one_in
+  | Node_crash { node; at } ->
+    Printf.sprintf "{\"kind\":\"node-crash\",\"node\":%d,\"at_ns\":%d}" node at
+  | Node_restart { node; at } ->
+    Printf.sprintf "{\"kind\":\"node-restart\",\"node\":%d,\"at_ns\":%d}" node
+      at
+  | Link_partition { a; b; from_; until } ->
+    Printf.sprintf
+      "{\"kind\":\"link-partition\",\"a\":%d,\"b\":%d,\"from_ns\":%d,\
+       \"until_ns\":%d}"
+      a b from_ until
 
 let to_json t = "[" ^ String.concat "," (List.map json_fault t) ^ "]"

@@ -24,7 +24,16 @@
     lost-signal:wq=0,one-in=4             every 4th waitq signal lost
     burst:tid=3,at=50ms,count=3,spacing=1ms   sporadic arrivals
     drift:ppm=500                         tick clock stretched 500 ppm
-    v} *)
+    frame-drop:one-in=7                   every 7th bus frame lost
+    frame-corrupt:one-in=9                every 9th frame corrupted
+    node-crash:node=1,at=40ms             station 1 fail-stops at 40 ms
+    node-restart:node=1,at=80ms           station 1 rejoins at 80 ms
+    link-partition:a=0,b=1,from=20ms,until=60ms
+    v}
+
+    The last five are fabric faults: pure data here, interpreted by
+    [lib/fabric] (the single-node injector treats them as inert, so a
+    fabric plan can be parsed anywhere). *)
 
 type fault =
   | Wcet_scale of { tid : int; pct : int; from_job : int }
@@ -55,6 +64,24 @@ type fault =
   | Clock_drift of { ppm : int }
       (** stretch (positive) or shrink (negative) the tick clock;
           inert on event-precise kernels *)
+  | Frame_drop of { one_in : int }
+      (** every [one_in]-th transmitted bus frame is lost on the wire
+          (for every receiver — a broadcast bus has one wire) *)
+  | Frame_corrupt of { one_in : int }
+      (** every [one_in]-th transmitted frame has its payload
+          corrupted; receivers detect it by checksum and discard *)
+  | Node_crash of { node : int; at : Model.Time.t }
+      (** fail-stop of one fabric station at an absolute instant *)
+  | Node_restart of { node : int; at : Model.Time.t }
+      (** a crashed station rejoins (cold: no retained tasks) *)
+  | Link_partition of {
+      a : int;
+      b : int;
+      from_ : Model.Time.t;
+      until : Model.Time.t;
+    }
+      (** frames between stations [a] and [b] (both directions) are
+          suppressed during [[from_, until)] *)
 
 type t = fault list
 (** A plan; order is preserved (demand faults on one task compose in

@@ -325,6 +325,155 @@ let to_json t =
   Buffer.add_string buf "]}";
   Buffer.contents buf
 
+(* ------------------------------------------------------------------ *)
+(* Fabric scoring (pure data; assembled by lib/fabric) *)
+
+type net_score = {
+  n_nodes : int;
+  n_surviving : int;
+  n_migrated : int;
+  n_shed : int;
+  n_e2e_misses : int;
+  n_frames : int;
+  n_dropped : int;
+  n_corrupt : int;
+  n_retries : int;
+  n_timeouts : int;
+  n_retry_amplification : float;
+  n_bus_utilization : float;
+  n_detect_latency : Model.Time.t option;
+  n_failover_latency : Model.Time.t option;
+  n_failover_bound : Model.Time.t option;
+}
+
+let net_within_bound n =
+  match (n.n_failover_latency, n.n_failover_bound) with
+  | Some obs, Some bound -> obs <= bound
+  | _ -> true
+
+let net_ok n = n.n_e2e_misses = 0 && net_within_bound n
+
+let render_net n =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "fabric: %d node(s), %d surviving\n" n.n_nodes
+       n.n_surviving);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  wire: %d frame(s), %d dropped, %d corrupt, %d retries, %d \
+        timeout(s), amplification %.2fx, utilization %.1f%%\n"
+       n.n_frames n.n_dropped n.n_corrupt n.n_retries n.n_timeouts
+       n.n_retry_amplification
+       (100. *. n.n_bus_utilization));
+  Buffer.add_string buf
+    (Printf.sprintf "  failover: %d migrated, %d shed, %d e2e miss(es)\n"
+       n.n_migrated n.n_shed n.n_e2e_misses);
+  (match n.n_detect_latency with
+  | Some d -> Buffer.add_string buf (Printf.sprintf "  detection %s\n" (tstr d))
+  | None -> ());
+  (match (n.n_failover_latency, n.n_failover_bound) with
+  | Some obs, Some bound ->
+    Buffer.add_string buf
+      (Printf.sprintf "  failover latency %s vs static bound %s: %s\n"
+         (tstr obs) (tstr bound)
+         (if obs <= bound then "within bound" else "BOUND EXCEEDED"))
+  | Some obs, None ->
+    Buffer.add_string buf
+      (Printf.sprintf "  failover latency %s (no bound computed)\n" (tstr obs))
+  | None, Some bound ->
+    Buffer.add_string buf
+      (Printf.sprintf "  static failover bound %s (no crash observed)\n"
+         (tstr bound))
+  | None, None -> ());
+  Buffer.add_string buf
+    (Printf.sprintf "  verdict: %s\n"
+       (if net_ok n then "graceful degradation" else "DEGRADATION VIOLATION"));
+  Buffer.contents buf
+
+let net_to_json n =
+  Printf.sprintf
+    "{\"nodes\":%d,\"surviving\":%d,\"migrated\":%d,\"shed\":%d,\
+     \"e2e_misses\":%d,\"frames\":%d,\"dropped\":%d,\"corrupt\":%d,\
+     \"retries\":%d,\"timeouts\":%d,\"retry_amplification\":%.3f,\
+     \"bus_utilization\":%.4f,\"detect_latency_ns\":%s,\
+     \"failover_latency_ns\":%s,\"failover_bound_ns\":%s,\"ok\":%b}"
+    n.n_nodes n.n_surviving n.n_migrated n.n_shed n.n_e2e_misses n.n_frames
+    n.n_dropped n.n_corrupt n.n_retries n.n_timeouts n.n_retry_amplification
+    n.n_bus_utilization
+    (json_opt n.n_detect_latency)
+    (json_opt n.n_failover_latency)
+    (json_opt n.n_failover_bound)
+    (net_ok n)
+
+let net_to_sarif n =
+  let fabric = Some "fabric" in
+  let bound_results =
+    if net_within_bound n then []
+    else
+      match (n.n_failover_latency, n.n_failover_bound) with
+      | Some obs, Some bound ->
+        [
+          {
+            Lint.Sarif.rule_id = "failover-bound-exceeded";
+            level = Lint.Sarif.Error;
+            message =
+              Printf.sprintf
+                "observed failover latency %s exceeds the static \
+                 migration-cost bound %s"
+                (tstr obs) (tstr bound);
+            logical = fabric;
+          };
+        ]
+      | _ -> []
+  in
+  let miss_results =
+    if n.n_e2e_misses = 0 then []
+    else
+      [
+        {
+          Lint.Sarif.rule_id = "e2e-miss-after-failover";
+          level = Lint.Sarif.Error;
+          message =
+            Printf.sprintf
+              "%d end-to-end deadline miss(es) on surviving shards after \
+               failover completed"
+              n.n_e2e_misses;
+          logical = fabric;
+        };
+      ]
+  in
+  let wire_results =
+    if n.n_timeouts = 0 && n.n_shed = 0 then []
+    else
+      [
+        {
+          Lint.Sarif.rule_id = "fabric-degraded";
+          level = Lint.Sarif.Warning;
+          message =
+            Printf.sprintf
+              "%d delivery timeout(s), %d task(s) shed during failover"
+              n.n_timeouts n.n_shed;
+          logical = fabric;
+        };
+      ]
+  in
+  let clean =
+    if bound_results = [] && miss_results = [] && wire_results = [] then
+      [
+        {
+          Lint.Sarif.rule_id = "fabric-clean";
+          level = Lint.Sarif.Note;
+          message =
+            Printf.sprintf
+              "fabric run clean: %d node(s), %d frame(s), amplification %.2fx"
+              n.n_nodes n.n_frames n.n_retry_amplification;
+          logical = fabric;
+        };
+      ]
+    else []
+  in
+  bound_results @ miss_results @ wire_results @ clean
+
 let to_sarif t =
   List.concat_map
     (fun c ->

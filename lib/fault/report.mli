@@ -70,3 +70,54 @@ val to_json : t -> string
 val to_sarif : t -> Lint.Sarif.result list
 (** One result per detected-fault cell (warning), per falsified
     prediction (error), and per clean cell (note). *)
+
+(** {1 Fabric scoring}
+
+    Pure scoring data for a multikernel fabric run; assembled by
+    [lib/fabric] (this library never touches the bus), rendered and
+    judged here so fabric reports share the single-node vocabulary. *)
+
+type net_score = {
+  n_nodes : int;  (** stations in the fabric *)
+  n_surviving : int;  (** stations alive at the end of the run *)
+  n_migrated : int;  (** tasks re-admitted on another node *)
+  n_shed : int;
+      (** tasks dropped during failover because every target's RTA
+          re-check failed (Koren–Shasha fallback) *)
+  n_e2e_misses : int;
+      (** deadline misses on surviving shards {e after} the last
+          failover completed — the graceful-degradation criterion *)
+  n_frames : int;  (** frames transmitted on the wire *)
+  n_dropped : int;  (** frames lost to the wire fault *)
+  n_corrupt : int;  (** frames discarded by receiver checksum *)
+  n_retries : int;  (** reliable-layer retransmissions *)
+  n_timeouts : int;  (** sends that exhausted their retry budget *)
+  n_retry_amplification : float;
+      (** transmissions per unique application frame: 1.0 on a clean
+          wire, grows under storm *)
+  n_bus_utilization : float;  (** bus busy time / elapsed horizon *)
+  n_detect_latency : Model.Time.t option;
+      (** crash to detector firing (first crash when several) *)
+  n_failover_latency : Model.Time.t option;
+      (** crash to last migrated task re-admitted on its target *)
+  n_failover_bound : Model.Time.t option;
+      (** the static migration-cost bound the observed latency must
+          not exceed — the Quest-V predictability claim *)
+}
+
+val net_within_bound : net_score -> bool
+(** Observed failover latency within the static bound; vacuously true
+    when either side is missing. *)
+
+val net_ok : net_score -> bool
+(** Degradation was graceful: no end-to-end misses after failover and,
+    when both are known, observed failover latency within the static
+    bound. *)
+
+val render_net : net_score -> string
+
+val net_to_json : net_score -> string
+
+val net_to_sarif : net_score -> Lint.Sarif.result list
+(** Error when the bound is exceeded or post-failover misses remain;
+    warning per timeout/shed; note when clean. *)

@@ -5,6 +5,10 @@ type frame = {
   enqueued_at : Model.Time.t;
 }
 
+type tap_event =
+  | Tx of { frame : frame; arb_delay : Model.Time.t }
+  | Dropped of frame
+
 type t = {
   engine : Sim.Engine.t;
   bitrate_bps : int;
@@ -12,9 +16,16 @@ type t = {
   queue : frame Util.Pqueue.t; (* arbitration: lowest id first *)
   mutable transmitting : bool;
   subscribers : (int * (frame -> unit)) list ref;
+  nodes : (int, unit) Hashtbl.t; (* registered station ids *)
   mutable sent : int;
+  mutable dropped : int;
   mutable busy : Model.Time.t;
   mutable max_delay : Model.Time.t;
+  (* wire-level fault hook, installed by the fabric's plan loader; the
+     default identity keeps the fair-weather bus bit-identical *)
+  mutable fault : (frame -> frame option) option;
+  mutable link_ok : (src:int -> dst:int -> bool) option;
+  mutable tap : (tap_event -> unit) option;
 }
 
 let compare_frames a b =
@@ -31,14 +42,28 @@ let create ~engine ~bitrate_bps ?(frame_overhead_bits = 47) () =
     queue = Util.Pqueue.create ~cmp:compare_frames ();
     transmitting = false;
     subscribers = ref [];
+    nodes = Hashtbl.create 8;
     sent = 0;
+    dropped = 0;
     busy = 0;
     max_delay = 0;
+    fault = None;
+    link_ok = None;
+    tap = None;
   }
 
 let engine t = t.engine
 
+let register_node t ~node =
+  if Hashtbl.mem t.nodes node then
+    invalid_arg
+      (Printf.sprintf "Bus.register_node: station %d already registered" node);
+  Hashtbl.replace t.nodes node ()
+
 let subscribe t ~node callback = t.subscribers := (node, callback) :: !(t.subscribers)
+let set_fault t f = t.fault <- f
+let set_link_filter t f = t.link_ok <- f
+let set_tap t f = t.tap <- f
 
 let frame_bits t frame =
   t.frame_overhead_bits + (32 * Array.length frame.payload)
@@ -54,17 +79,36 @@ let rec start_next t =
     | Some frame ->
       t.transmitting <- true;
       let now = Sim.Engine.now t.engine in
-      t.max_delay <- Model.Time.max t.max_delay (now - frame.enqueued_at);
+      let arb_delay = now - frame.enqueued_at in
+      t.max_delay <- Model.Time.max t.max_delay arb_delay;
       let duration = transmission_time t frame in
       t.busy <- t.busy + duration;
       ignore
         (Sim.Engine.schedule_after t.engine ~delay:duration (fun () ->
              t.transmitting <- false;
              t.sent <- t.sent + 1;
-             List.iter
-               (fun (node, callback) ->
-                 if node <> frame.src_node then callback frame)
-               !(t.subscribers);
+             (* The wire fault fires once per frame at completion, so a
+                lost or corrupted frame is lost for every receiver — a
+                broadcast bus has one wire. *)
+             let delivered =
+               match t.fault with None -> Some frame | Some f -> f frame
+             in
+             (match (t.tap, delivered) with
+             | Some tap, Some fr -> tap (Tx { frame = fr; arb_delay })
+             | Some tap, None -> tap (Dropped frame)
+             | None, _ -> ());
+             (match delivered with
+             | None -> t.dropped <- t.dropped + 1
+             | Some fr ->
+               List.iter
+                 (fun (node, callback) ->
+                   if
+                     node <> fr.src_node
+                     && (match t.link_ok with
+                        | None -> true
+                        | Some ok -> ok ~src:fr.src_node ~dst:node)
+                   then callback fr)
+                 !(t.subscribers));
              start_next t))
 
 let send t frame =
@@ -76,5 +120,6 @@ let send t frame =
 
 let pending t = Util.Pqueue.size t.queue
 let frames_sent t = t.sent
+let frames_dropped t = t.dropped
 let bus_busy_time t = t.busy
 let max_arbitration_delay t = t.max_delay

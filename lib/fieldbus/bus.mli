@@ -22,6 +22,13 @@ type frame = {
   enqueued_at : Model.Time.t;
 }
 
+type tap_event =
+  | Tx of { frame : frame; arb_delay : Model.Time.t }
+      (** A frame completed transmission (post-fault payload);
+          [arb_delay] is its enqueue-to-wire queueing delay. *)
+  | Dropped of frame
+      (** The wire fault ate the frame: no receiver hears it. *)
+
 val create : engine:Sim.Engine.t -> bitrate_bps:int -> ?frame_overhead_bits:int -> unit -> t
 (** [frame_overhead_bits] models header/CRC/stuffing (default 47 bits,
     a CAN base frame). *)
@@ -29,17 +36,49 @@ val create : engine:Sim.Engine.t -> bitrate_bps:int -> ?frame_overhead_bits:int 
 val engine : t -> Sim.Engine.t
 (** The discrete-event engine the bus runs on (stations share it). *)
 
+val register_node : t -> node:int -> unit
+(** Claim a station id.  @raise Invalid_argument when the id is
+    already claimed — the one-[Node.create]-per-id contract. *)
+
 val subscribe : t -> node:int -> (frame -> unit) -> unit
 (** Register a node's receive callback; a node does not hear its own
-    frames. *)
+    frames.  A node may subscribe several callbacks (e.g. one per
+    accepted frame class). *)
+
+val set_fault : t -> (frame -> frame option) option -> unit
+(** Install (or clear) the wire-level fault hook.  It runs once per
+    frame at transmission completion: [None] drops the frame for every
+    receiver, [Some f'] substitutes a (possibly corrupted) frame.
+    With no hook installed the bus is bit-identical to the
+    fault-free substrate. *)
+
+val set_link_filter : t -> (src:int -> dst:int -> bool) option -> unit
+(** Install (or clear) the link-partition predicate: delivery to a
+    subscriber at [dst] is suppressed when it returns [false].
+    Evaluated per receiver at completion time, so an asymmetric or
+    time-bounded partition is just a closure over the engine clock. *)
+
+val set_tap : t -> (tap_event -> unit) option -> unit
+(** Observe every transmission outcome (the fabric's [net] tracepoint
+    source).  Runs after the fault hook, before delivery. *)
 
 val send : t -> frame -> unit
 (** Queue a frame for arbitration.  @raise Invalid_argument on a
     negative frame id or an oversized payload (> 2 words, the 8-byte
     CAN limit). *)
 
+val frame_bits : t -> frame -> int
+(** Overhead bits plus 32 per payload word. *)
+
+val transmission_time : t -> frame -> Model.Time.t
+(** Wire time of one frame: [bits * 1e9 / bitrate] ns. *)
+
 val pending : t -> int
 val frames_sent : t -> int
+
+val frames_dropped : t -> int
+(** Frames eaten by the wire fault since creation. *)
+
 val bus_busy_time : t -> Model.Time.t
 (** Cumulative transmission time — utilization = busy / elapsed. *)
 

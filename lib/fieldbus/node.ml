@@ -6,14 +6,13 @@ type t = {
   mutable tx : int;
 }
 
-(* The bus does not expose its engine; stations carry it via [Bus]'s
-   creation site.  To avoid widening Bus's interface we thread it
-   through a lookup the bus provides. *)
-
 let create ~bus ~id () =
+  Bus.register_node bus ~node:id;
   { bus; engine = Bus.engine bus; node_id = id; rx = 0; tx = 0 }
 
 let id t = t.node_id
+let engine t = t.engine
+let bus t = t.bus
 let frames_received t = t.rx
 let frames_sent t = t.tx
 

@@ -11,9 +11,12 @@
 type t
 
 val create : bus:Bus.t -> id:int -> unit -> t
-(** Register station [id] on the bus.  One [create] per id. *)
+(** Register station [id] on the bus.  One [create] per id:
+    @raise Invalid_argument when [id] is already claimed. *)
 
 val id : t -> int
+val engine : t -> Sim.Engine.t
+val bus : t -> Bus.t
 val frames_received : t -> int
 val frames_sent : t -> int
 

@@ -6,6 +6,8 @@ type t = {
   depth : Util.Hist.t;
   ovh : (string, Util.Hist.t) Hashtbl.t;
   live : (int, Util.Hist.t) Hashtbl.t; (* pool -> pool-wide live blocks *)
+  net : (int * string, int ref) Hashtbl.t; (* (node, kind) -> count *)
+  arb : Util.Hist.t; (* bus arbitration delay per transmitted frame *)
   (* pairing state *)
   open_blocks : (int, Model.Time.t) Hashtbl.t; (* tid -> block time *)
   mutable pending_irqs : Model.Time.t list; (* newest first *)
@@ -21,10 +23,17 @@ let create () =
     depth = Util.Hist.create ();
     ovh = Hashtbl.create 8;
     live = Hashtbl.create 4;
+    net = Hashtbl.create 8;
+    arb = Util.Hist.create ();
     open_blocks = Hashtbl.create 8;
     pending_irqs = [];
     released = 0;
   }
+
+let bump_net t ~node kind =
+  match Hashtbl.find_opt t.net (node, kind) with
+  | Some c -> incr c
+  | None -> Hashtbl.add t.net (node, kind) (ref 1)
 
 let hist_for tbl key =
   match Hashtbl.find_opt tbl key with
@@ -66,6 +75,10 @@ let observe t ({ at; entry } : Sim.Trace.stamped) =
     Util.Hist.observe (hist_for t.ovh category) cost
   | Block_alloc { pool; live; _ } | Block_free { pool; live; _ } ->
     Util.Hist.observe (hist_for t.live pool) live
+  | Net_frame { node; dir; _ } -> bump_net t ~node dir
+  | Net_retry { node; _ } -> bump_net t ~node "retry"
+  | Net_timeout { node; _ } -> bump_net t ~node "timeout"
+  | Net_arb { delay; _ } -> Util.Hist.observe t.arb delay
   | Deadline_miss _ | Budget_overrun _ | Job_shed _ | Sem_acquired _
   | Sem_blocked _ | Sem_released _ | Priority_inherit _ | Priority_restore _
   | Msg_sent _ | Msg_received _ | State_written _ | State_read _ | Pool_oom _
@@ -82,6 +95,14 @@ let counters t =
   |> List.filter (fun (_, n) -> n > 0)
   |> List.sort compare
 
+let net_counter t ~node kind =
+  match Hashtbl.find_opt t.net (node, kind) with Some c -> !c | None -> 0
+
+let net_nodes t =
+  Hashtbl.fold (fun (node, _) _ acc -> node :: acc) t.net []
+  |> List.sort_uniq compare
+
+let arbitration_delay t = t.arb
 let response t ~tid = Hashtbl.find_opt t.resp tid
 let live_blocks t ~pool = Hashtbl.find_opt t.live pool
 
@@ -124,6 +145,16 @@ let merge a b =
   in
   add_counts a;
   add_counts b;
+  let add_net (src : t) =
+    Hashtbl.iter
+      (fun k c ->
+        match Hashtbl.find_opt m.net k with
+        | Some c' -> c' := !c' + !c
+        | None -> Hashtbl.add m.net k (ref !c))
+      src.net
+  in
+  add_net a;
+  add_net b;
   merge_tbl m.resp a.resp b.resp;
   merge_tbl m.block a.block b.block;
   merge_tbl m.ovh a.ovh b.ovh;
@@ -132,6 +163,7 @@ let merge a b =
     m with
     irq_lat = Util.Hist.merge a.irq_lat b.irq_lat;
     depth = Util.Hist.merge a.depth b.depth;
+    arb = Util.Hist.merge a.arb b.arb;
   }
 
 let pp_summary ppf t =
@@ -166,4 +198,16 @@ let pp_summary ppf t =
     (fun (cat, h) ->
       Format.fprintf ppf "overhead  %s: %a@," cat Util.Hist.pp h)
     (overhead t);
+  List.iter
+    (fun node ->
+      Format.fprintf ppf "net       node%d:" node;
+      List.iter
+        (fun kind ->
+          let n = net_counter t ~node kind in
+          if n > 0 then Format.fprintf ppf " %s=%d" kind n)
+        [ "tx"; "rx"; "drop"; "corrupt"; "retry"; "timeout" ];
+      Format.fprintf ppf "@,")
+    (net_nodes t);
+  if Util.Hist.count t.arb > 0 then
+    Format.fprintf ppf "bus-arb-delay: %a@," Util.Hist.pp t.arb;
   Format.fprintf ppf "@]"

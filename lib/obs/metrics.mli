@@ -56,6 +56,18 @@ val ready_depth : t -> Util.Hist.t
 val overhead : t -> (string * Util.Hist.t) list
 (** Per-category kernel-overhead cost distributions, sorted. *)
 
+val net_counter : t -> node:int -> string -> int
+(** Fabric events of one kind at one station: ["tx"], ["rx"],
+    ["drop"], ["corrupt"], ["retry"], ["timeout"]; 0 when never
+    seen. *)
+
+val net_nodes : t -> int list
+(** Stations with at least one fabric event, ascending. *)
+
+val arbitration_delay : t -> Util.Hist.t
+(** Bus arbitration delay per transmitted frame (queued-to-wire), ns —
+    fed by [Net_arb] entries. *)
+
 val merge : t -> t -> t
 (** Pointwise merge (counter sums, histogram merges); commutative and
     associative.  In-flight pairing state (open blocks, pending

@@ -1,7 +1,18 @@
-type category = Job | Sched | Sync | Ipc | Irq | Overhead | Enforce | Mem | Ctl | Meta
+type category =
+  | Job
+  | Sched
+  | Sync
+  | Ipc
+  | Irq
+  | Overhead
+  | Enforce
+  | Mem
+  | Ctl
+  | Net
+  | Meta
 
 let all_categories =
-  [ Job; Sched; Sync; Ipc; Irq; Overhead; Enforce; Mem; Ctl; Meta ]
+  [ Job; Sched; Sync; Ipc; Irq; Overhead; Enforce; Mem; Ctl; Net; Meta ]
 
 let category_name = function
   | Job -> "job"
@@ -13,6 +24,7 @@ let category_name = function
   | Enforce -> "enforce"
   | Mem -> "mem"
   | Ctl -> "ctl"
+  | Net -> "net"
   | Meta -> "meta"
 
 let category_of_name s =
@@ -32,6 +44,7 @@ let category_of_entry : Sim.Trace.entry -> category = function
     ->
     Mem
   | Input_word _ | Branch _ -> Ctl
+  | Net_frame _ | Net_retry _ | Net_timeout _ | Net_arb _ -> Net
   | Note _ -> Meta
 
 type mask = int
@@ -47,6 +60,7 @@ let bit = function
   | Mem -> 128
   | Ctl -> 256
   | Meta -> 512
+  | Net -> 1024
 
 let mask_of cats = List.fold_left (fun m c -> m lor bit c) 0 cats
 let all_mask = mask_of all_categories

@@ -20,6 +20,7 @@ type category =
   | Enforce  (** budget overruns, job kills, shed releases *)
   | Mem  (** block-pool allocations: grants, frees, OOM, leaks, quota *)
   | Ctl  (** control flow: per-job input words, branch decisions *)
+  | Net  (** fabric: frames, retries, timeouts, arbitration delay *)
   | Meta  (** free-form notes *)
 
 val all_categories : category list

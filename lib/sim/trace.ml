@@ -42,6 +42,15 @@ type entry =
          only for programs that contain branches *)
   | Branch of { tid : int; pc : int; idx : int; taken : bool }
       (* one Br_input decision: input bit [idx], [taken] = fell through *)
+  | Net_frame of { node : int; dir : string; frame_id : int; words : int }
+      (* fabric: one frame event at a station; [dir] is "tx", "rx",
+         "drop" (lost on the wire) or "corrupt" (CRC check failed) *)
+  | Net_retry of { node : int; seq : int; attempt : int }
+      (* fabric: a reliable frame was retransmitted *)
+  | Net_timeout of { node : int; seq : int }
+      (* fabric: a send exhausted its retry budget (link suspect) *)
+  | Net_arb of { frame_id : int; delay : Model.Time.t }
+      (* fabric: bus arbitration delay of one transmitted frame *)
   | Note of string
 
 type stamped = { at : Model.Time.t; entry : entry }
@@ -131,7 +140,8 @@ let emit t ~at entry =
   | Sem_acquired _ | Sem_blocked _ | Sem_released _ | Priority_inherit _
   | Priority_restore _ | Msg_sent _ | Msg_received _ | State_written _
   | State_read _ | Interrupt _ | Block_alloc _ | Block_free _ | Pool_oom _
-  | Pool_leak _ | Quota_exceeded _ | Input_word _ | Branch _ | Note _ ->
+  | Pool_leak _ | Quota_exceeded _ | Input_word _ | Branch _ | Net_frame _
+  | Net_retry _ | Net_timeout _ | Net_arb _ | Note _ ->
     ());
   if t.keep then t.entries <- stamped :: t.entries
 
@@ -218,6 +228,17 @@ let pp_entry ppf = function
   | Branch { tid; pc; idx; taken } ->
     Format.fprintf ppf "branch    tau%d pc=%d bit%d %s" tid pc idx
       (if taken then "taken" else "not-taken")
+  | Net_frame { node; dir; frame_id; words } ->
+    Format.fprintf ppf "net-%-5s node%d frame=0x%x (%d words)" dir node
+      frame_id words
+  | Net_retry { node; seq; attempt } ->
+    Format.fprintf ppf "net-retry node%d seq=%d attempt=%d" node seq attempt
+  | Net_timeout { node; seq } ->
+    Format.fprintf ppf "NET-TMO   node%d seq=%d (retry budget exhausted)" node
+      seq
+  | Net_arb { frame_id; delay } ->
+    Format.fprintf ppf "net-arb   frame=0x%x delay=%a" frame_id Model.Time.pp
+      delay
   | Note s -> Format.fprintf ppf "note      %s" s
 
 let timeline_relevant = function
@@ -228,7 +249,8 @@ let timeline_relevant = function
   | Sem_released _ | Priority_inherit _ | Priority_restore _ | Msg_sent _
   | Msg_received _ | State_written _ | State_read _ | Interrupt _
   | Overhead _ | Block_alloc _ | Block_free _ | Pool_oom _ | Pool_leak _
-  | Quota_exceeded _ | Input_word _ | Branch _ | Note _ ->
+  | Quota_exceeded _ | Input_word _ | Branch _ | Net_frame _ | Net_retry _
+  | Net_timeout _ | Net_arb _ | Note _ ->
     false
 
 let pp_stamped ppf { at; entry } =
@@ -308,6 +330,15 @@ let csv_fields = function
   | Branch { tid; pc; idx; taken } ->
     ("branch", tid,
      Printf.sprintf "pc=%d bit=%d taken=%b" pc idx taken)
+  | Net_frame { node; dir; frame_id; words } ->
+    ("net-" ^ dir, -1,
+     Printf.sprintf "node=%d frame=%d words=%d" node frame_id words)
+  | Net_retry { node; seq; attempt } ->
+    ("net-retry", -1, Printf.sprintf "node=%d seq=%d attempt=%d" node seq attempt)
+  | Net_timeout { node; seq } ->
+    ("net-timeout", -1, Printf.sprintf "node=%d seq=%d" node seq)
+  | Net_arb { frame_id; delay } ->
+    ("net-arb", -1, Printf.sprintf "frame=%d delay_ns=%d" frame_id delay)
   | Note s -> ("note", -1, s)
 
 let to_csv t =

@@ -56,6 +56,17 @@ type entry =
   | Branch of { tid : int; pc : int; idx : int; taken : bool }
       (** One branch decision: the [Br_input] at [pc] consumed input
           bit [idx]; [taken] means it fell through to the first arm. *)
+  | Net_frame of { node : int; dir : string; frame_id : int; words : int }
+      (** Fabric: one frame event at a station; [dir] is ["tx"], ["rx"],
+          ["drop"] (lost on the wire) or ["corrupt"] (checksum failed at
+          the receiver). *)
+  | Net_retry of { node : int; seq : int; attempt : int }
+      (** Fabric: the reliable-delivery layer retransmitted a frame. *)
+  | Net_timeout of { node : int; seq : int }
+      (** Fabric: a send exhausted its retry budget — the sender marks
+          the link suspect. *)
+  | Net_arb of { frame_id : int; delay : Model.Time.t }
+      (** Fabric: bus arbitration delay of one transmitted frame. *)
   | Note of string
 
 type stamped = { at : Model.Time.t; entry : entry }

@@ -20,6 +20,7 @@ let () =
       ("lint", Test_lint.suite);
       ("absint", Test_absint.suite);
       ("fault", Test_fault.suite);
+      ("fabric", Test_fabric.suite);
       ("regressions", Test_regressions.suite);
       ("campaign", Test_campaign.suite);
       ("fuzz", Test_fuzz.suite);

@@ -1,0 +1,306 @@
+(* The fault-tolerant fabric: wire format, reliable delivery,
+   crash failover within the static bound, probe bit-identity. *)
+
+open Alcotest
+
+let ms = Model.Time.ms
+
+let task ~id ~period_ms ~wcet_ms =
+  Model.Task.make ~id ~period:(ms period_ms) ~wcet:(ms wcet_ms) ()
+
+let setup () =
+  let engine = Sim.Engine.create () in
+  let bus = Fieldbus.Bus.create ~engine ~bitrate_bps:1_000_000 () in
+  (engine, bus)
+
+(* ------------------------------------------------------------------ *)
+(* Wire *)
+
+let test_wire_roundtrip () =
+  let kinds =
+    [
+      Fabric.Wire.Heartbeat;
+      Fabric.Wire.Ack;
+      Fabric.Wire.Task_begin;
+      Fabric.Wire.Task_word;
+      Fabric.Wire.Task_end;
+      Fabric.Wire.Commit;
+    ]
+  in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun (src, dst, seq, arg, data) ->
+          let m = { Fabric.Wire.kind; src; dst; seq; arg; data } in
+          match Fabric.Wire.unpack (Fabric.Wire.pack m) with
+          | None -> fail "round-trip lost a message"
+          | Some m' ->
+            check bool
+              (Printf.sprintf "round-trip %s" (Fabric.Wire.kind_name kind))
+              true (m = m'))
+        [
+          (0, 1, 0, 0, 0);
+          (3, Fabric.Wire.broadcast_dst, 77, 123, 0);
+          (15, 0, 65_535, 65_535, max_int);
+          (7, 9, 1, 777, ms 5);
+        ])
+    kinds
+
+let test_wire_field_validation () =
+  let m src dst seq arg =
+    { Fabric.Wire.kind = Fabric.Wire.Ack; src; dst; seq; arg; data = 0 }
+  in
+  List.iter
+    (fun bad ->
+      check bool "oversized field rejected" true
+        (try
+           ignore (Fabric.Wire.pack bad);
+           false
+         with Invalid_argument _ -> true))
+    [ m 64 0 0 0; m 0 64 0 0; m 0 1 65_536 0; m 0 1 0 65_536; m (-1) 1 0 0 ]
+
+let test_wire_corruption_detected () =
+  (* flipping any single payload bit must fail the checksum *)
+  let m =
+    {
+      Fabric.Wire.kind = Fabric.Wire.Task_word;
+      src = 2;
+      dst = 5;
+      seq = 42;
+      arg = 3;
+      data = 0xBEEF;
+    }
+  in
+  let p = Fabric.Wire.pack m in
+  let survived = ref 0 in
+  Array.iteri
+    (fun w _ ->
+      for bit = 0 to 50 do
+        let p' = Array.copy p in
+        p'.(w) <- p'.(w) lxor (1 lsl bit);
+        match Fabric.Wire.unpack p' with
+        | None -> ()
+        | Some m' -> if m' = m then incr survived
+      done)
+    p;
+  check int "no single-bit flip yields the original message" 0 !survived
+
+let test_wire_arbitration_classes () =
+  (* heartbeats outrank acks outrank data: liveness never starves *)
+  let hb =
+    { Fabric.Wire.kind = Fabric.Wire.Heartbeat; src = 15; dst = 63; seq = 0;
+      arg = 0; data = 0 }
+  and ack =
+    { Fabric.Wire.kind = Fabric.Wire.Ack; src = 0; dst = 1; seq = 9; arg = 9;
+      data = 0 }
+  and data =
+    { Fabric.Wire.kind = Fabric.Wire.Task_word; src = 0; dst = 1; seq = 1;
+      arg = 0; data = 5 }
+  in
+  check bool "hb < ack" true (Fabric.Wire.frame_id hb < Fabric.Wire.frame_id ack);
+  check bool "ack < data" true
+    (Fabric.Wire.frame_id ack < Fabric.Wire.frame_id data)
+
+(* ------------------------------------------------------------------ *)
+(* Reliable delivery *)
+
+let endpoint ?probe ~bus ~id ~seed () =
+  let node = Fieldbus.Node.create ~bus ~id () in
+  Fabric.Net.create ?probe ~node ~rng:(Util.Rng.create ~seed) ()
+
+let test_net_in_order_under_drops () =
+  let engine, bus = setup () in
+  let a = endpoint ~bus ~id:0 ~seed:1 () in
+  let b = endpoint ~bus ~id:1 ~seed:2 () in
+  let got = ref [] in
+  Fabric.Net.on_deliver b (fun m ->
+      if m.Fabric.Wire.kind = Fabric.Wire.Task_word then
+        got := m.Fabric.Wire.arg :: !got);
+  (* every 3rd frame on the wire vanishes — data and acks alike *)
+  let n = ref 0 in
+  Fieldbus.Bus.set_fault bus
+    (Some
+       (fun f ->
+         incr n;
+         if !n mod 3 = 0 then None else Some f));
+  for i = 0 to 9 do
+    Fabric.Net.send a ~dst:1 ~kind:Fabric.Wire.Task_word ~arg:i ~data:(i * i)
+  done;
+  Sim.Engine.run_until engine (ms 500);
+  check (list int) "all delivered, in order" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !got);
+  check bool "loss forced retries" true (Fabric.Net.retries a > 0);
+  check int "no timeouts at one-in-3 loss" 0 (Fabric.Net.timeouts a);
+  check (list int) "link not suspect" [] (Fabric.Net.suspects a)
+
+let test_net_duplicate_suppression () =
+  (* drop only acks: the data arrives, its ack dies, the retransmit is a
+     duplicate that must be re-acked but not re-delivered *)
+  let engine, bus = setup () in
+  let a = endpoint ~bus ~id:0 ~seed:3 () in
+  let b = endpoint ~bus ~id:1 ~seed:4 () in
+  let got = ref 0 in
+  Fabric.Net.on_deliver b (fun _ -> incr got);
+  let killed = ref false in
+  Fieldbus.Bus.set_fault bus
+    (Some
+       (fun f ->
+         match Fabric.Wire.unpack f.Fieldbus.Bus.payload with
+         | Some { Fabric.Wire.kind = Fabric.Wire.Ack; _ } when not !killed ->
+           killed := true;
+           None
+         | _ -> Some f));
+  Fabric.Net.send a ~dst:1 ~kind:Fabric.Wire.Commit ~arg:0 ~data:0;
+  Sim.Engine.run_until engine (ms 100);
+  check int "delivered exactly once" 1 !got;
+  check bool "the lost ack forced a retry" true (Fabric.Net.retries a >= 1)
+
+let test_net_retry_exhaustion_suspect () =
+  let engine, bus = setup () in
+  let a = endpoint ~bus ~id:0 ~seed:5 () in
+  let b = endpoint ~bus ~id:1 ~seed:6 () in
+  let got = ref 0 in
+  Fabric.Net.on_deliver b (fun _ -> incr got);
+  let suspected = ref [] in
+  Fabric.Net.on_suspect a (fun dst -> suspected := dst :: !suspected);
+  (* a hard partition: nothing from 0 reaches 1 *)
+  Fieldbus.Bus.set_link_filter bus
+    (Some (fun ~src ~dst -> not (src = 0 && dst = 1)));
+  Fabric.Net.send a ~dst:1 ~kind:Fabric.Wire.Task_end ~arg:7 ~data:0;
+  Sim.Engine.run_until engine (ms 500);
+  check int "nothing delivered" 0 !got;
+  check int "one timeout" 1 (Fabric.Net.timeouts a);
+  check (list int) "destination suspect" [ 1 ] !suspected;
+  check (list int) "suspect recorded" [ 1 ] (Fabric.Net.suspects a)
+
+(* ------------------------------------------------------------------ *)
+(* Cluster failover *)
+
+let three_node_assignments () =
+  [
+    (0, [ task ~id:1 ~period_ms:20 ~wcet_ms:2; task ~id:2 ~period_ms:40 ~wcet_ms:4 ]);
+    (1, [ task ~id:3 ~period_ms:20 ~wcet_ms:2; task ~id:4 ~period_ms:50 ~wcet_ms:5 ]);
+    (2, [ task ~id:5 ~period_ms:25 ~wcet_ms:2 ]);
+  ]
+
+let run_crash_cluster ?probe () =
+  let engine, bus = setup () in
+  let cluster =
+    Fabric.Cluster.create ?probe ~engine ~bus ~cost:Sim.Cost.m68040 ~spec:Emeralds.Sched.Edf
+      ~seed:42 ~assignments:(three_node_assignments ()) ()
+  in
+  (match Fault.Plan.parse "node-crash:node=1,at=50ms" with
+  | Ok plan -> Fabric.Cluster.install_plan cluster plan
+  | Error e -> fail e);
+  Fabric.Cluster.run cluster ~until:(ms 400);
+  (cluster, Fabric.Cluster.score cluster ~horizon:(ms 400))
+
+let test_crash_failover () =
+  let cluster, score = run_crash_cluster () in
+  check (list int) "node 1 is gone" [ 0; 2 ] (Fabric.Cluster.shards_alive cluster);
+  check (list (pair int int)) "crash recorded" [ (1, ms 50) ]
+    (Fabric.Cluster.crashes cluster);
+  let migrated = List.map (fun (tid, _, _) -> tid) (Fabric.Cluster.migrations cluster) in
+  check (list int) "both orphans re-admitted" [ 3; 4 ]
+    (List.sort compare migrated);
+  check (list int) "nothing shed" [] (Fabric.Cluster.shed cluster);
+  check int "score agrees" 2 score.Fault.Report.n_migrated;
+  check int "no misses after failover" 0 score.Fault.Report.n_e2e_misses;
+  check bool "net score is clean" true (Fault.Report.net_ok score)
+
+let test_failover_within_bound () =
+  let cluster, score = run_crash_cluster () in
+  let bound =
+    match Fabric.Cluster.static_bound cluster with
+    | Some b -> b
+    | None -> fail "no static bound for a planned crash"
+  in
+  let observed =
+    match Fabric.Cluster.failover_latency cluster with
+    | Some l -> l
+    | None -> fail "failover never completed"
+  in
+  let detect =
+    match Fabric.Cluster.detect_latency cluster with
+    | Some d -> d
+    | None -> fail "crash never detected"
+  in
+  check bool "detection is positive" true (detect > 0);
+  check bool
+    (Printf.sprintf "observed %dns within bound %dns" observed bound)
+    true (observed <= bound);
+  check bool "score carries the same comparison" true
+    (score.Fault.Report.n_failover_latency = Some observed
+    && score.Fault.Report.n_failover_bound = Some bound)
+
+let test_probe_bit_identity () =
+  (* a probe-carrying run and a probe-free run of the same cluster must
+     agree on every behavioural observable *)
+  let _, plain = run_crash_cluster () in
+  let trace = Sim.Trace.create () in
+  let probe = Obs.Probe.create ~trace () in
+  let cluster, probed = run_crash_cluster ~probe () in
+  check bool "scores identical" true (plain = probed);
+  check bool "probe saw net traffic" true
+    (List.exists
+       (fun (st : Sim.Trace.stamped) ->
+         match st.entry with Sim.Trace.Net_frame _ -> true | _ -> false)
+       (Sim.Trace.entries trace));
+  ignore cluster
+
+let test_overload_sheds () =
+  (* node 1's survivor set cannot absorb a heavy orphan: Koren-Shasha
+     drops it instead of breaking surviving deadlines *)
+  let engine, bus = setup () in
+  let assignments =
+    [
+      (0, [ task ~id:1 ~period_ms:10 ~wcet_ms:7 ]);
+      (1, [ task ~id:2 ~period_ms:10 ~wcet_ms:7 ]);
+    ]
+  in
+  let cluster =
+    Fabric.Cluster.create ~engine ~bus ~cost:Sim.Cost.m68040 ~spec:Emeralds.Sched.Edf
+      ~seed:7 ~assignments ()
+  in
+  (match Fault.Plan.parse "node-crash:node=1,at=40ms" with
+  | Ok plan -> Fabric.Cluster.install_plan cluster plan
+  | Error e -> fail e);
+  Fabric.Cluster.run cluster ~until:(ms 300);
+  check (list int) "orphan shed" [ 2 ] (Fabric.Cluster.shed cluster);
+  check (list int) "nothing migrated" []
+    (List.map (fun (tid, _, _) -> tid) (Fabric.Cluster.migrations cluster));
+  let score = Fabric.Cluster.score cluster ~horizon:(ms 300) in
+  check int "survivor keeps its deadlines" 0 score.Fault.Report.n_e2e_misses
+
+let test_planned_migration () =
+  let engine, bus = setup () in
+  let cluster =
+    Fabric.Cluster.create ~engine ~bus ~cost:Sim.Cost.m68040 ~spec:Emeralds.Sched.Edf
+      ~seed:9 ~assignments:(three_node_assignments ()) ()
+  in
+  ignore (Sim.Engine.schedule engine ~at:(ms 30) (fun () ->
+      check bool "migration accepted" true
+        (Fabric.Cluster.migrate cluster ~tid:5 ~dst:0)));
+  Fabric.Cluster.run cluster ~until:(ms 300);
+  check bool "task 5 moved to node 0" true
+    (List.exists
+       (fun (tid, target, _) -> tid = 5 && target = 0)
+       (Fabric.Cluster.migrations cluster));
+  let score = Fabric.Cluster.score cluster ~horizon:(ms 300) in
+  check int "no misses around the move" 0 score.Fault.Report.n_e2e_misses
+
+let suite =
+  [
+    test_case "wire round-trip" `Quick test_wire_roundtrip;
+    test_case "wire field validation" `Quick test_wire_field_validation;
+    test_case "wire corruption detected" `Quick test_wire_corruption_detected;
+    test_case "wire arbitration classes" `Quick test_wire_arbitration_classes;
+    test_case "net in-order under drops" `Quick test_net_in_order_under_drops;
+    test_case "net duplicate suppression" `Quick test_net_duplicate_suppression;
+    test_case "net retry exhaustion" `Quick test_net_retry_exhaustion_suspect;
+    test_case "crash failover" `Quick test_crash_failover;
+    test_case "failover within bound" `Quick test_failover_within_bound;
+    test_case "probe bit-identity" `Quick test_probe_bit_identity;
+    test_case "overload sheds" `Quick test_overload_sheds;
+    test_case "planned migration" `Quick test_planned_migration;
+  ]

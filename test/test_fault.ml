@@ -21,6 +21,11 @@ let full_plan : Fault.Plan.t =
     Lost_signal { wq = 0; one_in = 4 };
     Sporadic_burst { tid = 3; at = ms 50; count = 3; spacing = ms 1 };
     Clock_drift { ppm = 500 };
+    Frame_drop { one_in = 16 };
+    Frame_corrupt { one_in = 32 };
+    Node_crash { node = 1; at = ms 50 };
+    Node_restart { node = 1; at = ms 200 };
+    Link_partition { a = 0; b = 2; from_ = ms 10; until = ms 60 };
   ]
 
 let test_plan_roundtrip () =
@@ -45,6 +50,29 @@ let test_plan_parse () =
   check bool "bad duration rejected" true (rejected "wcet-add:tid=1,extra=3kg");
   check bool "missing key rejected" true (rejected "wcet-scale:tid=2");
   check bool "negative pct rejected" true (rejected "wcet-scale:tid=2,pct=-50")
+
+let test_plan_parse_fabric () =
+  check bool "node-crash parses" true
+    (Fault.Plan.parse "node-crash:node=2,at=50ms"
+    = Ok [ Node_crash { node = 2; at = ms 50 } ]);
+  check bool "link-partition parses" true
+    (Fault.Plan.parse "link-partition:a=0,b=1,from=10ms,until=60ms"
+    = Ok [ Link_partition { a = 0; b = 1; from_ = ms 10; until = ms 60 } ]);
+  let rejected s =
+    match Fault.Plan.parse s with Ok _ -> false | Error _ -> true
+  in
+  check bool "frame-drop one-in below 2 rejected" true
+    (rejected "frame-drop:one-in=1");
+  check bool "frame-corrupt one-in below 2 rejected" true
+    (rejected "frame-corrupt:one-in=0");
+  check bool "negative node rejected" true
+    (rejected "node-crash:node=-1,at=50ms");
+  check bool "node-restart missing at rejected" true
+    (rejected "node-restart:node=1");
+  check bool "self-partition rejected" true
+    (rejected "link-partition:a=1,b=1,from=0,until=10ms");
+  check bool "inverted partition window rejected" true
+    (rejected "link-partition:a=0,b=1,from=60ms,until=10ms")
 
 (* ------------------------------------------------------------------ *)
 (* Empty-plan differential *)
@@ -298,6 +326,7 @@ let suite =
   [
     test_case "plan: render/parse round-trip" `Quick test_plan_roundtrip;
     test_case "plan: parse cases" `Quick test_plan_parse;
+    test_case "plan: fabric clauses" `Quick test_plan_parse_fabric;
     test_case "empty plan differential" `Quick test_empty_plan_differential;
     test_case "policy: notify-only" `Quick test_policy_notify;
     test_case "policy: kill-job" `Quick test_policy_kill;

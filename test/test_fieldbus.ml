@@ -94,6 +94,126 @@ let test_saturation () =
   check bool "bus time accounted" true
     (Fieldbus.Bus.bus_busy_time bus = 1000 * ((47 + 32) * 500))
 
+let test_frame_overhead_bits () =
+  (* extended frame overhead: 67 + 32 bits at 1 Mbit/s = 99 us *)
+  let engine = Sim.Engine.create () in
+  let bus =
+    Fieldbus.Bus.create ~engine ~bitrate_bps:1_000_000 ~frame_overhead_bits:67
+      ()
+  in
+  let at = ref None in
+  Fieldbus.Bus.subscribe bus ~node:1 (fun _ -> at := Some (Sim.Engine.now engine));
+  Fieldbus.Bus.send bus (frame ~id:1 ~src:0 [| 5 |]);
+  check bool "queue drained" true (Sim.Engine.run_bounded engine ~max_events:100);
+  check (option int) "99us with 67-bit overhead" (Some (us 99)) !at
+
+let test_send_at () =
+  let engine, bus = setup () in
+  let node = Fieldbus.Node.create ~bus ~id:0 () in
+  let rx = ref [] in
+  Fieldbus.Bus.subscribe bus ~node:1 (fun f ->
+      rx := (Sim.Engine.now engine, f.Fieldbus.Bus.payload.(0)) :: !rx);
+  Fieldbus.Node.send_at node ~at:(ms 1) ~frame_id:3 [| 7 |];
+  Fieldbus.Node.send_at node ~at:(ms 2) ~frame_id:3 [| 8 |];
+  check bool "queue drained" true (Sim.Engine.run_bounded engine ~max_events:100);
+  check
+    (list (pair int int))
+    "sampling loop timing"
+    [ (ms 1 + us 79, 7); (ms 2 + us 79, 8) ]
+    (List.rev !rx);
+  check int "node tx accounting" 2 (Fieldbus.Node.frames_sent node)
+
+let test_accept_filter () =
+  let engine, bus = setup () in
+  let _tx = Fieldbus.Node.create ~bus ~id:0 () in
+  let rx_node = Fieldbus.Node.create ~bus ~id:1 () in
+  let odd = ref [] and all = ref [] in
+  Fieldbus.Node.on_frame rx_node
+    ~accept:(fun f -> f.Fieldbus.Bus.frame_id mod 2 = 1)
+    (fun f -> odd := f.Fieldbus.Bus.frame_id :: !odd);
+  Fieldbus.Node.on_frame rx_node (fun f ->
+      all := f.Fieldbus.Bus.frame_id :: !all);
+  List.iter
+    (fun id -> Fieldbus.Bus.send bus (frame ~id ~src:0 [| id |]))
+    [ 4; 5; 6; 7 ];
+  check bool "queue drained" true (Sim.Engine.run_bounded engine ~max_events:100);
+  check (list int) "filtered classes" [ 5; 7 ] (List.rev !odd);
+  check (list int) "unfiltered sees all" [ 4; 5; 6; 7 ] (List.rev !all);
+  check int "received counts accepted only" 6 (Fieldbus.Node.frames_received rx_node)
+
+let test_one_create_per_id () =
+  let _, bus = setup () in
+  let _a = Fieldbus.Node.create ~bus ~id:3 () in
+  check bool "duplicate station id rejected" true
+    (try
+       ignore (Fieldbus.Node.create ~bus ~id:3 ());
+       false
+     with Invalid_argument _ -> true);
+  (* a distinct id is still fine *)
+  ignore (Fieldbus.Node.create ~bus ~id:4 ())
+
+let test_wire_fault_drop () =
+  let engine, bus = setup () in
+  let got = ref 0 in
+  Fieldbus.Bus.subscribe bus ~node:1 (fun _ -> incr got);
+  (* drop every 2nd frame, once per frame at completion *)
+  let n = ref 0 in
+  Fieldbus.Bus.set_fault bus
+    (Some
+       (fun f ->
+         incr n;
+         if !n mod 2 = 0 then None else Some f));
+  for i = 1 to 6 do
+    Fieldbus.Bus.send bus (frame ~id:i ~src:0 [| i |])
+  done;
+  check bool "queue drained" true (Sim.Engine.run_bounded engine ~max_events:1000);
+  check int "half delivered" 3 !got;
+  check int "drops counted" 3 (Fieldbus.Bus.frames_dropped bus);
+  check int "dropped frames still occupied the wire" 6
+    (Fieldbus.Bus.frames_sent bus)
+
+let test_link_filter () =
+  let engine, bus = setup () in
+  let at1 = ref 0 and at2 = ref 0 in
+  Fieldbus.Bus.subscribe bus ~node:1 (fun _ -> incr at1);
+  Fieldbus.Bus.subscribe bus ~node:2 (fun _ -> incr at2);
+  (* partition 0 <-> 1: node 2 still hears node 0's broadcast *)
+  Fieldbus.Bus.set_link_filter bus
+    (Some (fun ~src ~dst -> not (src = 0 && dst = 1)));
+  Fieldbus.Bus.send bus (frame ~id:1 ~src:0 [| 1 |]);
+  check bool "queue drained" true (Sim.Engine.run_bounded engine ~max_events:100);
+  check int "partitioned link silent" 0 !at1;
+  check int "other receiver unaffected" 1 !at2
+
+let test_tap_observes_outcomes () =
+  let engine, bus = setup () in
+  Fieldbus.Bus.subscribe bus ~node:1 (fun _ -> ());
+  let n = ref 0 in
+  Fieldbus.Bus.set_fault bus
+    (Some
+       (fun f ->
+         incr n;
+         if !n = 2 then None else Some f));
+  let txs = ref [] and drops = ref [] in
+  Fieldbus.Bus.set_tap bus
+    (Some
+       (function
+         | Fieldbus.Bus.Tx { frame = f; arb_delay } ->
+           txs := (f.Fieldbus.Bus.frame_id, arb_delay) :: !txs
+         | Fieldbus.Bus.Dropped f ->
+           drops := f.Fieldbus.Bus.frame_id :: !drops));
+  Fieldbus.Bus.send bus (frame ~id:1 ~src:0 [| 1 |]);
+  Fieldbus.Bus.send bus (frame ~id:2 ~src:0 [| 2 |]);
+  Fieldbus.Bus.send bus (frame ~id:3 ~src:0 [| 3 |]);
+  check bool "queue drained" true (Sim.Engine.run_bounded engine ~max_events:100);
+  (* frame 1 went straight out; frame 3 queued behind 1 and 2 *)
+  check
+    (list (pair int int))
+    "tx taps with arbitration delay"
+    [ (1, 0); (3, 2 * us 79) ]
+    (List.rev !txs);
+  check (list int) "dropped tap sees the eaten frame" [ 2 ] !drops
+
 let suite =
   [
     test_case "transmission time" `Quick test_transmission_time;
@@ -102,4 +222,11 @@ let suite =
     test_case "arbitration delay tracking" `Quick test_arbitration_delay_tracking;
     test_case "validation" `Quick test_validation;
     test_case "saturation" `Quick test_saturation;
+    test_case "frame overhead bits" `Quick test_frame_overhead_bits;
+    test_case "send_at" `Quick test_send_at;
+    test_case "accept filter" `Quick test_accept_filter;
+    test_case "one create per id" `Quick test_one_create_per_id;
+    test_case "wire fault drop" `Quick test_wire_fault_drop;
+    test_case "link filter" `Quick test_link_filter;
+    test_case "tap observes outcomes" `Quick test_tap_observes_outcomes;
   ]

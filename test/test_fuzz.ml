@@ -633,11 +633,56 @@ let enforcement_regressions =
           (2, Types.Standard, 0, false, None, 1640);
         ])
 
+(* Fabric differential: with the empty fault plan, a kernel running as
+   a shard — bus, heartbeats, reliable endpoints all in the loop —
+   must produce exactly the trace of the same taskset on a standalone
+   kernel.  The fabric may only perturb a kernel through explicit
+   faults or migrations. *)
+let gen_fabric_case =
+  QCheck2.Gen.(
+    map2
+      (fun n seed -> (n, seed))
+      (int_range 1 3)
+      (int_range 1 10_000))
+
+let fabric_taskset ~seed n =
+  let rng = Util.Rng.create ~seed in
+  List.init n (fun i ->
+      let period = Util.Rng.choose rng [| ms 10; ms 20; ms 25; ms 40; ms 50 |] in
+      Model.Task.make ~id:(i + 1) ~period ~wcet:(ms 2) ())
+
+let prop_fabric_empty_plan_differential =
+  qtest ~count:40 "fabric with empty plan is trace-invisible" gen_fabric_case
+    (fun (n, seed) ->
+      let horizon = ms 150 in
+      let tasks = fabric_taskset ~seed n in
+      let peer =
+        (* a second shard with its own load, sharing the wire *)
+        List.init 2 (fun i ->
+            Model.Task.make ~id:(100 + i) ~period:(ms 20) ~wcet:(ms 1) ())
+      in
+      let standalone =
+        Kernel.create ~cost:Sim.Cost.m68040 ~spec:Sched.Edf
+          ~taskset:(Model.Taskset.of_list tasks) ()
+      in
+      Kernel.run standalone ~until:horizon;
+      let engine = Sim.Engine.create () in
+      let bus = Fieldbus.Bus.create ~engine ~bitrate_bps:1_000_000 () in
+      let cluster =
+        Fabric.Cluster.create ~engine ~bus ~cost:Sim.Cost.m68040
+          ~spec:Sched.Edf ~seed ~assignments:[ (0, tasks); (1, peer) ] ()
+      in
+      Fabric.Cluster.install_plan cluster Fault.Plan.empty;
+      Fabric.Cluster.run cluster ~until:horizon;
+      match Fabric.Cluster.kernel cluster ~node:0 with
+      | None -> false
+      | Some sharded -> trace_signature standalone = trace_signature sharded)
+
 let suite =
   [
     prop_kernel_fuzz; prop_busy_conservation; prop_lint_clean_runs;
     prop_injected_cycle; prop_absint_sound; prop_mem_sound;
     prop_enforcement_differential; prop_enforcement_fuzz;
-    enforcement_regressions;
+    enforcement_regressions; prop_fabric_empty_plan_differential;
   ]
 
