@@ -172,6 +172,18 @@ let obs_flightrec_subject () =
   Obs.Flightrec.attach fr (Emeralds.Kernel.probe k);
   Emeralds.Kernel.run k ~until:(Model.Time.ms 100)
 
+let obs_blame_subject () =
+ fun () ->
+  let k =
+    Emeralds.Kernel.create ~keep_trace:false ~cost:Sim.Cost.zero
+      ~spec:Emeralds.Sched.Rm ~taskset:Workload.Presets.table2 ()
+  in
+  let b =
+    Obs.Blame.create ~tasks:(Obs.Blame.of_taskset Workload.Presets.table2) ()
+  in
+  Obs.Blame.attach b (Emeralds.Kernel.probe k);
+  Emeralds.Kernel.run k ~until:(Model.Time.ms 100)
+
 (* lib/campaign: the generation half of a 1000-scenario campaign.
    Spec streams are split off seed and index alone, so this is the
    fixed up-front cost every campaign pays before any oracle runs —
@@ -224,6 +236,8 @@ let tests ~seed =
         (Staged.stage (obs_metrics_subject ()));
       Test.make ~name:"obs/rm-sim-flightrec-100ms"
         (Staged.stage (obs_flightrec_subject ()));
+      Test.make ~name:"obs/rm-sim-blame-100ms"
+        (Staged.stage (obs_blame_subject ()));
       Test.make ~name:"fault/rm-sim-enforced-100ms"
         (Staged.stage (enforced_subject ~pct:100 ()));
       Test.make ~name:"fault/rm-sim-overrun-100ms"

@@ -953,7 +953,11 @@ let inject_cmd =
           (fun k ->
             let fr =
               Obs.Flightrec.create ~bytes
-                ~triggers:[ Obs.Flightrec.On_miss; On_overrun; On_kill ]
+                ~triggers:
+                  [
+                    Obs.Flightrec.On_miss; On_overrun; On_kill; On_oom;
+                    On_quota; On_net_timeout;
+                  ]
                 ()
             in
             recorders := !recorders @ [ fr ];
@@ -1046,9 +1050,8 @@ let trace_cmd =
       & info [ "preset" ] ~docv:"NAME"
           ~doc:
             "Scenario to record: table2, engine, avionics, voice, branchy, \
-             alloc-demo \
-             or leak-demo (full scenario replay: programs attached, IRQ \
-             sources firing).")
+             alloc-demo, leak-demo or inversion-demo (full scenario replay: \
+             programs attached, IRQ sources firing).")
   in
   let sched =
     Arg.(
@@ -1113,9 +1116,10 @@ let trace_cmd =
         match preset_name with
         | "alloc-demo" -> Workload.Scenario.alloc_demo ()
         | "leak-demo" -> Workload.Scenario.leak_demo ()
+        | "inversion-demo" -> Workload.Scenario.inversion_demo ()
         | _ ->
           bad_invocation "unknown scenario %S (expected: %s, alloc-demo, \
-                          leak-demo)" preset_name
+                          leak-demo, inversion-demo)" preset_name
             (String.concat ", " Workload.Scenario.names))
     in
     let mask = category_mask_of_names categories in
@@ -1123,7 +1127,11 @@ let trace_cmd =
     let metrics = Obs.Metrics.create () in
     let flightrec =
       Obs.Flightrec.create ~bytes:ring_bytes
-        ~triggers:[ Obs.Flightrec.On_miss; On_overrun; On_kill ]
+        ~triggers:
+          [
+            Obs.Flightrec.On_miss; On_overrun; On_kill; On_oom; On_quota;
+            On_net_timeout;
+          ]
         ()
     in
     let observer k =
@@ -1143,7 +1151,10 @@ let trace_cmd =
     let window = Obs.Flightrec.dump flightrec in
     let output =
       match format with
-      | "perfetto" -> Obs.Export.perfetto window
+      | "perfetto" ->
+        Obs.Export.perfetto
+          ~blame:(Obs.Blame.of_taskset scenario.taskset)
+          window
       | "csv" ->
         let buf = Buffer.create 1024 in
         Buffer.add_string buf "time_ns,kind,tid,detail\n";
@@ -1192,6 +1203,363 @@ let trace_cmd =
     Term.(
       const run $ preset_name $ sched $ horizon_ms $ seed $ categories
       $ ring_bytes $ format $ out)
+
+(* ------------------------------------------------------------------ *)
+(* explain *)
+
+(* RTA's bounds only speak about computes and bounded critical
+   sections; tasks with open-ended blocking fall outside the claim and
+   their bound columns are suppressed (mirrors the campaign's
+   eligibility rule). *)
+let explain_eligible (sc : Workload.Scenario.t) =
+  Array.map
+    (fun (t : Model.Task.t) ->
+      let ok = ref true in
+      Emeralds.Program.iter_leaves
+        (fun instr ->
+          match instr with
+          | Emeralds.Types.Wait _ | Emeralds.Types.Timed_wait _
+          | Emeralds.Types.Recv _ | Emeralds.Types.Send _
+          | Emeralds.Types.Delay _ ->
+            ok := false
+          | _ -> ())
+        (sc.programs t);
+      !ok)
+    (Model.Taskset.tasks sc.taskset)
+
+let explain_cmd =
+  let preset_name =
+    Arg.(
+      value
+      & opt string "branchy"
+      & info [ "preset" ] ~docv:"NAME"
+          ~doc:
+            "Scenario to explain: table2, engine, avionics, voice, branchy, \
+             inversion-demo, alloc-demo, leak-demo or overrun-demo.")
+  in
+  let sched =
+    Arg.(
+      value
+      & opt sched_conv Emeralds.Sched.Rm
+      & info [ "sched" ] ~docv:"SCHED"
+          ~doc:
+            "Scheduler: edf, rm, rm-heap, csd2/csd3/csd4 or csd:S1,S2,...  \
+             The analytical bound columns assume RM and are suppressed \
+             otherwise.")
+  in
+  let horizon_ms =
+    Arg.(
+      value & opt int 100
+      & info [ "horizon-ms" ] ~doc:"Simulation horizon in milliseconds.")
+  in
+  let task_filter =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "task" ] ~docv:"TID" ~doc:"Explain only this task id.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt string "text"
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output: text (ranked blame tables), json (machine digest) or \
+             sarif (misses, conservation and domination violations as \
+             results).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PATH"
+          ~doc:"Write the output to a file instead of stdout.")
+  in
+  let run preset_name sched horizon_ms seed task_filter format out =
+    (match format with
+    | "text" | "json" | "sarif" -> ()
+    | f -> bad_invocation "unknown format %S (expected: text, json, sarif)" f);
+    let scenario =
+      match Workload.Scenario.make preset_name with
+      | Some s -> s
+      | None -> (
+        match preset_name with
+        | "inversion-demo" -> Workload.Scenario.inversion_demo ()
+        | "alloc-demo" -> Workload.Scenario.alloc_demo ()
+        | "leak-demo" -> Workload.Scenario.leak_demo ()
+        | "overrun-demo" -> Workload.Scenario.overrun_demo ()
+        | _ ->
+          bad_invocation
+            "unknown scenario %S (expected: %s, inversion-demo, alloc-demo, \
+             leak-demo, overrun-demo)"
+            preset_name
+            (String.concat ", " Workload.Scenario.names))
+    in
+    let tasks = Model.Taskset.tasks scenario.taskset in
+    (match task_filter with
+    | Some tid
+      when not (Array.exists (fun (t : Model.Task.t) -> t.id = tid) tasks) ->
+      bad_invocation "no task %d in scenario %S" tid preset_name
+    | _ -> ());
+    (* static terms: the same lint blocking terms, Table-1-inflated RTA
+       and absint demand bounds the campaign's blame oracle checks
+       against (all RM-specific) *)
+    let rm_bounds = sched = Emeralds.Sched.Rm in
+    let ctx =
+      Lint.Ctx.make ~irq_signals:scenario.irq_signals
+        ~irq_writes:scenario.irq_writes ~taskset:scenario.taskset
+        ~programs:scenario.programs ()
+    in
+    let blocking = Lint.Blocking_terms.blocking_terms ctx in
+    let rows =
+      Analysis.Overhead.inflate ~cost:Sim.Cost.m68040 ~spec:Emeralds.Sched.Rm
+        scenario.taskset
+    in
+    let rta =
+      Array.init (Array.length tasks) (fun i ->
+          Analysis.Rta.response_time ~blocking ~tasks:rows i)
+    in
+    let eligible = explain_eligible scenario in
+    let rep = Absint.Report.analyze scenario in
+    (* simulation with the attributor on the probe stream *)
+    let blame =
+      Obs.Blame.create ~tasks:(Obs.Blame.of_taskset scenario.taskset) ()
+    in
+    let observer k = Obs.Blame.attach blame (Emeralds.Kernel.probe k) in
+    let cfg =
+      {
+        (Fault.Inject.default_config ~scenario ~spec:sched
+           ~horizon:(Model.Time.ms horizon_ms) ~seed ())
+        with
+        observer = Some observer;
+      }
+    in
+    let outcome = Fault.Inject.run cfg in
+    let tr = Emeralds.Kernel.trace outcome.kernel in
+    let misses = Sim.Trace.deadline_misses tr in
+    let overruns = Sim.Trace.budget_overruns tr in
+    let kills = Sim.Trace.jobs_killed tr in
+    let selected (s : Obs.Blame.task_summary) =
+      match task_filter with Some tid -> s.s_id = tid | None -> true
+    in
+    let summaries = List.filter selected (Obs.Blame.summaries blame) in
+    let exec_hi (t : Model.Task.t) =
+      match
+        Array.find_opt
+          (fun (tb : Absint.Report.task_bound) -> tb.task.id = t.id)
+          rep.tasks
+      with
+      | Some tb -> Absint.Itv.hi_int tb.summary.exec
+      | None -> None
+    in
+    let overhead_budget i (s : Obs.Blame.task_summary) =
+      match rta.(i) with
+      | Some rstar ->
+        Some
+          (Analysis.Overhead.job_budget ~cost:Sim.Cost.m68040
+             ~spec:Emeralds.Sched.Rm ~taskset:scenario.taskset
+             ~programs:(Array.map scenario.programs tasks)
+             ~rank:i ~response:rstar ~irqs:s.s_max_irqs)
+      | None -> None
+    in
+    let interference_bound i j =
+      match Analysis.Rta.decompose ~blocking ~tasks:rows i with
+      | Some dec ->
+        let _, _, cj = rows.(j) in
+        Some (dec.Analysis.Rta.dec_interference.(j) + cj)
+      | None -> None
+    in
+    (* the dominant cause of each missing task's worst job — the line
+       the exit-1 path prints and SARIF reports *)
+    let verdicts =
+      List.filter_map
+        (fun (s : Obs.Blame.task_summary) ->
+          let t =
+            Array.to_list tasks
+            |> List.find (fun (t : Model.Task.t) -> t.id = s.s_id)
+          in
+          match s.s_worst with
+          | Some bd when s.s_max_response > t.deadline ->
+            let cause, amount = Obs.Blame.dominant bd in
+            Some (s.s_id, cause, amount)
+          | _ -> None)
+        summaries
+    in
+    let output =
+      match format with
+      | "text" ->
+        let buf = Buffer.create 2048 in
+        Printf.bprintf buf
+          "explain: scenario %s, sched %s, horizon %d ms, seed %d\n"
+          preset_name
+          (Emeralds.Sched.spec_name sched)
+          horizon_ms seed;
+        Printf.bprintf buf
+          "  %d deadline miss(es), %d overrun(s), %d kill(s), %d \
+           conservation violation(s)\n"
+          misses overruns kills
+          (Obs.Blame.residual_violations blame);
+        List.iter
+          (fun (s : Obs.Blame.task_summary) ->
+            let i = s.s_rank in
+            let t =
+              Array.to_list tasks
+              |> List.find (fun (t : Model.Task.t) -> t.id = s.s_id)
+            in
+            Printf.bprintf buf
+              "\ntau%d (rank %d): %d job(s), max response %dns%s%s\n" s.s_id
+              s.s_rank s.s_jobs s.s_max_response
+              (match rta.(i) with
+              | Some r when rm_bounds && eligible.(i) ->
+                Printf.sprintf ", RTA bound %dns" r
+              | _ -> "")
+              (if s.s_max_response > t.deadline then "  ** MISSED **" else "");
+            (match s.s_worst with
+            | Some bd ->
+              Printf.bprintf buf "%s"
+                (Format.asprintf "%a" Obs.Blame.pp_breakdown bd);
+              if rm_bounds && eligible.(i) then begin
+                let line label v bound =
+                  match bound with
+                  | Some b ->
+                    Printf.bprintf buf "  %-22s %10dns <= %10dns  %s\n" label
+                      v b
+                      (if v <= b then "ok" else "EXCEEDS")
+                  | None -> ()
+                in
+                Printf.bprintf buf "  cross-validation (worst per component \
+                                    across jobs vs analytical term):\n";
+                line "exec <= absint demand" s.s_max_exec (exec_hi t);
+                List.iter
+                  (fun (j, v) ->
+                    line
+                      (Printf.sprintf "interference(rank %d)" j)
+                      v
+                      (interference_bound i j))
+                  s.s_max_interference;
+                line "blocking <= lint term" s.s_max_blocking_total
+                  (Some blocking.(i));
+                line "overhead <= Table-1" s.s_max_overhead_total
+                  (overhead_budget i s)
+              end
+            | None -> ())
+          )
+          summaries;
+        List.iter
+          (fun (tid, cause, amount) ->
+            Printf.bprintf buf
+              "\ntau%d missed its deadline: dominant blame %s (%dns)\n" tid
+              (Obs.Blame.cause_label cause)
+              amount)
+          verdicts;
+        Buffer.contents buf
+      | "json" ->
+        let buf = Buffer.create 2048 in
+        Printf.bprintf buf
+          "{\"scenario\":%S,\"sched\":%S,\"horizon_ms\":%d,\"seed\":%d,\n \
+           \"misses\":%d,\"overruns\":%d,\"kills\":%d,\
+           \"residual_violations\":%d,\n \"tasks\":["
+          preset_name
+          (Emeralds.Sched.spec_name sched)
+          horizon_ms seed misses overruns kills
+          (Obs.Blame.residual_violations blame);
+        List.iteri
+          (fun n (s : Obs.Blame.task_summary) ->
+            let i = s.s_rank in
+            let t =
+              Array.to_list tasks
+              |> List.find (fun (t : Model.Task.t) -> t.id = s.s_id)
+            in
+            if n > 0 then Buffer.add_char buf ',';
+            Printf.bprintf buf
+              "\n  {\"tid\":%d,\"rank\":%d,\"jobs\":%d,\"max_response\":%d,\
+               \"missed\":%b"
+              s.s_id s.s_rank s.s_jobs s.s_max_response
+              (s.s_max_response > t.deadline);
+            (match rta.(i) with
+            | Some r when rm_bounds && eligible.(i) ->
+              Printf.bprintf buf ",\"rta_bound\":%d" r
+            | _ -> ());
+            (match s.s_worst with
+            | Some bd ->
+              let cause, amount = Obs.Blame.dominant bd in
+              Printf.bprintf buf
+                ",\"worst\":{\"job\":%d,\"response\":%d,\"exec\":%d,\
+                 \"backlog\":%d,\"blocking\":%d,\"overhead\":%d,\
+                 \"suspend\":%d,\"gap\":%d,\"residual\":%d,\
+                 \"interference\":["
+                bd.Obs.Blame.b_job bd.Obs.Blame.b_response bd.Obs.Blame.b_exec
+                bd.Obs.Blame.b_backlog
+                (Obs.Blame.blocking_total bd)
+                (Obs.Blame.overhead_total bd)
+                bd.Obs.Blame.b_suspend bd.Obs.Blame.b_gap
+                bd.Obs.Blame.b_residual;
+              List.iteri
+                (fun m (j, v) ->
+                  if m > 0 then Buffer.add_char buf ',';
+                  Printf.bprintf buf "{\"rank\":%d,\"ns\":%d}" j v)
+                bd.Obs.Blame.b_interference;
+              Printf.bprintf buf
+                "],\"dominant\":{\"cause\":%S,\"ns\":%d}}"
+                (Obs.Blame.cause_label cause)
+                amount
+            | None -> ());
+            Buffer.add_char buf '}')
+          summaries;
+        Buffer.add_string buf "\n ]}\n";
+        Buffer.contents buf
+      | "sarif" ->
+        let results = ref [] in
+        let add rule_id level message logical =
+          results :=
+            { Lint.Sarif.rule_id; level; message; logical = Some logical }
+            :: !results
+        in
+        List.iter
+          (fun (s : Obs.Blame.task_summary) ->
+            if s.s_residual_violations > 0 then
+              add "explain/conservation" Lint.Sarif.Error
+                (Printf.sprintf
+                   "blame components of %d job(s) missed the observed \
+                    response by up to %dns"
+                   s.s_residual_violations s.s_max_abs_residual)
+                (Printf.sprintf "%s, task %d" preset_name s.s_id))
+          summaries;
+        List.iter
+          (fun (tid, cause, amount) ->
+            add "explain/miss" Lint.Sarif.Error
+              (Printf.sprintf "deadline miss: dominant blame %s (%dns)"
+                 (Obs.Blame.cause_label cause)
+                 amount)
+              (Printf.sprintf "%s, task %d" preset_name tid))
+          verdicts;
+        Lint.Sarif.render ~tool_name:"emeralds-explain" (List.rev !results)
+      | _ -> assert false
+    in
+    (match out with
+    | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc output);
+      Printf.printf "%s output written to %s\n" format path
+    | None -> print_string output);
+    if
+      misses > 0 || overruns > 0 || kills > 0
+      || Obs.Blame.residual_violations blame > 0
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Attribute every job's response time to named causes (execution, \
+          per-rank interference, per-semaphore blocking, Table-1 overhead, \
+          backlog, suspension) and cross-validate each component against \
+          its analytical term: absint demand, the RTA interference \
+          decomposition, the lint blocking term and the overhead budget at \
+          the RTA fixpoint.  Exits 1 on any miss, overrun, kill or \
+          conservation violation, naming the dominant blamer")
+    Term.(
+      const run $ preset_name $ sched $ horizon_ms $ seed $ task_filter
+      $ format $ out)
 
 (* ------------------------------------------------------------------ *)
 (* footprint *)
@@ -1536,5 +1904,5 @@ let () =
           [
             experiment_cmd; schedulability_cmd; analyze_cmd; simulate_cmd;
             sensitivity_cmd; lint_cmd; check_cmd; inject_cmd; trace_cmd;
-            footprint_cmd; campaign_cmd; fabric_cmd;
+            explain_cmd; footprint_cmd; campaign_cmd; fabric_cmd;
           ]))

@@ -83,6 +83,102 @@ let per_task ~cost ~spec ~n ~rank =
     csd_overhead cost ~dp_lens ~fp_len ~q
       ~parse_queues:(List.length sizes + 1)
 
+(* ------------------------------------------------------------------ *)
+(* Per-job charge envelopes: what the kernel's Table 1 charges can add
+   up to inside one job, priced from the program structure.  Used by
+   the blame oracle to dominate the *ambient* overhead an attributor
+   observes inside a response window (every charge landing in the
+   window is attributed, whoever caused it). *)
+
+(* Worst-case kernel charge of one leaf instruction, mirroring the
+   [charge] sites of [Kernel.run_instrs].  [recv_words] bounds the
+   payload of a received message (the copy cost depends on the sender,
+   not the receiver's program). *)
+let rec path_charges (cost : Cost.t) ~recv_words (prog : Emeralds.Program.t) =
+  List.fold_left
+    (fun acc (ins : Emeralds.Types.instr) ->
+      acc
+      +
+      match ins with
+      | Compute _ -> 0
+      | Acquire _ | Release _ -> cost.Cost.syscall_entry + cost.Cost.sem_admin
+      | Wait _ | Signal _ | Broadcast _ -> cost.Cost.syscall_entry
+      | Timed_wait _ -> cost.Cost.syscall_entry + cost.Cost.timer_service
+      | Send (_, data) ->
+        cost.Cost.syscall_entry
+        + Cost.mailbox_copy cost ~words:(Array.length data)
+      | Recv _ ->
+        cost.Cost.syscall_entry + Cost.mailbox_copy cost ~words:recv_words
+      | State_write (sm, _) ->
+        cost.Cost.syscall_entry
+        + Cost.state_write cost ~words:(Emeralds.State_msg.words sm)
+      | State_read sm ->
+        cost.Cost.syscall_entry
+        + Cost.state_read cost ~words:(Emeralds.State_msg.words sm)
+      | Delay _ -> cost.Cost.timer_service
+      | Alloc _ | Free _ -> cost.Cost.syscall_entry + cost.Cost.pool_admin
+      | If_input (a, b) ->
+        max
+          (path_charges cost ~recv_words a)
+          (path_charges cost ~recv_words b)
+      | Repeat (n, body) -> n * path_charges cost ~recv_words body
+      | Br_input _ | Jump _ -> 0)
+    0 prog
+
+let program_charges ~cost ?(recv_words = 16) prog =
+  path_charges cost ~recv_words prog
+
+(* Worst-path count of leaves that can block (and of acquires, which
+   can additionally trigger an inherit/restore pair on the holder). *)
+let rec path_counts (prog : Emeralds.Program.t) =
+  List.fold_left
+    (fun (blocks, acqs) (ins : Emeralds.Types.instr) ->
+      match ins with
+      | Acquire _ -> (blocks + 1, acqs + 1)
+      | Wait _ | Timed_wait _ | Send _ | Recv _ | Delay _ ->
+        (blocks + 1, acqs)
+      | If_input (a, b) ->
+        let ba, aa = path_counts a and bb, ab = path_counts b in
+        (blocks + max ba bb, acqs + max aa ab)
+      | Repeat (n, body) ->
+        let b, a = path_counts body in
+        (blocks + (n * b), acqs + (n * a))
+      | Compute _ | Release _ | Signal _ | Broadcast _ | State_write _
+      | State_read _ | Alloc _ | Free _ | Br_input _ | Jump _ ->
+        (blocks, acqs))
+    (0, 0) prog
+
+(* Everything one job of rank [rank] can charge: its syscall-layer
+   charges, one §5.1 scheduler term per block/unblock cycle (the job
+   blocks once per blocking leaf plus its release/completion cycle),
+   two extra scheduler terms per acquire (a waiter's inherit and the
+   release-time restore are each bounded by t_b + t_u <= per_task),
+   and a context-switch pair per cycle. *)
+let job_envelope ~cost ~spec ~n ~rank prog =
+  let blocks, acqs = path_counts prog in
+  let sched = per_task ~cost ~spec ~n ~rank in
+  program_charges ~cost prog
+  + (sched * (1 + blocks + (2 * acqs)))
+  + ((1 + blocks) * 2
+    * (cost.Cost.context_switch + cost.Cost.address_space_switch))
+
+let job_budget ~cost ~spec ~taskset ~programs ~rank ~response ~irqs =
+  let tasks = Model.Taskset.tasks taskset in
+  let n = Array.length tasks in
+  let total = ref (irqs * cost.Cost.interrupt_entry) in
+  Array.iteri
+    (fun j (task : Model.Task.t) ->
+      let env = job_envelope ~cost ~spec ~n ~rank:j programs.(j) in
+      if j = rank then total := !total + env
+      else
+        (* any job of [j] overlapping a window of length [response]
+           can land charges in it: ceil(R/T_j) releases inside the
+           window plus one carried in *)
+        let jobs = Util.Intmath.ceil_div response task.period + 1 in
+        total := !total + (jobs * env))
+    tasks;
+  !total
+
 let inflate ~cost ~spec taskset =
   let n = Model.Taskset.size taskset in
   Array.mapi

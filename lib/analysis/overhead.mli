@@ -30,3 +30,39 @@ val inflate :
   (int * int * int) array
 (** [(period, deadline, wcet + overhead)] rows in RM order — the input
     the schedulability tests consume. *)
+
+val program_charges :
+  cost:Sim.Cost.t -> ?recv_words:int -> Emeralds.Program.t -> Model.Time.t
+(** Worst-path sum of the Table 1 kernel charges one job of this
+    program can incur at its own syscalls (branch arms take the
+    costlier side, loops multiply).  [recv_words] (default 16) bounds
+    received-message payloads, whose copy cost the receiving program
+    cannot name. *)
+
+val job_envelope :
+  cost:Sim.Cost.t ->
+  spec:Emeralds.Sched.spec ->
+  n:int ->
+  rank:int ->
+  Emeralds.Program.t ->
+  Model.Time.t
+(** Everything one job can charge: {!program_charges} plus one §5.1
+    scheduler term per block/unblock cycle, two per acquire (inherit
+    and restore on contention), and a context-switch pair per cycle. *)
+
+val job_budget :
+  cost:Sim.Cost.t ->
+  spec:Emeralds.Sched.spec ->
+  taskset:Model.Taskset.t ->
+  programs:Emeralds.Program.t array ->
+  rank:int ->
+  response:Model.Time.t ->
+  irqs:int ->
+  Model.Time.t
+(** Bound on the total kernel overhead charged during one response
+    window of the task at RM rank [rank]: its own {!job_envelope},
+    plus [ceil(R/T_j) + 1] envelopes of every other task whose jobs
+    can overlap the window, plus [irqs] interrupt entries (the IRQ
+    count is observed, its price is Table 1's).  This is what the
+    ambient overhead component of a blame decomposition is checked
+    against. *)

@@ -17,6 +17,27 @@ val response_time :
     sections, or from the static verifier's extraction
     ([Lint.Blocking_terms]) over actual thread programs. *)
 
+type decomposition = {
+  dec_response : int;  (** the fixpoint R* *)
+  dec_own : int;  (** the task's own (overhead-inflated) WCET term C *)
+  dec_blocking : int;  (** the priority-inversion term B *)
+  dec_interference : int array;
+      (** per higher-priority rank [j < i]: [ceil(R*/T_j) * C_j] *)
+}
+(** The per-term split of a response-time fixpoint:
+    [dec_own + dec_blocking + sum dec_interference = dec_response]
+    exactly.  This is what empirical blame components are
+    cross-validated against ({!Obs.Blame}). *)
+
+val decompose :
+  ?limit:int ->
+  ?blocking:int array ->
+  tasks:(int * int * int) array ->
+  int ->
+  decomposition option
+(** [decompose ~tasks i] re-derives the terms of [response_time] at
+    its fixpoint; [None] exactly when {!response_time} is [None]. *)
+
 val feasible : ?limit:int -> ?blocking:int array -> (int * int * int) array -> bool
 (** Whole-set feasibility: every task's response time is within its
     deadline. *)

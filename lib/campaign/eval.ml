@@ -76,6 +76,8 @@ let norm_sig k =
           | Sem_blocked { tid; sem } -> Sem_blocked { tid; sem = rank sems sem }
           | Sem_released { tid; sem } ->
             Sem_released { tid; sem = rank sems sem }
+          | Approach_parked { tid; sem } ->
+            Approach_parked { tid; sem = rank sems sem }
           | Msg_sent { tid; mailbox; words } ->
             Msg_sent { tid; mailbox = rank mbs mailbox; words }
           | Msg_received { tid; mailbox; words; queued_for } ->
@@ -184,10 +186,11 @@ let e2e_assignments (spec : Workload.Generator.spec) =
 let run_e2e ~index ~ablation (spec : Workload.Generator.spec) =
   let engine = Sim.Engine.create () in
   let bus = Fieldbus.Bus.create ~engine ~bitrate_bps:1_000_000 () in
+  let assignments = e2e_assignments spec in
   let cluster =
     Fabric.Cluster.create ~config:e2e_cluster_config ~engine ~bus
       ~cost:Sim.Cost.m68040 ~spec:Emeralds.Sched.Edf ~seed:(1000 + index)
-      ~assignments:(e2e_assignments spec) ()
+      ~assignments ()
   in
   (match Fault.Plan.parse e2e_plan with
   | Ok plan -> Fabric.Cluster.install_plan cluster plan
@@ -203,7 +206,7 @@ let run_e2e ~index ~ablation (spec : Workload.Generator.spec) =
       }
     else score
   in
-  (cluster, score)
+  (cluster, score, assignments)
 
 (* Sporadic arrivals are part of the scenario, not the engine: an
    observer triggers them from a dedicated split stream so both
@@ -231,15 +234,17 @@ let declared_enforcement =
     shed_one_in = None;
   }
 
-let run_sim (spec : Workload.Generator.spec) ~horizon ~enforcement =
+let run_sim ?attach (spec : Workload.Generator.spec) ~horizon ~enforcement =
   let cfg =
     Fault.Inject.default_config
       ~scenario:(Workload.Generator.realize spec)
       ~horizon ~seed:9 ()
   in
-  let cfg =
-    { cfg with observer = Some (sporadic_observer spec ~horizon); enforcement }
+  let observer k =
+    sporadic_observer spec ~horizon k;
+    match attach with Some f -> f k | None -> ()
   in
+  let cfg = { cfg with observer = Some observer; enforcement } in
   (Fault.Inject.run cfg).kernel
 
 let empty =
@@ -319,11 +324,26 @@ let run ?(oracles = Oracle.all) ?(ablation = Oracle.No_ablation)
   let horizon = sim_horizon tasks in
   let need_sim =
     wants oracles Rta_sim || wants oracles Demand || wants oracles Mem
-    || wants oracles Ident || collect_metrics
+    || wants oracles Ident || wants oracles Blame || collect_metrics
   in
   let t0 = now_us () in
+  (* the blame attributor rides along on the enforced run; its
+     subscription is trace-invisible, so Ident's comparison is
+     unaffected *)
+  let blame =
+    if wants oracles Blame then
+      Some (Obs.Blame.create ~tasks:(Obs.Blame.of_taskset sc.taskset) ())
+    else None
+  in
   let enforced =
-    if need_sim then Some (run_sim spec ~horizon ~enforcement:(Some declared_enforcement))
+    if need_sim then
+      Some
+        (run_sim spec ~horizon
+           ~enforcement:(Some declared_enforcement)
+           ?attach:
+             (Option.map
+                (fun b k -> Obs.Blame.attach b (Emeralds.Kernel.probe k))
+                blame))
     else None
   in
   let plain =
@@ -496,6 +516,87 @@ let run ?(oracles = Oracle.all) ?(ablation = Oracle.No_ablation)
                ms.m_pool (completions ms.m_tid)))
       mstats
   | _ -> ());
+  (match (enforced, blame) with
+  | Some k, Some b ->
+    (* conservation law: components sum exactly to every observed
+       response (the attributor derives the backlog term independently
+       from the release entry's absolute deadline, so a zero residual
+       is a real cross-check, not bookkeeping) *)
+    List.iter
+      (fun (s : Obs.Blame.task_summary) ->
+        if s.s_residual_violations > 0 then
+          add Blame ~task:s.s_id
+            (Printf.sprintf
+               "blame components of %d job(s) missed the observed response \
+                by up to %dns"
+               s.s_residual_violations s.s_max_abs_residual))
+      (Obs.Blame.summaries b);
+    (* per-term domination: each empirical component must stay within
+       its analytical term.  Enforcement kills and sheds invalidate
+       the per-job accounting a bound speaks about, so such runs are
+       skipped (the declared-budget notify-only policy never kills;
+       this guards future policies). *)
+    let ktr = Emeralds.Kernel.trace k in
+    let halve v = if ablation = Oracle.Blame_bounds then v / 2 else v in
+    if Sim.Trace.jobs_killed ktr = 0 && Sim.Trace.jobs_shed ktr = 0 then
+      Array.iteri
+        (fun i (t : Model.Task.t) ->
+          match (Obs.Blame.summary b ~tid:t.id, rta.(i)) with
+          | Some s, Some rstar when eligible.(i) && s.s_jobs > 0 ->
+            (* own execution vs the absint demand bound *)
+            (match
+               Array.find_opt
+                 (fun (tb : Absint.Report.task_bound) -> tb.task.id = t.id)
+                 rep.tasks
+             with
+            | Some tb -> (
+              match Absint.Itv.hi_int tb.summary.exec with
+              | Some hi ->
+                if s.s_max_exec > halve hi then
+                  add Blame ~task:t.id
+                    (Printf.sprintf
+                       "blamed execution %dns > absint demand bound %dns"
+                       s.s_max_exec (halve hi))
+              | None -> ())
+            | None -> ());
+            (* per-rank interference vs the RTA decomposition (one
+               extra job per rank covers release-aligned carry-in) *)
+            (match Analysis.Rta.decompose ~blocking ~tasks:rows i with
+            | Some dec ->
+              List.iter
+                (fun (j, v) ->
+                  let _, _, cj = rows.(j) in
+                  let bound = halve (dec.Analysis.Rta.dec_interference.(j) + cj) in
+                  if v > bound then
+                    add Blame ~task:t.id
+                      (Printf.sprintf
+                         "blamed interference %dns from rank %d > RTA term \
+                          %dns"
+                         v j bound))
+                s.s_max_interference
+            | None -> ());
+            (* total blocking vs the lint-derived blocking term *)
+            if s.s_max_blocking_total > halve blocking.(i) then
+              add Blame ~task:t.id
+                (Printf.sprintf
+                   "blamed blocking %dns > lint blocking term %dns"
+                   s.s_max_blocking_total (halve blocking.(i)));
+            (* ambient kernel overhead vs the Table-1 budget at the
+               RTA fixpoint, priced with the observed IRQ count *)
+            let budget =
+              Analysis.Overhead.job_budget ~cost:Sim.Cost.m68040
+                ~spec:Emeralds.Sched.Rm ~taskset:sc.taskset
+                ~programs:(Array.map sc.programs tasks)
+                ~rank:i ~response:rstar ~irqs:s.s_max_irqs
+            in
+            if s.s_max_overhead_total > halve budget then
+              add Blame ~task:t.id
+                (Printf.sprintf
+                   "blamed kernel overhead %dns > Table-1 budget %dns"
+                   s.s_max_overhead_total (halve budget))
+          | _ -> ())
+        tasks
+  | _ -> ());
   let metrics =
     match enforced with
     | Some k when collect_metrics ->
@@ -506,7 +607,7 @@ let run ?(oracles = Oracle.all) ?(ablation = Oracle.No_ablation)
   in
   (* -- e2e fabric phase --------------------------------------------- *)
   if wants oracles Oracle.E2e then begin
-    let cluster, net = run_e2e ~index ~ablation spec in
+    let cluster, net, assignments = run_e2e ~index ~ablation spec in
     if net.Fault.Report.n_e2e_misses > 0 then
       add Oracle.E2e
         (Printf.sprintf
@@ -533,7 +634,70 @@ let run ?(oracles = Oracle.all) ?(ablation = Oracle.No_ablation)
         (Printf.sprintf
            "admission rejected the orphan (shed %d task(s)) despite capped \
             utilization"
-           (List.length (Fabric.Cluster.shed cluster)))
+           (List.length (Fabric.Cluster.shed cluster)));
+    (* blame's fabric leg: re-derive the failover gap of each migrated
+       task from per-shard blame release times (last release the dead
+       shard recorded, first release on its target) and cross-validate
+       it against the static migration-cost bound.  Rebuilt offline
+       from the final kernels' traces — re-admission replaces the
+       target's kernel, so a live subscriber would miss the tail. *)
+    if wants oracles Blame then begin
+      let all_tasks =
+        List.concat_map snd assignments
+        |> List.sort Model.Task.rm_compare
+        |> List.map (fun (t : Model.Task.t) -> (t.id, t.period, t.deadline))
+        |> Array.of_list
+      in
+      let rebuild node =
+        (* a crashed node's kernel is retired, and a re-admission
+           re-provisions the destination shard — so a node's event
+           history spans every kernel it has run, in creation order *)
+        match Fabric.Cluster.kernels cluster ~node with
+        | [] -> None
+        | ks ->
+          let b = Obs.Blame.create ~tasks:all_tasks () in
+          List.iter
+            (fun k ->
+              List.iter (Obs.Blame.observe b)
+                (Sim.Trace.entries (Emeralds.Kernel.trace k)))
+            ks;
+          Some b
+      in
+      let halve v = if ablation = Oracle.Blame_bounds then v / 2 else v in
+      let period_of tid =
+        List.concat_map snd assignments
+        |> List.find_opt (fun (t : Model.Task.t) -> t.id = tid)
+        |> Option.map (fun (t : Model.Task.t) -> t.period)
+      in
+      List.iter
+        (fun (tid, dst, _at) ->
+          match Fabric.Cluster.crashes cluster with
+          | [] -> ()
+          | (dead, _) :: _ -> (
+            let release side =
+              Option.bind (rebuild side) (fun b ->
+                  Obs.Blame.summary b ~tid)
+            in
+            match
+              ( release dead,
+                release dst,
+                period_of tid,
+                Fabric.Cluster.static_bound cluster )
+            with
+            | Some sd, Some st, Some p, Some bound -> (
+              match (sd.s_last_release, st.s_first_release) with
+              | Some last, Some first ->
+                let gap = first - last - p in
+                if gap > halve bound then
+                  add Blame ~task:tid
+                    (Printf.sprintf
+                       "blame-derived failover gap %dns (releases %dns -> \
+                        %dns, period %dns) > migration bound %dns"
+                       gap last first p (halve bound))
+              | _ -> ())
+            | _ -> ()))
+        (Fabric.Cluster.migrations cluster)
+    end
   end;
   (* -- model-checking phase ---------------------------------------- *)
   let need_mc = wants oracles Mc_props || wants oracles Rta_mc in

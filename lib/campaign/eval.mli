@@ -29,11 +29,13 @@ val run_e2e :
   index:int ->
   ablation:Oracle.ablation ->
   Workload.Generator.spec ->
-  Fabric.Cluster.t * Fault.Report.net_score
+  Fabric.Cluster.t * Fault.Report.net_score * (int * Model.Task.t list) list
 (** The e2e oracle's fabric run in isolation: a canonical three-shard
     fabric derived from the scenario, one node crashed under frame
-    loss.  Returns the cluster (for latency/bound introspection) and
-    the scored outcome; [E2e_bound] halves the bound in the score. *)
+    loss.  Returns the cluster (for latency/bound introspection), the
+    scored outcome, and the initial per-node task assignments (the
+    blame fabric leg resolves migrated tasks against them);
+    [E2e_bound] halves the bound in the score. *)
 
 val run :
   ?oracles:Oracle.key list ->

@@ -7,9 +7,11 @@ type key =
   | Mc_props
   | Rta_mc
   | E2e
+  | Blame
   | Crash
 
-let all = [ Validity; Rta_sim; Demand; Mem; Ident; Mc_props; Rta_mc; E2e; Crash ]
+let all =
+  [ Validity; Rta_sim; Demand; Mem; Ident; Mc_props; Rta_mc; E2e; Blame; Crash ]
 
 let name = function
   | Validity -> "validity"
@@ -20,6 +22,7 @@ let name = function
   | Mc_props -> "mc"
   | Rta_mc -> "rta-mc"
   | E2e -> "e2e"
+  | Blame -> "blame"
   | Crash -> "crash"
 
 let of_string s =
@@ -57,6 +60,10 @@ let description = function
     "fabric crash failover: surviving shards keep every post-failover \
      deadline and observed failover latency stays within the static \
      migration-cost bound"
+  | Blame ->
+    "per-job blame components sum exactly to each observed response and \
+     every empirical component stays within its analytical term (RTA \
+     interference, lint blocking, overhead budget)"
   | Crash -> "no oracle run raises (kernel invariants hold)"
 
 type ablation =
@@ -67,11 +74,12 @@ type ablation =
   | Cfg_loop
   | Cfg_join
   | E2e_bound
+  | Blame_bounds
 
 let ablations =
   [
     No_ablation; Rta_blocking; Absint_demand; Mem_peak; Cfg_loop; Cfg_join;
-    E2e_bound;
+    E2e_bound; Blame_bounds;
   ]
 
 let ablation_name = function
@@ -82,6 +90,7 @@ let ablation_name = function
   | Cfg_loop -> "cfg-loop"
   | Cfg_join -> "cfg-join"
   | E2e_bound -> "e2e-bound"
+  | Blame_bounds -> "blame"
 
 let ablation_of_string s =
   let s = String.lowercase_ascii (String.trim s) in

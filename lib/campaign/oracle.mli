@@ -25,6 +25,13 @@ type key =
           shard keeps its post-failover deadlines, the orphan migrates
           rather than sheds, and the observed failover latency stays
           within the static migration-cost bound *)
+  | Blame
+      (** online per-job blame attribution: components (exec,
+          interference, blocking, overhead, ...) sum exactly to every
+          observed response (conservation), and each component is
+          dominated by its analytical term — per-rank RTA interference,
+          lint-derived blocking, the Table-1 overhead budget at the
+          RTA fixpoint *)
   | Crash  (** no oracle evaluation raises *)
 
 val all : key list
@@ -59,6 +66,9 @@ type ablation =
   | E2e_bound
       (** halve the static failover bound: the observed failover
           latency of the e2e fabric run must exceed it *)
+  | Blame_bounds
+      (** halve every analytical blame bound: empirical interference /
+          blocking / overhead components must escape domination *)
 
 val ablations : ablation list
 val ablation_name : ablation -> string

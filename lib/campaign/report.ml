@@ -111,7 +111,8 @@ let tool_of (k : Oracle.key) =
   | Oracle.Demand | Oracle.Mem -> "emeralds-absint"
   | Oracle.Mc_props -> "emeralds-mc"
   | Oracle.E2e -> "emeralds-fabric"
-  | Oracle.Rta_sim | Oracle.Ident | Oracle.Rta_mc | Oracle.Crash ->
+  | Oracle.Rta_sim | Oracle.Ident | Oracle.Rta_mc | Oracle.Blame
+  | Oracle.Crash ->
     "emeralds-campaign"
 
 let tools =

@@ -273,7 +273,7 @@ let interrupt_burst k =
    is remembered; the dispatch event acts on the latest one. *)
 let select_now k =
   let choice, cost = k.sched.s_select () in
-  charge k "sched.select" cost;
+  charge k Sim.Trace.Ovh_sched_select cost;
   k.pending_choice <- choice;
   k.need_dispatch <- true
 
@@ -283,7 +283,7 @@ let select_now k =
 let block_thread k tcb ~reason ~dormant =
   assert (is_ready tcb);
   tcb.state <- (if dormant then Dormant else Blocked reason);
-  charge k "sched.block" (k.sched.s_block tcb);
+  charge k Sim.Trace.Ovh_sched_block (k.sched.s_block tcb);
   Obs.Probe.emit k.probe ~at:(now k) (Thread_block { tid = tcb.tid; reason });
   select_now k
 
@@ -292,7 +292,7 @@ let unblock_thread k tcb =
   | Blocked _ | Dormant -> ()
   | Ready | Running -> assert false);
   tcb.state <- Ready;
-  charge k "sched.unblock" (k.sched.s_unblock tcb);
+  charge k Sim.Trace.Ovh_sched_unblock (k.sched.s_unblock tcb);
   Obs.Probe.emit k.probe ~at:(now k) (Thread_unblock { tid = tcb.tid });
   select_now k
 
@@ -325,7 +325,7 @@ let rec do_inherit k ~holder ~waiter =
     waiter.eff_prio < holder.eff_prio
     || waiter.eff_deadline < holder.eff_deadline
   then begin
-    charge k "pi" (k.sched.s_inherit ~holder ~waiter);
+    charge k Sim.Trace.Ovh_pi (k.sched.s_inherit ~holder ~waiter);
     Obs.Probe.emit k.probe ~at:(now k)
       (Priority_inherit { holder = holder.tid; from_tid = waiter.tid });
     (* Transitive chains: the holder may itself be queued on another
@@ -347,7 +347,7 @@ let rec do_inherit k ~holder ~waiter =
 
 let restore_prio k holder =
   if holder.inherited then begin
-    charge k "pi" (k.sched.s_restore ~holder);
+    charge k Sim.Trace.Ovh_pi (k.sched.s_restore ~holder);
     Obs.Probe.emit k.probe ~at:(now k) (Priority_restore { holder = holder.tid });
     (* Re-establish inheritance still owed to waiters of other
        semaphores this thread holds. *)
@@ -380,12 +380,15 @@ let park_approachers k s ~except =
   if s.sem_kind = Emeralds && s.sem_value = 0 then
     Util.Dlist.iter
       (fun a ->
-        if a != except && is_ready a then
-          block_thread k a ~reason:"approach" ~dormant:false)
+        if a != except && is_ready a then begin
+          block_thread k a ~reason:"approach" ~dormant:false;
+          Obs.Probe.emit k.probe ~at:(now k)
+            (Approach_parked { tid = a.tid; sem = s.sem_id })
+        end)
       s.approachers
 
 let sem_acquire k tcb s =
-  charge k "sem" k.cost.sem_admin;
+  charge k Sim.Trace.Ovh_sem k.cost.sem_admin;
   leave_approachers tcb;
   if s.sem_value > 0 then begin
     s.sem_value <- s.sem_value - 1;
@@ -417,7 +420,7 @@ let sem_release k tcb s =
     match s.holder with
     | Some h when h == tcb -> ()
     | Some _ | None -> invalid_arg "Kernel: release of a semaphore not held");
-  charge k "sem" k.cost.sem_admin;
+  charge k Sim.Trace.Ovh_sem k.cost.sem_admin;
   Obs.Probe.emit k.probe ~at:(now k)
     (Sem_released { tid = tcb.tid; sem = s.sem_id });
   tcb.held_sems <- List.filter (fun x -> x != s) tcb.held_sems;
@@ -480,6 +483,8 @@ let complete_blocking_call k tcb hint =
       | Blocked _ ->
         tcb.state <- Blocked "approach";
         Obs.Probe.emit k.probe ~at:(now k)
+          (Approach_parked { tid = tcb.tid; sem = s.sem_id });
+        Obs.Probe.emit k.probe ~at:(now k)
           (Note
              (Printf.sprintf "tau%d held back awaiting sem%d" tcb.tid
                 s.sem_id));
@@ -489,7 +494,9 @@ let complete_blocking_call k tcb hint =
       | Ready | Running ->
         (* Completed the call without blocking (the signal was already
            pending) while S is locked: park it (§6.3.1, case B fix). *)
-        block_thread k tcb ~reason:"approach" ~dormant:false
+        block_thread k tcb ~reason:"approach" ~dormant:false;
+        Obs.Probe.emit k.probe ~at:(now k)
+          (Approach_parked { tid = tcb.tid; sem = s.sem_id })
       | Dormant -> assert false)
     | None -> (
       match tcb.state with
@@ -550,7 +557,7 @@ let deliver k receiver msg mb =
        })
 
 let mb_send k tcb mb data =
-  charge k "ipc" (Sim.Cost.mailbox_copy k.cost ~words:(Array.length data));
+  charge k Sim.Trace.Ovh_ipc (Sim.Cost.mailbox_copy k.cost ~words:(Array.length data));
   let msg = { msg_data = Array.copy data; msg_src = tcb.tid; msg_stamp = now k } in
   match take_first_waiter mb.mb_receivers with
   | Some receiver ->
@@ -573,7 +580,7 @@ let mb_send k tcb mb data =
     end
 
 let mb_recv k tcb mb =
-  charge k "ipc" k.cost.mailbox_base;
+  charge k Sim.Trace.Ovh_ipc k.cost.mailbox_base;
   if Queue.is_empty mb.mb_queue then begin
     insert_by_prio mb.mb_receivers tcb;
     block_thread k tcb ~reason:"mbox-empty" ~dormant:false;
@@ -581,7 +588,7 @@ let mb_recv k tcb mb =
   end
   else begin
     let msg = Queue.pop mb.mb_queue in
-    charge k "ipc"
+    charge k Sim.Trace.Ovh_ipc
       (Sim.Cost.mailbox_copy k.cost ~words:(Array.length msg.msg_data)
       - k.cost.mailbox_base);
     tcb.inbox <- Some msg;
@@ -630,7 +637,7 @@ let rec schedule_deadline_check k tcb ~job ~deadline =
         | Miss_shed_next -> st.skip_next <- true
         | Miss_kill ->
           (kernel_event k (fun () ->
-               charge k "timer" k.cost.timer_service;
+               charge k Sim.Trace.Ovh_timer k.cost.timer_service;
                if tcb.completed_job < job && tcb.job_no = job then
                  if is_ready tcb then kill_job k tcb
                  else
@@ -683,7 +690,7 @@ and begin_job k tcb ~job ~release =
       if not tcb.inherited then begin
         tcb.eff_prio <- tcb.base_prio;
         tcb.eff_deadline <- tcb.abs_deadline;
-        charge k "sched.demote" (k.sched.s_reprioritize tcb)
+        charge k Sim.Trace.Ovh_sched_demote (k.sched.s_reprioritize tcb)
       end
     end);
   (match k.mem_enforcement with
@@ -722,14 +729,14 @@ and run_instrs k tcb =
         start_compute k tcb
       end
     | Acquire s -> (
-      charge k "syscall" k.cost.syscall_entry;
+      charge k Sim.Trace.Ovh_syscall k.cost.syscall_entry;
       match sem_acquire k tcb s with `Granted -> step () | `Blocked -> ())
     | Release s ->
-      charge k "syscall" k.cost.syscall_entry;
+      charge k Sim.Trace.Ovh_syscall k.cost.syscall_entry;
       sem_release k tcb s;
       step ()
     | Wait wq ->
-      charge k "syscall" k.cost.syscall_entry;
+      charge k Sim.Trace.Ovh_syscall k.cost.syscall_entry;
       if wq.pending_signals > 0 then begin
         wq.pending_signals <- wq.pending_signals - 1;
         let hint = tcb.hints.(tcb.pc) in
@@ -742,7 +749,7 @@ and run_instrs k tcb =
         block_thread k tcb ~reason:"wait" ~dormant:false
       end
     | Timed_wait (wq, d) ->
-      charge k "syscall" k.cost.syscall_entry;
+      charge k Sim.Trace.Ovh_syscall k.cost.syscall_entry;
       if wq.pending_signals > 0 then begin
         wq.pending_signals <- wq.pending_signals - 1;
         let hint = tcb.hints.(tcb.pc) in
@@ -755,7 +762,7 @@ and run_instrs k tcb =
         let hint = tcb.hints.(tcb.pc) in
         insert_by_prio wq.wq_waiters tcb;
         block_thread k tcb ~reason:"wait" ~dormant:false;
-        charge k "timer" k.cost.timer_service;
+        charge k Sim.Trace.Ovh_timer k.cost.timer_service;
         let timeout () =
           (* fire only if the very same wait is still pending *)
           let still_waiting =
@@ -781,35 +788,35 @@ and run_instrs k tcb =
              (kernel_event k timeout))
       end
     | Signal wq ->
-      charge k "syscall" k.cost.syscall_entry;
+      charge k Sim.Trace.Ovh_syscall k.cost.syscall_entry;
       do_signal k wq;
       step ()
     | Broadcast wq ->
-      charge k "syscall" k.cost.syscall_entry;
+      charge k Sim.Trace.Ovh_syscall k.cost.syscall_entry;
       do_broadcast k wq;
       step ()
     | Send (mb, data) -> (
-      charge k "syscall" k.cost.syscall_entry;
+      charge k Sim.Trace.Ovh_syscall k.cost.syscall_entry;
       match mb_send k tcb mb data with `Sent -> step () | `Blocked -> ())
     | Recv mb -> (
-      charge k "syscall" k.cost.syscall_entry;
+      charge k Sim.Trace.Ovh_syscall k.cost.syscall_entry;
       match mb_recv k tcb mb with `Got -> step () | `Blocked -> ())
     | State_write (sm, data) ->
-      charge k "syscall" k.cost.syscall_entry;
-      charge k "ipc" (Sim.Cost.state_write k.cost ~words:(State_msg.words sm));
+      charge k Sim.Trace.Ovh_syscall k.cost.syscall_entry;
+      charge k Sim.Trace.Ovh_ipc (Sim.Cost.state_write k.cost ~words:(State_msg.words sm));
       State_msg.write sm data;
       Obs.Probe.emit k.probe ~at:(now k)
         (State_written { tid = tcb.tid; state = State_msg.id sm; seq = State_msg.seq sm });
       step ()
     | State_read sm ->
-      charge k "syscall" k.cost.syscall_entry;
-      charge k "ipc" (Sim.Cost.state_read k.cost ~words:(State_msg.words sm));
+      charge k Sim.Trace.Ovh_syscall k.cost.syscall_entry;
+      charge k Sim.Trace.Ovh_ipc (Sim.Cost.state_read k.cost ~words:(State_msg.words sm));
       ignore (State_msg.read sm);
       Obs.Probe.emit k.probe ~at:(now k)
         (State_read { tid = tcb.tid; state = State_msg.id sm; seq = State_msg.seq sm });
       step ()
     | Delay d ->
-      charge k "timer" k.cost.timer_service;
+      charge k Sim.Trace.Ovh_timer k.cost.timer_service;
       let hint = tcb.hints.(tcb.pc) in
       block_thread k tcb ~reason:"delay" ~dormant:false;
       let wake () =
@@ -821,8 +828,8 @@ and run_instrs k tcb =
            ~at:(quantize k (now k + d))
            (kernel_event k wake))
     | Alloc p ->
-      charge k "syscall" k.cost.syscall_entry;
-      charge k "pool" k.cost.pool_admin;
+      charge k Sim.Trace.Ovh_syscall k.cost.syscall_entry;
+      charge k Sim.Trace.Ovh_pool k.cost.pool_admin;
       if p.pool_free > 0 then begin
         p.pool_free <- p.pool_free - 1;
         let live = p.pool_capacity - p.pool_free in
@@ -848,8 +855,8 @@ and run_instrs k tcb =
         step ()
       end
     | Free p ->
-      charge k "syscall" k.cost.syscall_entry;
-      charge k "pool" k.cost.pool_admin;
+      charge k Sim.Trace.Ovh_syscall k.cost.syscall_entry;
+      charge k Sim.Trace.Ovh_pool k.cost.pool_admin;
       let mine = live_in tcb p in
       if mine <= 0 then
         invalid_arg "Kernel: free of a block the job does not hold";
@@ -1039,7 +1046,7 @@ and handle_overrun k e tcb ~budget =
   st.overrun_flagged <- true;
   st.overruns <- st.overruns + 1;
   if st.first_detection = None then st.first_detection <- Some (now k);
-  charge k "timer" k.cost.timer_service;
+  charge k Sim.Trace.Ovh_timer k.cost.timer_service;
   Obs.Probe.emit k.probe ~at:(now k)
     (Budget_overrun { tid = tcb.tid; job = tcb.job_no; used = st.used; budget });
   match e.policy with
@@ -1061,7 +1068,7 @@ and apply_demotion k tcb ~by =
     st.demoted <- true;
     tcb.eff_prio <- tcb.base_prio + by;
     tcb.eff_deadline <- tcb.abs_deadline + (by * tcb.task.period);
-    charge k "sched.demote" (k.sched.s_reprioritize tcb)
+    charge k Sim.Trace.Ovh_sched_demote (k.sched.s_reprioritize tcb)
   end
 
 (* Abort the current job: drop its held mutexes (releasing them runs
@@ -1159,11 +1166,11 @@ and dispatch k =
         Sim.Trace.set_outgoing_ready k.tr (r.state = Running);
         if r.state = Running then r.state <- Ready
       | None -> Sim.Trace.set_outgoing_ready k.tr false);
-      charge k "switch" k.cost.context_switch;
+      charge k Sim.Trace.Ovh_switch k.cost.context_switch;
       (* crossing a protection domain costs an address-space switch *)
       (match (prev, target) with
       | Some a, Some b when a.task.process <> b.task.process ->
-        charge k "switch.as" k.cost.address_space_switch
+        charge k Sim.Trace.Ovh_switch_as k.cost.address_space_switch
       | _ -> ());
       Obs.Probe.emit k.probe ~at:(now k)
         (Context_switch
@@ -1647,7 +1654,7 @@ let register_irq k ~irq ?(signals = []) ?(writes = []) ~handler () =
 
 let raise_irq_at k ~at ~irq =
   let body () =
-    charge k "irq" k.cost.interrupt_entry;
+    charge k Sim.Trace.Ovh_irq k.cost.interrupt_entry;
     Obs.Probe.emit k.probe ~at:(now k) (Interrupt { irq });
     (Hashtbl.find k.irq_handlers irq).handler ()
   in

@@ -611,6 +611,11 @@ let shards_alive t =
 
 let kernel t ~node = (shard t node).sh_kernel
 
+let kernels t ~node =
+  let sh = shard t node in
+  List.rev sh.sh_retired
+  @ (match sh.sh_kernel with Some k -> [ k ] | None -> [])
+
 let score t ~horizon =
   let cut = Option.value ~default:0 (last_failover_end t) in
   let unique =

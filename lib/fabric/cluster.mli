@@ -93,3 +93,11 @@ val shards_alive : t -> int list
 val kernel : t -> node:int -> Emeralds.Kernel.t option
 (** The shard's current kernel ([None]: crashed or taskless).
     @raise Invalid_argument on an unknown node. *)
+
+val kernels : t -> node:int -> Emeralds.Kernel.t list
+(** Every kernel the node has run, in creation order: halted ones
+    (crashed, or replaced when a re-admission re-provisioned the
+    shard) first, then the live one.  Replaying their traces in this
+    order yields one nondecreasing event stream per node — the
+    campaign's blame leg rebuilds per-node attribution across a
+    failover from exactly this. *)

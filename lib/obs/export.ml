@@ -2,7 +2,7 @@ let us_of_ns ns = float_of_int ns /. 1_000.0
 
 (* ---- Perfetto / Chrome trace-event JSON ---- *)
 
-let perfetto (events : Sim.Trace.stamped list) =
+let perfetto ?blame (events : Sim.Trace.stamped list) =
   let buf = Buffer.create 4096 in
   let first = ref true in
   let item fmt =
@@ -13,6 +13,52 @@ let perfetto (events : Sim.Trace.stamped list) =
       fmt
   in
   Buffer.add_string buf "{\"traceEvents\":[\n ";
+  (* Blame counter tracks: one "C" sample per closed job carrying the
+     component split, plus a flow arrow from each deadline miss to its
+     dominant blamer's track.  The attributor replays the same event
+     list being rendered, so the samples land at completion time. *)
+  let last_ts = ref 0 in
+  let pending_miss = Hashtbl.create 8 in
+  let flow_seq = ref 0 in
+  let attributor =
+    match blame with
+    | None -> None
+    | Some tasks ->
+      let b = Blame.create ~tasks () in
+      Blame.on_complete b (fun bd ->
+          let ts = us_of_ns !last_ts in
+          let interference =
+            List.fold_left (fun a (_, v) -> a + v) 0 bd.Blame.b_interference
+          in
+          item
+            "{\"name\":\"blame tau%d\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":0,\"args\":{\"exec\":%d,\"interference\":%d,\"blocking\":%d,\"overhead\":%d,\"backlog\":%d,\"suspend\":%d,\"gap\":%d}}"
+            bd.Blame.b_tid ts bd.Blame.b_exec interference
+            (Blame.blocking_total bd) (Blame.overhead_total bd)
+            bd.Blame.b_backlog bd.Blame.b_suspend bd.Blame.b_gap;
+          match
+            Hashtbl.find_opt pending_miss (bd.Blame.b_tid, bd.Blame.b_job)
+          with
+          | None -> ()
+          | Some miss_ts ->
+            Hashtbl.remove pending_miss (bd.Blame.b_tid, bd.Blame.b_job);
+            incr flow_seq;
+            let cause, amount = Blame.dominant bd in
+            let blamer_tid =
+              match cause with
+              | Blame.Interference rank when rank < Array.length tasks ->
+                let id, _, _ = tasks.(rank) in
+                id
+              | _ -> bd.Blame.b_tid
+            in
+            let label = "blame: " ^ Blame.cause_label cause in
+            item
+              "{\"name\":%S,\"cat\":\"blame\",\"ph\":\"s\",\"id\":%d,\"ts\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"ns\":%d}}"
+              label !flow_seq (us_of_ns miss_ts) blamer_tid amount;
+            item
+              "{\"name\":%S,\"cat\":\"blame\",\"ph\":\"f\",\"bp\":\"e\",\"id\":%d,\"ts\":%.3f,\"pid\":0,\"tid\":%d}"
+              label !flow_seq ts bd.Blame.b_tid);
+      Some b
+  in
   (* thread-name metadata for every task that appears *)
   let tids =
     List.filter_map
@@ -37,10 +83,14 @@ let perfetto (events : Sim.Trace.stamped list) =
         tid (us_of_ns ts) tid;
       open_slice := None
   in
-  let last_ts = ref 0 in
   List.iter
     (fun ({ at; entry } : Sim.Trace.stamped) ->
       last_ts := at;
+      (match entry with
+      | Sim.Trace.Deadline_miss { tid; job; _ } when Option.is_some attributor ->
+        Hashtbl.replace pending_miss (tid, job) at
+      | _ -> ());
+      Option.iter (fun b -> Blame.observe b { at; entry }) attributor;
       match entry with
       | Sim.Trace.Context_switch { to_tid; _ } -> (
         close_slice at;

@@ -1,4 +1,10 @@
-type trigger = On_miss | On_overrun | On_kill
+type trigger =
+  | On_miss
+  | On_overrun
+  | On_kill
+  | On_oom
+  | On_quota
+  | On_net_timeout
 
 (* Modeled slot: 8-byte timestamp + 8-byte tag + up to four 8-byte
    payload words — what a packed C struct for the widest entry
@@ -35,7 +41,10 @@ let trips t (entry : Sim.Trace.entry) =
       match (trig, entry) with
       | On_miss, Deadline_miss _
       | On_overrun, Budget_overrun _
-      | On_kill, Job_killed _ ->
+      | On_kill, Job_killed _
+      | On_oom, Pool_oom _
+      | On_quota, Quota_exceeded _
+      | On_net_timeout, Net_timeout _ ->
         true
       | _ -> false)
     t.triggers

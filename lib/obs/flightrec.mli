@@ -4,11 +4,18 @@
     must be bounded: a fixed-capacity ring of stamped events with a
     byte-accounted modeled footprint (capacity * {!slot_bytes}).  The
     ring records continuously and freezes at the first armed trigger
-    (deadline miss, budget overrun, or job kill), so the dump is the
-    last [capacity] events *ending at* the triggering entry — callers
-    check the footprint against [Footprint.envelope]. *)
+    (deadline miss, budget overrun, job kill, pool exhaustion, quota
+    breach or network ack timeout), so the dump is the last [capacity]
+    events *ending at* the triggering entry — callers check the
+    footprint against [Footprint.envelope]. *)
 
-type trigger = On_miss | On_overrun | On_kill
+type trigger =
+  | On_miss  (** [Deadline_miss] *)
+  | On_overrun  (** [Budget_overrun] *)
+  | On_kill  (** [Job_killed] *)
+  | On_oom  (** [Pool_oom] — a block-pool allocation failed *)
+  | On_quota  (** [Quota_exceeded] — per-job live-block quota breached *)
+  | On_net_timeout  (** [Net_timeout] — reliable-delivery ack expired *)
 
 val slot_bytes : int
 (** Modeled bytes per ring slot (48: timestamp + tagged payload),

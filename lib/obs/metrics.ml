@@ -4,7 +4,7 @@ type t = {
   block : (int, Util.Hist.t) Hashtbl.t;
   irq_lat : Util.Hist.t;
   depth : Util.Hist.t;
-  ovh : (string, Util.Hist.t) Hashtbl.t;
+  ovh : Util.Hist.t option array; (* indexed by [Sim.Trace.ovh_index] *)
   live : (int, Util.Hist.t) Hashtbl.t; (* pool -> pool-wide live blocks *)
   net : (int * string, int ref) Hashtbl.t; (* (node, kind) -> count *)
   arb : Util.Hist.t; (* bus arbitration delay per transmitted frame *)
@@ -21,7 +21,7 @@ let create () =
     block = Hashtbl.create 8;
     irq_lat = Util.Hist.create ();
     depth = Util.Hist.create ();
-    ovh = Hashtbl.create 8;
+    ovh = Array.make Sim.Trace.ovh_count None;
     live = Hashtbl.create 4;
     net = Hashtbl.create 8;
     arb = Util.Hist.create ();
@@ -72,7 +72,16 @@ let observe t ({ at; entry } : Sim.Trace.stamped) =
       t.pending_irqs;
     t.pending_irqs <- []
   | Overhead { category; cost } ->
-    Util.Hist.observe (hist_for t.ovh category) cost
+    let i = Sim.Trace.ovh_index category in
+    let h =
+      match t.ovh.(i) with
+      | Some h -> h
+      | None ->
+        let h = Util.Hist.create () in
+        t.ovh.(i) <- Some h;
+        h
+    in
+    Util.Hist.observe h cost
   | Block_alloc { pool; live; _ } | Block_free { pool; live; _ } ->
     Util.Hist.observe (hist_for t.live pool) live
   | Net_frame { node; dir; _ } -> bump_net t ~node dir
@@ -81,8 +90,9 @@ let observe t ({ at; entry } : Sim.Trace.stamped) =
   | Net_arb { delay; _ } -> Util.Hist.observe t.arb delay
   | Deadline_miss _ | Budget_overrun _ | Job_shed _ | Sem_acquired _
   | Sem_blocked _ | Sem_released _ | Priority_inherit _ | Priority_restore _
-  | Msg_sent _ | Msg_received _ | State_written _ | State_read _ | Pool_oom _
-  | Pool_leak _ | Quota_exceeded _ | Input_word _ | Branch _ | Note _ ->
+  | Approach_parked _ | Msg_sent _ | Msg_received _ | State_written _
+  | State_read _ | Pool_oom _ | Pool_leak _ | Quota_exceeded _ | Input_word _
+  | Branch _ | Note _ ->
     ()
 
 let attach t probe = Probe.subscribe probe ~mask:Probe.all_mask (observe t)
@@ -117,7 +127,12 @@ let irq_latency t = t.irq_lat
 let ready_depth t = t.depth
 
 let overhead t =
-  Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.ovh []
+  List.filter_map
+    (fun c ->
+      match t.ovh.(Sim.Trace.ovh_index c) with
+      | Some h -> Some (Sim.Trace.ovh_name c, h)
+      | None -> None)
+    Sim.Trace.ovh_categories
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let merge a b =
@@ -157,7 +172,15 @@ let merge a b =
   add_net b;
   merge_tbl m.resp a.resp b.resp;
   merge_tbl m.block a.block b.block;
-  merge_tbl m.ovh a.ovh b.ovh;
+  Array.iteri
+    (fun i _ ->
+      m.ovh.(i) <-
+        (match (a.ovh.(i), b.ovh.(i)) with
+        | Some h1, Some h2 -> Some (Util.Hist.merge h1 h2)
+        | Some h, None | None, Some h ->
+          Some (Util.Hist.merge h (Util.Hist.create ()))
+        | None, None -> None))
+    m.ovh;
   merge_tbl m.live a.live b.live;
   {
     m with

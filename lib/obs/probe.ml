@@ -34,7 +34,7 @@ let category_of_entry : Sim.Trace.entry -> category = function
   | Job_release _ | Job_complete _ | Deadline_miss _ -> Job
   | Context_switch _ | Thread_block _ | Thread_unblock _ -> Sched
   | Sem_acquired _ | Sem_blocked _ | Sem_released _ | Priority_inherit _
-  | Priority_restore _ ->
+  | Priority_restore _ | Approach_parked _ ->
     Sync
   | Msg_sent _ | Msg_received _ | State_written _ | State_read _ -> Ipc
   | Interrupt _ -> Irq

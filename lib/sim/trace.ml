@@ -1,3 +1,64 @@
+(* Interned overhead categories: one tag per kernel charge site.  The
+   display names reproduce the historic string categories verbatim so
+   every rendered artifact (CSV, timeline, Prometheus labels) is
+   unchanged by the interning. *)
+type ovh_category =
+  | Ovh_sched_select
+  | Ovh_sched_block
+  | Ovh_sched_unblock
+  | Ovh_sched_demote
+  | Ovh_pi
+  | Ovh_sem
+  | Ovh_syscall
+  | Ovh_ipc
+  | Ovh_timer
+  | Ovh_pool
+  | Ovh_switch
+  | Ovh_switch_as
+  | Ovh_irq
+
+let ovh_name = function
+  | Ovh_sched_select -> "sched.select"
+  | Ovh_sched_block -> "sched.block"
+  | Ovh_sched_unblock -> "sched.unblock"
+  | Ovh_sched_demote -> "sched.demote"
+  | Ovh_pi -> "pi"
+  | Ovh_sem -> "sem"
+  | Ovh_syscall -> "syscall"
+  | Ovh_ipc -> "ipc"
+  | Ovh_timer -> "timer"
+  | Ovh_pool -> "pool"
+  | Ovh_switch -> "switch"
+  | Ovh_switch_as -> "switch.as"
+  | Ovh_irq -> "irq"
+
+let ovh_index = function
+  | Ovh_sched_select -> 0
+  | Ovh_sched_block -> 1
+  | Ovh_sched_unblock -> 2
+  | Ovh_sched_demote -> 3
+  | Ovh_pi -> 4
+  | Ovh_sem -> 5
+  | Ovh_syscall -> 6
+  | Ovh_ipc -> 7
+  | Ovh_timer -> 8
+  | Ovh_pool -> 9
+  | Ovh_switch -> 10
+  | Ovh_switch_as -> 11
+  | Ovh_irq -> 12
+
+let ovh_categories =
+  [
+    Ovh_sched_select; Ovh_sched_block; Ovh_sched_unblock; Ovh_sched_demote;
+    Ovh_pi; Ovh_sem; Ovh_syscall; Ovh_ipc; Ovh_timer; Ovh_pool; Ovh_switch;
+    Ovh_switch_as; Ovh_irq;
+  ]
+
+let ovh_count = List.length ovh_categories
+
+let ovh_of_name s =
+  List.find_opt (fun c -> ovh_name c = s) ovh_categories
+
 type entry =
   | Job_release of { tid : int; job : int; deadline : Model.Time.t }
   | Job_complete of { tid : int; job : int; response : Model.Time.t }
@@ -10,6 +71,9 @@ type entry =
   | Sem_released of { tid : int; sem : int }
   | Priority_inherit of { holder : int; from_tid : int }
   | Priority_restore of { holder : int }
+  | Approach_parked of { tid : int; sem : int }
+      (* §6.3.1: held back in [sem]'s approach queue; the semaphore is
+         the attribution context the block reason alone lacks *)
   | Msg_sent of { tid : int; mailbox : int; words : int }
   | Msg_received of {
       tid : int;
@@ -21,7 +85,7 @@ type entry =
   | State_written of { tid : int; state : int; seq : int }
   | State_read of { tid : int; state : int; seq : int }
   | Interrupt of { irq : int }
-  | Overhead of { category : string; cost : Model.Time.t }
+  | Overhead of { category : ovh_category; cost : Model.Time.t }
   | Budget_overrun of {
       tid : int;
       job : int;
@@ -62,7 +126,7 @@ type t = {
   mutable misses : int;
   mutable preemptions : int;
   mutable overhead : Model.Time.t;
-  by_category : (string, Model.Time.t ref) Hashtbl.t;
+  by_category : Model.Time.t array; (* indexed by [ovh_index] *)
   mutable first_miss : stamped option;
   mutable overruns : int;
   mutable kills : int;
@@ -88,7 +152,7 @@ let create ?(keep_entries = true) () =
     misses = 0;
     preemptions = 0;
     overhead = 0;
-    by_category = Hashtbl.create 16;
+    by_category = Array.make ovh_count 0;
     first_miss = None;
     overruns = 0;
     kills = 0;
@@ -109,15 +173,8 @@ let emit t ~at entry =
     if t.first_miss = None then t.first_miss <- Some stamped
   | Overhead { category; cost } ->
     t.overhead <- Model.Time.add t.overhead cost;
-    let cell =
-      match Hashtbl.find_opt t.by_category category with
-      | Some c -> c
-      | None ->
-        let c = ref 0 in
-        Hashtbl.add t.by_category category c;
-        c
-    in
-    cell := Model.Time.add !cell cost
+    let i = ovh_index category in
+    t.by_category.(i) <- Model.Time.add t.by_category.(i) cost
   | Job_complete { tid; response; _ } when (not t.keep) && tid >= 0 ->
     if tid >= Array.length t.resp_hists then begin
       let grown = Array.make (max (tid + 1) (2 * Array.length t.resp_hists)) None in
@@ -138,10 +195,11 @@ let emit t ~at entry =
   | Job_shed _ -> t.sheds <- t.sheds + 1
   | Job_release _ | Job_complete _ | Thread_block _ | Thread_unblock _
   | Sem_acquired _ | Sem_blocked _ | Sem_released _ | Priority_inherit _
-  | Priority_restore _ | Msg_sent _ | Msg_received _ | State_written _
-  | State_read _ | Interrupt _ | Block_alloc _ | Block_free _ | Pool_oom _
-  | Pool_leak _ | Quota_exceeded _ | Input_word _ | Branch _ | Net_frame _
-  | Net_retry _ | Net_timeout _ | Net_arb _ | Note _ ->
+  | Priority_restore _ | Approach_parked _ | Msg_sent _ | Msg_received _
+  | State_written _ | State_read _ | Interrupt _ | Block_alloc _
+  | Block_free _ | Pool_oom _ | Pool_leak _ | Quota_exceeded _
+  | Input_word _ | Branch _ | Net_frame _ | Net_retry _ | Net_timeout _
+  | Net_arb _ | Note _ ->
     ());
   if t.keep then t.entries <- stamped :: t.entries
 
@@ -152,7 +210,11 @@ let preemptions t = t.preemptions
 let overhead_total t = t.overhead
 
 let overhead_by_category t =
-  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.by_category []
+  List.filter_map
+    (fun c ->
+      let total = t.by_category.(ovh_index c) in
+      if total > 0 then Some (ovh_name c, total) else None)
+    ovh_categories
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let first_miss t = t.first_miss
@@ -194,6 +256,8 @@ let pp_entry ppf = function
     Format.fprintf ppf "inherit   tau%d <- prio of tau%d" holder from_tid
   | Priority_restore { holder } ->
     Format.fprintf ppf "restore   tau%d" holder
+  | Approach_parked { tid; sem } ->
+    Format.fprintf ppf "parked    tau%d awaiting sem%d" tid sem
   | Msg_sent { tid; mailbox; words } ->
     Format.fprintf ppf "send      tau%d mbox%d (%d words)" tid mailbox words
   | Msg_received { tid; mailbox; words; queued_for } ->
@@ -205,7 +269,7 @@ let pp_entry ppf = function
     Format.fprintf ppf "st-read   tau%d state%d seq=%d" tid state seq
   | Interrupt { irq } -> Format.fprintf ppf "interrupt irq%d" irq
   | Overhead { category; cost } ->
-    Format.fprintf ppf "overhead  %s %a" category Model.Time.pp cost
+    Format.fprintf ppf "overhead  %s %a" (ovh_name category) Model.Time.pp cost
   | Budget_overrun { tid; job; used; budget } ->
     Format.fprintf ppf "OVERRUN   tau%d#%d (used %a of %a)" tid job
       Model.Time.pp used Model.Time.pp budget
@@ -246,11 +310,11 @@ let timeline_relevant = function
   | Budget_overrun _ | Job_killed _ | Job_shed _ ->
     true
   | Thread_block _ | Thread_unblock _ | Sem_acquired _ | Sem_blocked _
-  | Sem_released _ | Priority_inherit _ | Priority_restore _ | Msg_sent _
-  | Msg_received _ | State_written _ | State_read _ | Interrupt _
-  | Overhead _ | Block_alloc _ | Block_free _ | Pool_oom _ | Pool_leak _
-  | Quota_exceeded _ | Input_word _ | Branch _ | Net_frame _ | Net_retry _
-  | Net_timeout _ | Net_arb _ | Note _ ->
+  | Sem_released _ | Priority_inherit _ | Priority_restore _
+  | Approach_parked _ | Msg_sent _ | Msg_received _ | State_written _
+  | State_read _ | Interrupt _ | Overhead _ | Block_alloc _ | Block_free _
+  | Pool_oom _ | Pool_leak _ | Quota_exceeded _ | Input_word _ | Branch _
+  | Net_frame _ | Net_retry _ | Net_timeout _ | Net_arb _ | Note _ ->
     false
 
 let pp_stamped ppf { at; entry } =
@@ -299,6 +363,8 @@ let csv_fields = function
   | Priority_inherit { holder; from_tid } ->
     ("inherit", holder, Printf.sprintf "from=%d" from_tid)
   | Priority_restore { holder } -> ("restore", holder, "")
+  | Approach_parked { tid; sem } ->
+    ("parked", tid, Printf.sprintf "sem=%d" sem)
   | Msg_sent { tid; mailbox; words } ->
     ("send", tid, Printf.sprintf "mbox=%d words=%d" mailbox words)
   | Msg_received { tid; mailbox; words; queued_for } ->
@@ -310,7 +376,7 @@ let csv_fields = function
     ("st-read", tid, Printf.sprintf "state=%d seq=%d" state seq)
   | Interrupt { irq } -> ("irq", -1, Printf.sprintf "irq=%d" irq)
   | Overhead { category; cost } ->
-    ("overhead", -1, Printf.sprintf "%s=%d" category cost)
+    ("overhead", -1, Printf.sprintf "%s=%d" (ovh_name category) cost)
   | Budget_overrun { tid; job; used; budget } ->
     ("overrun", tid, Printf.sprintf "job=%d used=%d budget=%d" job used budget)
   | Job_killed { tid; job } -> ("kill", tid, Printf.sprintf "job=%d" job)

@@ -5,6 +5,40 @@
     per-category overhead totals, and schedule timelines (Figure 2 is
     rendered straight from a trace). *)
 
+type ovh_category =
+  | Ovh_sched_select
+  | Ovh_sched_block
+  | Ovh_sched_unblock
+  | Ovh_sched_demote
+  | Ovh_pi
+  | Ovh_sem
+  | Ovh_syscall
+  | Ovh_ipc
+  | Ovh_timer
+  | Ovh_pool
+  | Ovh_switch
+  | Ovh_switch_as
+  | Ovh_irq
+      (** Interned kernel-overhead categories — one tag per Table 1
+          charge site, so per-charge accounting is an array index
+          instead of a hash of a freshly built string on the kernel's
+          hot path.  Renderings ({!ovh_name}) match the historic
+          string categories exactly, keeping CSV/timeline output and
+          committed baselines unchanged. *)
+
+val ovh_name : ovh_category -> string
+(** Stable display name ("sched.select", "pi", "switch.as", ...). *)
+
+val ovh_of_name : string -> ovh_category option
+
+val ovh_index : ovh_category -> int
+(** Dense index in [0, ovh_count), declaration order. *)
+
+val ovh_count : int
+
+val ovh_categories : ovh_category list
+(** In declaration order. *)
+
 type entry =
   | Job_release of { tid : int; job : int; deadline : Model.Time.t }
   | Job_complete of { tid : int; job : int; response : Model.Time.t }
@@ -17,6 +51,12 @@ type entry =
   | Sem_released of { tid : int; sem : int }
   | Priority_inherit of { holder : int; from_tid : int }
   | Priority_restore of { holder : int }
+  | Approach_parked of { tid : int; sem : int }
+      (** §6.3.1: the thread was held back in [sem]'s approach queue
+          (its pre-acquire blocking call completed while the semaphore
+          was taken).  Carries the semaphore so observers can attribute
+          the parked time as inheritance-induced blocking — the
+          [Thread_block] reason alone does not say which semaphore. *)
   | Msg_sent of { tid : int; mailbox : int; words : int }
   | Msg_received of {
       tid : int;
@@ -28,7 +68,7 @@ type entry =
   | State_written of { tid : int; state : int; seq : int }
   | State_read of { tid : int; state : int; seq : int }
   | Interrupt of { irq : int }
-  | Overhead of { category : string; cost : Model.Time.t }
+  | Overhead of { category : ovh_category; cost : Model.Time.t }
   | Budget_overrun of {
       tid : int;
       job : int;

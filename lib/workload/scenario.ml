@@ -257,6 +257,29 @@ let seeded_deadlock () =
   in
   with_sources ~name:"seeded-deadlock" ~taskset ~programs []
 
+(* One shared semaphore, held 6 ms by the low-priority task from
+   t = 0; the high-priority task (deadline 4 ms < period) arrives at
+   1 ms and inherits-boosts the holder, eating ~5 ms of blocking
+   against a 2 ms compute — its first job must miss, and blame must
+   pin the miss on the semaphore rather than on interference. *)
+let inversion_demo () =
+  let sem = Objects.sem () in
+  let taskset =
+    Model.Taskset.of_list
+      [
+        Model.Task.make ~id:1 ~name:"hi" ~period:(ms 10) ~deadline:(ms 4)
+          ~wcet:(ms 2) ~phase:(ms 1) ();
+        Model.Task.make ~id:2 ~name:"lo" ~period:(ms 50) ~wcet:(ms 7) ();
+      ]
+  in
+  let programs (task : Model.Task.t) =
+    let open Program in
+    match task.id with
+    | 1 -> [ acquire sem; compute (ms 2); release sem ]
+    | _ -> [ acquire sem; compute (ms 6); release sem; compute (ms 1) ]
+  in
+  with_sources ~name:"inversion-demo" ~taskset ~programs []
+
 (* A comfortably RM-schedulable pure-compute set (U = 0.56; the RTA
    bounds sit well inside every deadline), the canvas for the
    WCET-overrun fault plan: unfaulted it runs clean, while the

@@ -73,6 +73,17 @@ val seeded_deadlock : unit -> t
     Excluded from {!names} / {!all} so the shipped presets stay
     lint-clean. *)
 
+val inversion_demo : unit -> t
+(** A seeded priority inversion: the low-priority task grabs the
+    shared semaphore at t = 0 and computes 6 ms inside the critical
+    section; the high-priority task (4 ms relative deadline) releases
+    at 1 ms, preempts, and blocks on the semaphore for the ~5 ms the
+    inheritance-boosted holder needs to finish — so its first job
+    misses with blocking as the dominant blame component.  The canvas
+    for [emeralds_cli explain]: the attributor must name the contended
+    semaphore.  Later jobs run contention-free.  Excluded from
+    {!names} / {!all}; the CLI exposes it as ["inversion-demo"]. *)
+
 val overrun_demo : unit -> t
 (** A pure-compute, comfortably RM-schedulable three-task set (U =
     0.56) that runs clean unfaulted — the canvas for the WCET-overrun

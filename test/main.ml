@@ -17,6 +17,7 @@ let () =
       ("experiments", Test_experiments.suite);
       ("extensions", Test_extensions.suite);
       ("obs", Test_obs.suite);
+      ("blame", Test_blame.suite);
       ("lint", Test_lint.suite);
       ("absint", Test_absint.suite);
       ("fault", Test_fault.suite);

@@ -1,0 +1,243 @@
+(* Per-job blame attribution: the conservation law (components sum
+   exactly to each job's observed response), attachment invisibility,
+   and cross-validation of each empirical component against its
+   analytical bound. *)
+
+open Alcotest
+
+let ms = Model.Time.ms
+
+let fuzz ?(count = 50) name gen law =
+  QCheck_alcotest.to_alcotest ~speed_level:`Quick
+    (QCheck2.Test.make ~count ~name gen law)
+
+let run_with_blame ?(spec = Emeralds.Sched.Rm) ?enforcement ?input_seed
+    ?(horizon = ms 200) (scenario : Workload.Scenario.t) =
+  let b =
+    Obs.Blame.create ~tasks:(Obs.Blame.of_taskset scenario.taskset) ()
+  in
+  let k =
+    Emeralds.Kernel.create ~cost:Sim.Cost.m68040 ~spec
+      ~taskset:scenario.taskset ~programs:scenario.programs ?input_seed ()
+  in
+  (match enforcement with
+  | Some _ -> Emeralds.Kernel.set_enforcement k enforcement
+  | None -> ());
+  Obs.Blame.attach b (Emeralds.Kernel.probe k);
+  Emeralds.Kernel.run k ~until:horizon;
+  (b, k)
+
+(* Every preset, every job: zero residual, and at least one job closed
+   so the check is not vacuous. *)
+let test_conservation_presets () =
+  List.iter
+    (fun name ->
+      let scenario = Option.get (Workload.Scenario.make name) in
+      let b, _ = run_with_blame scenario in
+      let total_jobs =
+        List.fold_left
+          (fun acc (s : Obs.Blame.task_summary) -> acc + s.s_jobs)
+          0 (Obs.Blame.summaries b)
+      in
+      check bool (name ^ " closed jobs") true (total_jobs > 0);
+      check int (name ^ " conservation") 0 (Obs.Blame.residual_violations b);
+      List.iter
+        (fun (s : Obs.Blame.task_summary) ->
+          check int
+            (Printf.sprintf "%s tau%d max residual" name s.s_id)
+            0 s.s_max_abs_residual)
+        (Obs.Blame.summaries b))
+    Workload.Scenario.names
+
+(* Attaching the attributor must not perturb the kernel: the trace is
+   bit-identical with and without the subscriber. *)
+let test_attach_invisible () =
+  (* one scenario for both runs: object ids are drawn from a global
+     counter, so two [branchy] realizations would differ in pool id *)
+  let scenario = Option.get (Workload.Scenario.make "branchy") in
+  let run attach =
+    let k =
+      Emeralds.Kernel.create ~cost:Sim.Cost.m68040 ~spec:Emeralds.Sched.Rm
+        ~taskset:scenario.taskset ~programs:scenario.programs ~input_seed:3 ()
+    in
+    if attach then begin
+      let b =
+        Obs.Blame.create ~tasks:(Obs.Blame.of_taskset scenario.taskset) ()
+      in
+      Obs.Blame.attach b (Emeralds.Kernel.probe k)
+    end;
+    Emeralds.Kernel.run k ~until:(ms 100);
+    Sim.Trace.to_csv (Emeralds.Kernel.trace k)
+  in
+  check string "trace bit-identical with blame attached" (run false)
+    (run true)
+
+(* Conservation across schedulers, enforcement policies and input
+   seeds on randomized presets. *)
+let gen_blame_case =
+  QCheck2.Gen.(
+    let* preset = oneofl Workload.Scenario.names in
+    let* spec = oneofl [ `Rm; `Edf; `Csd 2 ] in
+    let* enforce = oneofl [ `None; `Notify; `Kill ] in
+    let* input_seed = int_range 0 1000 in
+    return (preset, spec, enforce, input_seed))
+
+let prop_conservation =
+  fuzz ~count:40 "conservation across schedulers and enforcement"
+    gen_blame_case
+    (fun (preset, spec, enforce, input_seed) ->
+      let scenario = Option.get (Workload.Scenario.make preset) in
+      let spec =
+        match spec with
+        | `Rm -> Emeralds.Sched.Rm
+        | `Edf -> Emeralds.Sched.Edf
+        | `Csd n -> Emeralds.Sched.Csd [ n ]
+      in
+      let enforcement =
+        match enforce with
+        | `None -> None
+        | `Notify ->
+          Some
+            {
+              Emeralds.Kernel.budget_of =
+                (fun (t : Model.Task.t) -> Some t.wcet);
+              policy = Emeralds.Kernel.Notify_only;
+              miss = Emeralds.Kernel.Miss_record;
+              shed_one_in = None;
+            }
+        | `Kill ->
+          Some
+            {
+              Emeralds.Kernel.budget_of =
+                (fun (t : Model.Task.t) -> Some t.wcet);
+              policy = Emeralds.Kernel.Kill_job;
+              miss = Emeralds.Kernel.Miss_record;
+              shed_one_in = None;
+            }
+      in
+      let b, _ =
+        run_with_blame ~spec ?enforcement ~input_seed ~horizon:(ms 150)
+          scenario
+      in
+      Obs.Blame.residual_violations b = 0)
+
+(* Per-term domination: every empirical blame component stays within
+   its analytical term — absint demand for execution, the RTA
+   decomposition (plus one carry-in job) per interference rank, the
+   lint blocking term, and the Table-1 overhead budget at the RTA
+   fixpoint.  Mirrors the campaign's blame oracle as a direct
+   property over presets and input seeds. *)
+let rta_eligible (sc : Workload.Scenario.t) =
+  Array.map
+    (fun (t : Model.Task.t) ->
+      let ok = ref true in
+      Emeralds.Program.iter_leaves
+        (fun instr ->
+          match instr with
+          | Emeralds.Types.Wait _ | Emeralds.Types.Timed_wait _
+          | Emeralds.Types.Recv _ | Emeralds.Types.Send _
+          | Emeralds.Types.Delay _ ->
+            ok := false
+          | _ -> ())
+        (sc.programs t);
+      !ok)
+    (Model.Taskset.tasks sc.taskset)
+
+let gen_domination_case =
+  QCheck2.Gen.(
+    let* preset = oneofl Workload.Scenario.names in
+    let* input_seed = int_range 0 1000 in
+    return (preset, input_seed))
+
+let prop_domination =
+  fuzz ~count:25 "every component dominated by its analytical term"
+    gen_domination_case
+    (fun (preset, input_seed) ->
+      let scenario = Option.get (Workload.Scenario.make preset) in
+      let tasks = Model.Taskset.tasks scenario.taskset in
+      let ctx =
+        Lint.Ctx.make ~irq_signals:scenario.irq_signals
+          ~irq_writes:scenario.irq_writes ~taskset:scenario.taskset
+          ~programs:scenario.programs ()
+      in
+      let blocking = Lint.Blocking_terms.blocking_terms ctx in
+      let rows =
+        Analysis.Overhead.inflate ~cost:Sim.Cost.m68040
+          ~spec:Emeralds.Sched.Rm scenario.taskset
+      in
+      let eligible = rta_eligible scenario in
+      let rep = Absint.Report.analyze scenario in
+      let b, _ = run_with_blame ~input_seed ~horizon:(ms 150) scenario in
+      Array.for_all Fun.id
+        (Array.mapi
+           (fun i (t : Model.Task.t) ->
+             match
+               ( Obs.Blame.summary b ~tid:t.id,
+                 Analysis.Rta.response_time ~blocking ~tasks:rows i )
+             with
+             | Some s, Some rstar when eligible.(i) && s.s_jobs > 0 ->
+               let exec_ok =
+                 match
+                   Array.find_opt
+                     (fun (tb : Absint.Report.task_bound) ->
+                       tb.task.id = t.id)
+                     rep.tasks
+                 with
+                 | Some tb -> (
+                   match Absint.Itv.hi_int tb.summary.exec with
+                   | Some hi -> s.s_max_exec <= hi
+                   | None -> true)
+                 | None -> true
+               in
+               let interference_ok =
+                 match Analysis.Rta.decompose ~blocking ~tasks:rows i with
+                 | Some dec ->
+                   List.for_all
+                     (fun (j, v) ->
+                       let _, _, cj = rows.(j) in
+                       v <= dec.Analysis.Rta.dec_interference.(j) + cj)
+                     s.s_max_interference
+                 | None -> true
+               in
+               let blocking_ok = s.s_max_blocking_total <= blocking.(i) in
+               let overhead_ok =
+                 s.s_max_overhead_total
+                 <= Analysis.Overhead.job_budget ~cost:Sim.Cost.m68040
+                      ~spec:Emeralds.Sched.Rm ~taskset:scenario.taskset
+                      ~programs:(Array.map scenario.programs tasks)
+                      ~rank:i ~response:rstar ~irqs:s.s_max_irqs
+               in
+               exec_ok && interference_ok && blocking_ok && overhead_ok
+             | _ -> true)
+           tasks))
+
+(* Seeded priority inversion: the worst job of the high-priority task
+   must blame the contended semaphore, and blocking must dominate. *)
+let test_inversion_blames_sem () =
+  let scenario = Workload.Scenario.inversion_demo () in
+  let b, k = run_with_blame ~horizon:(ms 60) scenario in
+  check bool "the demo actually misses" true
+    (Sim.Trace.deadline_misses (Emeralds.Kernel.trace k) > 0);
+  check int "conservation" 0 (Obs.Blame.residual_violations b);
+  let victim =
+    List.find
+      (fun (s : Obs.Blame.task_summary) -> s.s_rank = 0)
+      (Obs.Blame.summaries b)
+  in
+  let w = Option.get victim.s_worst in
+  check bool "blocking attributed to a real semaphore" true
+    (List.exists (fun (sem, v) -> sem >= 0 && v > 0) w.b_blocking);
+  match Obs.Blame.dominant w with
+  | Obs.Blame.Blocking sem, _ -> check bool "dominant sem is real" true (sem >= 0)
+  | c, _ ->
+    failf "expected Blocking dominant, got %s" (Obs.Blame.cause_label c)
+
+let suite =
+  [
+    test_case "conservation on every preset" `Quick test_conservation_presets;
+    test_case "attachment is trace-invisible" `Quick test_attach_invisible;
+    prop_conservation;
+    prop_domination;
+    test_case "inversion demo blames the semaphore" `Quick
+      test_inversion_blames_sem;
+  ]

@@ -540,6 +540,8 @@ let normalize_ids entries =
         | Sem_blocked { tid; sem } -> Sem_blocked { tid; sem = canon "sem" sem }
         | Sem_released { tid; sem } ->
           Sem_released { tid; sem = canon "sem" sem }
+        | Approach_parked { tid; sem } ->
+          Approach_parked { tid; sem = canon "sem" sem }
         | Msg_sent { tid; mailbox; words } ->
           Msg_sent { tid; mailbox = canon "mb" mailbox; words }
         | Msg_received { tid; mailbox; words; queued_for } ->

@@ -114,7 +114,7 @@ let some_events : Sim.Trace.entry list =
     Sem_acquired { tid = 1; sem = 0 };
     Msg_sent { tid = 1; mailbox = 0; words = 4 };
     Interrupt { irq = 3 };
-    Overhead { category = "sched.select"; cost = us 1 };
+    Overhead { category = Ovh_sched_select; cost = us 1 };
     Budget_overrun { tid = 1; job = 1; used = us 9; budget = us 8 };
     Note "hello";
   ]
@@ -392,6 +392,47 @@ let test_flightrec_freezes_at_trigger () =
     (Invalid_argument "Flightrec.create: 10 bytes < one 48-byte slot")
     (fun () -> ignore (Obs.Flightrec.create ~bytes:10 ~triggers:[] ()))
 
+(* Trigger matrix: each armed trigger freezes exactly on its own event
+   kind and stays live through every other kind. *)
+let test_flightrec_trigger_matrix () =
+  let matrix =
+    [
+      (Obs.Flightrec.On_miss, "miss",
+       Sim.Trace.Deadline_miss { tid = 1; job = 1; lateness = 0 });
+      (Obs.Flightrec.On_overrun, "overrun",
+       Sim.Trace.Budget_overrun { tid = 1; job = 1; used = 9; budget = 8 });
+      (Obs.Flightrec.On_kill, "kill",
+       Sim.Trace.Job_killed { tid = 1; job = 1 });
+      (Obs.Flightrec.On_oom, "oom",
+       Sim.Trace.Pool_oom { tid = 1; pool = 2 });
+      (Obs.Flightrec.On_quota, "quota",
+       Sim.Trace.Quota_exceeded { tid = 1; job = 1; live = 5; quota = 4 });
+      (Obs.Flightrec.On_net_timeout, "net-timeout",
+       Sim.Trace.Net_timeout { node = 1; seq = 3 });
+    ]
+  in
+  List.iter
+    (fun (armed, name, _) ->
+      let fr =
+        Obs.Flightrec.create
+          ~bytes:(16 * Obs.Flightrec.slot_bytes)
+          ~triggers:[ armed ] ()
+      in
+      (* every *other* event kind leaves the recorder live... *)
+      List.iter
+        (fun (other, _, entry) ->
+          if other <> armed then Obs.Flightrec.record fr (stamp 1 entry))
+        matrix;
+      check bool (name ^ ": other kinds do not trip") true
+        (Obs.Flightrec.triggered fr = None);
+      (* ...and its own kind freezes it *)
+      let _, _, own = List.find (fun (t, _, _) -> t = armed) matrix in
+      Obs.Flightrec.record fr (stamp 2 own);
+      match Obs.Flightrec.triggered fr with
+      | Some { entry; _ } when entry = own -> ()
+      | _ -> fail (name ^ ": armed trigger must freeze on its own event"))
+    matrix
+
 let test_flightrec_within_envelope () =
   (* the default CLI arming: 32 KB, the envelope's small end *)
   let lo, hi = Emeralds.Footprint.envelope in
@@ -580,6 +621,48 @@ let test_perfetto_export () =
   check int "balanced slices" (count {|"ph":"B"|}) (count {|"ph":"E"|});
   check bool "instants present" true (count {|"ph":"i"|} > 0)
 
+(* With ?blame, each closed job adds one "C" counter sample, and the
+   missed deadline gains a flow arrow labelled with the dominant cause
+   (the seeded inversion's semaphore). *)
+let test_perfetto_blame_export () =
+  let scenario = Workload.Scenario.inversion_demo () in
+  let k =
+    Emeralds.Kernel.create ~cost:Sim.Cost.m68040 ~spec:Emeralds.Sched.Rm
+      ~taskset:scenario.taskset ~programs:scenario.programs ()
+  in
+  Emeralds.Kernel.run k ~until:(Model.Time.ms 60);
+  let tr = Emeralds.Kernel.trace k in
+  check bool "inversion demo misses" true (Sim.Trace.deadline_misses tr > 0);
+  let events = Sim.Trace.entries tr in
+  let out =
+    Obs.Export.perfetto ~blame:(Obs.Blame.of_taskset scenario.taskset) events
+  in
+  check bool "blame perfetto JSON parses" true (json_valid out);
+  let count pat =
+    let p = ref 0 and found = ref 0 in
+    let pl = String.length pat in
+    while !p + pl <= String.length out do
+      if String.sub out !p pl = pat then incr found;
+      incr p
+    done;
+    !found
+  in
+  let completions =
+    List.length
+      (List.filter
+         (fun ({ entry; _ } : Sim.Trace.stamped) ->
+           match entry with Sim.Trace.Job_complete _ -> true | _ -> false)
+         events)
+  in
+  check bool "has completions" true (completions > 0);
+  check int "one counter sample per closed job" completions
+    (count {|"ph":"C"|});
+  check int "flow start/finish balanced" (count {|"ph":"s"|})
+    (count {|"ph":"f"|});
+  check bool "miss gains a flow arrow" true (count {|"ph":"s"|} > 0);
+  check bool "flow names the blocking semaphore" true
+    (count {|"name":"blame: sem |} > 0)
+
 let test_metrics_json_export () =
   let m, _ = with_metrics () in
   check bool "metrics JSON parses" true (json_valid (Obs.Export.metrics_json m))
@@ -654,6 +737,8 @@ let suite =
     test_case "flightrec: ring wraps" `Quick test_flightrec_wraps;
     test_case "flightrec: freezes at trigger" `Quick
       test_flightrec_freezes_at_trigger;
+    test_case "flightrec: trigger matrix" `Quick
+      test_flightrec_trigger_matrix;
     test_case "flightrec: envelope accounting" `Quick
       test_flightrec_within_envelope;
     test_case "flightrec: overrun-demo dump ends at first overrun" `Quick
@@ -661,6 +746,8 @@ let suite =
     test_case "export: json validator self-check" `Quick
       test_json_validator_self_check;
     test_case "export: perfetto JSON" `Quick test_perfetto_export;
+    test_case "export: perfetto blame tracks" `Quick
+      test_perfetto_blame_export;
     test_case "export: metrics JSON" `Quick test_metrics_json_export;
     test_case "export: prometheus line format" `Quick test_prometheus_export;
   ]

@@ -105,9 +105,9 @@ let test_trace_counters () =
   Sim.Trace.set_outgoing_ready tr true;
   Sim.Trace.emit tr ~at:1 (Sim.Trace.Context_switch { from_tid = Some 1; to_tid = Some 2 });
   Sim.Trace.emit tr ~at:2 (Sim.Trace.Deadline_miss { tid = 1; job = 1; lateness = 0 });
-  Sim.Trace.emit tr ~at:3 (Sim.Trace.Overhead { category = "pi"; cost = us 2 });
-  Sim.Trace.emit tr ~at:3 (Sim.Trace.Overhead { category = "pi"; cost = us 3 });
-  Sim.Trace.emit tr ~at:3 (Sim.Trace.Overhead { category = "switch"; cost = us 1 });
+  Sim.Trace.emit tr ~at:3 (Sim.Trace.Overhead { category = Ovh_pi; cost = us 2 });
+  Sim.Trace.emit tr ~at:3 (Sim.Trace.Overhead { category = Ovh_pi; cost = us 3 });
+  Sim.Trace.emit tr ~at:3 (Sim.Trace.Overhead { category = Ovh_switch; cost = us 1 });
   check int "switches" 2 (Sim.Trace.context_switches tr);
   check int "preemptions" 1 (Sim.Trace.preemptions tr);
   check int "misses" 1 (Sim.Trace.deadline_misses tr);
@@ -199,7 +199,7 @@ let every_entry : Sim.Trace.entry list =
     State_written { tid = 1; state = 0; seq = 1 };
     State_read { tid = 1; state = 0; seq = 1 };
     Interrupt { irq = 9 };
-    Overhead { category = "sched.select"; cost = us 1 };
+    Overhead { category = Ovh_sched_select; cost = us 1 };
     Budget_overrun { tid = 1; job = 1; used = us 9; budget = us 8 };
     Job_killed { tid = 1; job = 1 };
     Job_shed { tid = 1; job = 2; reason = "skip-over" };
